@@ -1,0 +1,176 @@
+// Bootstrap-strategy ablation (paper §IV-B): for each rally strategy,
+// recruit fresh bots into a live botnet over the simulated Tor network
+// and measure (a) rally success — recruits reaching dmin, (b) lead-list
+// size handed to each recruit, and (c) defender exposure — the fraction
+// of the botnet a defender learns by compromising the strategy's weakest
+// point (one infector, one hotlist server, or the public out-of-band
+// store). Random probing appears as arithmetic only, which is the point.
+#include <cstdio>
+#include <vector>
+
+#include "core/bootstrap.hpp"
+#include "core/botnet.hpp"
+#include "tor/address_cost.hpp"
+
+namespace {
+
+using namespace onion;
+using namespace onion::core;
+
+Botnet::Params params() {
+  Botnet::Params p;
+  p.num_bots = 30;
+  p.initial_degree = 4;
+  p.seed = 0xb007;
+  p.tor.num_relays = 24;
+  p.bot.dmin = 3;
+  p.bot.dmax = 6;
+  return p;
+}
+
+std::vector<tor::OnionAddress> member_addresses(Botnet& net) {
+  std::vector<tor::OnionAddress> out;
+  for (std::size_t i = 0; i < net.num_bots(); ++i)
+    if (net.bot(i).alive()) out.push_back(net.bot(i).address());
+  return out;
+}
+
+struct StrategyOutcome {
+  const char* name;
+  std::size_t recruits = 0;
+  std::size_t rallied = 0;
+  double mean_leads = 0.0;
+  double exposure = 0.0;
+  const char* exposure_event;
+};
+
+void print(const StrategyOutcome& o) {
+  std::printf("%-18s %8zu/%zu %12.1f %10.2f   %s\n", o.name, o.rallied,
+              o.recruits, o.mean_leads, o.exposure, o.exposure_event);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== OnionBots ablation: bootstrap strategies (SS IV-B) ===\n"
+      "Fresh recruits rally into a live 30-bot botnet over simulated "
+      "Tor.\n\n");
+  std::printf("%-18s %10s %12s %10s   %s\n", "strategy", "rallied",
+              "mean-leads", "exposure", "exposure event");
+
+  constexpr std::size_t kRecruits = 8;
+
+  // --- hardcoded subset, p in {0.25, 0.5, 1.0} -----------------------
+  for (const double p : {0.25, 0.5, 1.0}) {
+    Botnet net(params());
+    Rng rng(net.params().seed ^ 17);
+    std::size_t rallied = 0;
+    double lead_sum = 0.0;
+    LeadList one_handout;  // what one captured recruit exposes
+    for (std::size_t r = 0; r < kRecruits; ++r) {
+      // The "infector" is a random existing bot; its peer list is the
+      // source list.
+      const Bot& infector =
+          net.bot(static_cast<std::size_t>(rng.uniform(30)));
+      LeadList source;
+      for (const auto& [addr, info] : infector.peers())
+        source.push_back(addr);
+      const LeadList leads = hardcoded_subset(source, p, rng);
+      if (one_handout.empty()) one_handout = leads;
+      lead_sum += static_cast<double>(leads.size());
+      Bot& recruit = net.infect_new_bot();
+      recruit.rally(leads);
+      net.run_for(10 * kMinute);
+      if (recruit.degree() >= net.params().bot.dmin) ++rallied;
+    }
+    StrategyOutcome o;
+    o.name = p == 0.25 ? "hardcoded p=0.25"
+                       : (p == 0.5 ? "hardcoded p=0.50" : "hardcoded p=1.0");
+    o.recruits = kRecruits;
+    o.rallied = rallied;
+    o.mean_leads = lead_sum / kRecruits;
+    o.exposure = exposure_fraction(one_handout, member_addresses(net));
+    o.exposure_event = "capture one recruit's handout";
+    print(o);
+  }
+
+  // --- hotlist ---------------------------------------------------------
+  {
+    Botnet net(params());
+    Rng rng(net.params().seed ^ 23);
+    HotlistDirectory dir(
+        {.servers = 6, .window = 16, .servers_per_bot = 2}, rng);
+    // Members announce to their private server subsets.
+    std::vector<std::vector<std::size_t>> subsets;
+    for (std::size_t i = 0; i < net.num_bots(); ++i) {
+      subsets.push_back(dir.assign_subset());
+      dir.announce(net.bot(i).address(), subsets.back());
+    }
+    std::size_t rallied = 0;
+    double lead_sum = 0.0;
+    for (std::size_t r = 0; r < kRecruits; ++r) {
+      const auto subset = dir.assign_subset();
+      const LeadList leads = dir.query(subset);
+      lead_sum += static_cast<double>(leads.size());
+      Bot& recruit = net.infect_new_bot();
+      recruit.rally(leads);
+      net.run_for(10 * kMinute);
+      if (recruit.degree() >= net.params().bot.dmin) ++rallied;
+      dir.announce(recruit.address(), subset);
+    }
+    const LeadList haul = dir.seize(0);
+    StrategyOutcome o;
+    o.name = "hotlist 6x2";
+    o.recruits = kRecruits;
+    o.rallied = rallied;
+    o.mean_leads = lead_sum / kRecruits;
+    o.exposure = exposure_fraction(haul, member_addresses(net));
+    o.exposure_event = "seize one of 6 servers";
+    print(o);
+  }
+
+  // --- out-of-band store -----------------------------------------------
+  {
+    Botnet net(params());
+    Rng rng(net.params().seed ^ 31);
+    OutOfBandStore store;
+    constexpr OutOfBandStore::Key kPeriodKey = 7;
+    for (std::size_t i = 0; i < net.num_bots(); ++i)
+      store.announce(kPeriodKey, net.bot(i).address());
+    std::size_t rallied = 0;
+    double lead_sum = 0.0;
+    for (std::size_t r = 0; r < kRecruits; ++r) {
+      const LeadList leads = store.lookup(kPeriodKey);
+      lead_sum += static_cast<double>(leads.size());
+      Bot& recruit = net.infect_new_bot();
+      recruit.rally(leads);
+      net.run_for(10 * kMinute);
+      if (recruit.degree() >= net.params().bot.dmin) ++rallied;
+      store.announce(kPeriodKey, recruit.address());
+    }
+    StrategyOutcome o;
+    o.name = "out-of-band DHT";
+    o.recruits = kRecruits;
+    o.rallied = rallied;
+    o.mean_leads = lead_sum / kRecruits;
+    o.exposure = exposure_fraction(store.lookup(kPeriodKey),
+                                   member_addresses(net));
+    o.exposure_event = "crawl the public store";
+    print(o);
+  }
+
+  // --- random probing: arithmetic only ---------------------------------
+  std::printf(
+      "%-18s %10s %12s %10s   expected %.0f years at 1e6 probes/s\n",
+      "random probing", "0/-", "-", "-",
+      tor::expected_years_to_find_bot(1e6, 1e6));
+
+  std::printf(
+      "\nExpected shape (paper SS IV-B): all practical strategies rally\n"
+      "reliably; exposure orders hardcoded-subset < hotlist < out-of-band\n"
+      "(the public store exposes everything), and random probing is\n"
+      "computationally absurd - which is why the paper predicts OnionBots\n"
+      "combine hardcoded lists with hotlists.\n");
+  return 0;
+}

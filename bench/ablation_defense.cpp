@@ -1,0 +1,106 @@
+// Ablation bench for the anti-SOAP defenses of paper Section VII-A:
+// proof-of-work difficulty sweep and rate-limit sweep versus SOAP
+// containment, including the collateral cost honest bots pay — the
+// recoverability-vs-resilience trade-off the paper leaves open.
+#include <cstdio>
+#include <limits>
+
+#include "core/overlay.hpp"
+#include "mitigation/soap.hpp"
+
+namespace {
+
+using onion::Rng;
+using onion::core::OverlayConfig;
+using onion::core::OverlayNetwork;
+using onion::mitigation::SoapCampaign;
+using onion::mitigation::SoapConfig;
+
+constexpr std::size_t kBots = 300;
+constexpr std::size_t kDegree = 10;
+
+struct Outcome {
+  double contained_fraction = 0.0;
+  std::size_t rounds = 0;
+  std::size_t clones = 0;
+  double sybil_work = 0.0;
+  double honest_work = 0.0;
+  std::size_t honest_edges = 0;
+};
+
+Outcome run(double pow_base, std::size_t rate_limit, double budget,
+            std::uint64_t seed) {
+  Rng rng(seed);
+  OverlayConfig overlay;
+  overlay.dmin = kDegree;
+  overlay.dmax = kDegree;
+  overlay.pow_base_cost = pow_base;
+  overlay.pow_growth = 1.05;  // gentle escalation per request
+  overlay.rate_limit_per_round = rate_limit;
+  OverlayNetwork net =
+      OverlayNetwork::random_regular(kBots, kDegree, overlay, rng);
+
+  SoapConfig soap;
+  soap.requests_per_target_per_round = 2;
+  soap.work_budget = budget;
+  soap.max_rounds = 400;
+  SoapCampaign campaign(net, soap, rng);
+  campaign.capture(0);
+  campaign.run();
+
+  Outcome out;
+  out.contained_fraction =
+      static_cast<double>(campaign.contained_count()) / kBots;
+  out.rounds = campaign.rounds_run();
+  out.clones = campaign.clones_created();
+  out.sybil_work = net.sybil_work_spent();
+  out.honest_work = net.honest_work_spent();
+  out.honest_edges = net.honest_edges();
+  return out;
+}
+
+void report(const char* label, const Outcome& o) {
+  std::printf(
+      "%-32s | contained=%5.1f%% rounds=%-4zu clones=%-5zu "
+      "sybil_work=%-10.0f honest_work=%-8.0f honest_edges=%zu\n",
+      label, o.contained_fraction * 100.0, o.rounds, o.clones,
+      o.sybil_work, o.honest_work, o.honest_edges);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== OnionBots ablation: anti-SOAP defenses (Section VII-A) ===\n"
+      "%zu bots, %zu-regular. Attacker proof-of-work budget: 200k units\n"
+      "where enabled. PoW cost of the n-th peering request at a node is\n"
+      "base * 1.05^n; honest refill pays the same puzzles.\n\n",
+      kBots, kDegree);
+
+  const double kBudget = 200'000.0;
+  const std::size_t kNoLimit = static_cast<std::size_t>(-1);
+
+  std::printf("--- proof-of-work sweep (no rate limit) ---\n");
+  report("pow=off", run(0.0, kNoLimit, kBudget, 0xB0));
+  report("pow=1", run(1.0, kNoLimit, kBudget, 0xB1));
+  report("pow=10", run(10.0, kNoLimit, kBudget, 0xB2));
+  report("pow=100", run(100.0, kNoLimit, kBudget, 0xB3));
+  report("pow=1000", run(1000.0, kNoLimit, kBudget, 0xB4));
+
+  std::printf("\n--- rate-limit sweep (no PoW, unlimited budget) ---\n");
+  const double kUnlimited = std::numeric_limits<double>::infinity();
+  report("rate=unlimited", run(0.0, kNoLimit, kUnlimited, 0xB5));
+  report("rate=4/round", run(0.0, 4, kUnlimited, 0xB6));
+  report("rate=2/round", run(0.0, 2, kUnlimited, 0xB7));
+  report("rate=1/round", run(0.0, 1, kUnlimited, 0xB8));
+
+  std::printf("\n--- combined ---\n");
+  report("pow=100 + rate=1/round", run(100.0, 1, kBudget, 0xB9));
+
+  std::printf(
+      "\nReading: PoW prices the Sybils out (containment drops as the\n"
+      "budget binds) but honest_work shows the network paying for its\n"
+      "own healing; rate limiting stretches the campaign without\n"
+      "stopping a patient adversary — the paper's open trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Detection-evasion matrix (paper Sections II and VI): every published
+// network-level detection technique the paper surveys, run against every
+// botnet architecture in the evolution story, over identical benign
+// background traffic. Rows are botnets, columns are detectors; cells are
+// TPR/FPR. The paper's argument is the bottom row: OnionBots zero out
+// every column except the one that also flags every legitimate Tor user.
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "detection/dga_detector.hpp"
+#include "detection/fastflux_detector.hpp"
+#include "detection/flow_detector.hpp"
+#include "detection/p2p_detector.hpp"
+#include "detection/tor_flagger.hpp"
+#include "detection/traffic.hpp"
+
+namespace {
+
+using namespace onion;
+using namespace onion::detection;
+
+struct Scenario {
+  const char* name;
+  std::function<TrafficTrace(const TrafficConfig&, Rng&)> generate;
+};
+
+struct Detector {
+  const char* name;
+  std::function<DetectionResult(const TrafficTrace&)> run;
+};
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== OnionBots reproduction: detection-evasion matrix (SS II, VI) "
+      "===\n"
+      "Each cell: true-positive rate / false-positive rate over the same\n"
+      "benign background (web browsing + legitimate Tor users).\n\n");
+
+  TrafficConfig cfg;
+  cfg.window = 24 * kHour;
+  cfg.bots = 40;
+  cfg.benign_web = 120;
+  cfg.benign_tor = 20;
+
+  const std::vector<Scenario> scenarios = {
+      {"centralized-http", centralized_http_traffic},
+      {"dga", dga_traffic},
+      {"fast-flux", fastflux_traffic},
+      {"p2p-plaintext", p2p_plain_traffic},
+      {"onionbot", onionbot_traffic},
+  };
+  const std::vector<Detector> detectors = {
+      {"dga-dns", [](const TrafficTrace& t) { return detect_dga(t); }},
+      {"fast-flux",
+       [](const TrafficTrace& t) { return detect_fastflux(t); }},
+      {"flow-beacon",
+       [](const TrafficTrace& t) { return detect_beacons(t); }},
+      {"p2p-mesh", [](const TrafficTrace& t) { return detect_p2p(t); }},
+      {"tor-flagger",
+       [](const TrafficTrace& t) { return detect_tor_users(t); }},
+  };
+
+  std::printf("%-18s", "botnet \\ detector");
+  for (const auto& d : detectors) std::printf(" %16s", d.name);
+  std::printf("\n");
+
+  for (std::size_t s = 0; s < scenarios.size(); ++s) {
+    Rng rng(0x0de7ec7 + s);
+    const TrafficTrace trace = scenarios[s].generate(cfg, rng);
+    std::printf("%-18s", scenarios[s].name);
+    for (const auto& d : detectors) {
+      const DetectionResult r = d.run(trace);
+      std::printf("      %4.2f/%4.2f ", r.true_positive_rate(trace),
+                  r.false_positive_rate(trace));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nExpected shape (paper SS II/VI): each legacy architecture is "
+      "caught by\nits dedicated detector (TPR near 1, FPR near 0); the "
+      "onionbot row is\nzero everywhere except tor-flagger, whose FPR "
+      "equals the benign Tor\nuser share - blocking OnionBots that way "
+      "blocks Tor itself.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 4 reproduction: average closeness centrality (4a/4b) and degree
+// centrality (4c/4d) of k-regular graphs, k in {5, 10, 15}, n = 5000,
+// under gradual node deletion with DDSR repair, with and without pruning
+// (paper Section V-B).
+//
+// Paper shape to match:
+//   4a/4b  closeness stays stable (does not decrease) as nodes die
+//   4c     degree centrality grows without pruning
+//   4d     degree centrality pinned near k/(n-1) with pruning
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/ddsr.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+
+namespace {
+
+using onion::Rng;
+using onion::core::DdsrEngine;
+using onion::core::DdsrPolicy;
+using onion::graph::Graph;
+
+constexpr std::size_t kNodes = 5000;
+constexpr std::size_t kDeletions = 1500;  // 30%
+constexpr std::size_t kCheckpoint = 100;
+constexpr std::size_t kClosenessSamples = 250;
+
+void run_series(std::size_t k, bool prune, std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g = onion::graph::random_regular(kNodes, k, rng);
+  DdsrPolicy policy;
+  policy.dmin = k;
+  policy.dmax = k;
+  policy.prune = prune;
+  policy.refill = true;
+  DdsrEngine engine(g, policy, rng);
+
+  std::printf(
+      "# series deg=%zu pruning=%s\n"
+      "deleted,closeness,degree_centrality,avg_degree\n",
+      k, prune ? "on" : "off");
+  Rng metric_rng(seed ^ 0x5a5a);
+  for (std::size_t deleted = 0; deleted <= kDeletions;
+       deleted += kCheckpoint) {
+    // Each closeness sample costs one BFS, O(E). Without pruning the
+    // graph densifies toward completeness (that is the Figure 4c
+    // result), so the sample count scales down with edge count to keep
+    // checkpoints tractable; closeness concentrates sharply in dense
+    // graphs, so fewer sources lose almost nothing.
+    const std::size_t samples = std::max<std::size_t>(
+        16, std::min(kClosenessSamples,
+                     kClosenessSamples * 500'000 /
+                         std::max<std::size_t>(g.num_edges(), 1)));
+    const double closeness =
+        onion::graph::average_closeness_sampled(g, samples, metric_rng);
+    const double degree_c = onion::graph::average_degree_centrality(g);
+    std::printf("%zu,%.6f,%.6f,%.3f\n", deleted, closeness, degree_c,
+                g.average_degree());
+    if (deleted == kDeletions) break;
+    for (std::size_t i = 0; i < kCheckpoint; ++i) {
+      const auto alive = g.alive_nodes();
+      engine.remove_node(
+          alive[static_cast<std::size_t>(rng.uniform(alive.size()))]);
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== OnionBots reproduction: Figure 4 ===\n"
+      "k-regular graph, n=%zu, up to %zu (30%%) gradual deletions with\n"
+      "DDSR repair; closeness sampled from %zu sources (fixed seed).\n\n",
+      kNodes, kDeletions, kClosenessSamples);
+
+  for (const bool prune : {false, true}) {
+    std::printf("--- Figure 4%s: closeness / 4%s: degree centrality "
+                "(pruning %s) ---\n",
+                prune ? "b" : "a", prune ? "d" : "c",
+                prune ? "on" : "off");
+    for (const std::size_t k : {std::size_t{5}, std::size_t{10},
+                                std::size_t{15}}) {
+      run_series(k, prune, 0x40 + k);
+    }
+  }
+
+  std::printf(
+      "Expected shape (paper): closeness stable under deletion in both\n"
+      "modes; degree centrality rises without pruning and stays pinned\n"
+      "near k/(n-1) with pruning.\n");
+  return 0;
+}

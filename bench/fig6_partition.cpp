@@ -1,0 +1,101 @@
+// Figure 6 reproduction: simultaneous-takedown partition threshold. For
+// 10-regular graphs of n = 1000..15000, delete random nodes *without*
+// repair (a simultaneous takedown leaves no time to heal) and record the
+// first deletion count at which the graph partitions. The paper reports
+// the threshold at roughly 40% of the nodes (fit line f(x) = 0.4x).
+#include <cstdio>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+
+namespace {
+
+using onion::Rng;
+using onion::graph::Graph;
+using onion::graph::NodeId;
+
+constexpr std::size_t kDegree = 10;
+constexpr int kTrials = 5;
+constexpr std::size_t kCheckEvery = 250;
+
+// First deletion count (1-based) at which removing order[0..count-1]
+// disconnects the survivors. Fast path: a surviving vertex losing its
+// last neighbor is the dominant first partition event and is detected
+// exactly; a periodic full connectivity check plus exact replay from a
+// pristine copy covers multi-node splits.
+std::size_t partition_point(const Graph& pristine,
+                            const std::vector<NodeId>& order) {
+  Graph g = pristine;
+  std::size_t last_verified = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const NodeId victim = order[i];
+    bool strands = false;
+    for (const NodeId nb : g.neighbors(victim)) {
+      if (g.degree(nb) == 1 && g.num_alive() > 2) {
+        strands = true;
+        break;
+      }
+    }
+    g.remove_node(victim);
+    const std::size_t removed = i + 1;
+    if (strands && g.num_alive() >= 2) return removed;
+
+    if (removed - last_verified >= kCheckEvery && g.num_alive() >= 2) {
+      if (onion::graph::is_connected(g)) {
+        last_verified = removed;
+      } else {
+        // Exact replay between the last verified point and here.
+        Graph replay = pristine;
+        for (std::size_t j = 0; j < last_verified; ++j)
+          replay.remove_node(order[j]);
+        for (std::size_t j = last_verified; j < removed; ++j) {
+          replay.remove_node(order[j]);
+          if (replay.num_alive() >= 2 &&
+              !onion::graph::is_connected(replay))
+            return j + 1;
+        }
+        return removed;
+      }
+    }
+  }
+  return order.size();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== OnionBots reproduction: Figure 6 ===\n"
+      "Simultaneous takedown (no self-repair): random deletions in a\n"
+      "10-regular graph until the first partition; %d trials per size.\n\n"
+      "n,mean_deleted,min,max,mean_fraction\n",
+      kTrials);
+
+  double sum_xy = 0.0, sum_xx = 0.0;
+  for (std::size_t n = 1000; n <= 15000; n += 1000) {
+    std::size_t total = 0, lo = n, hi = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Rng rng(0x600 + n * 31 + static_cast<std::size_t>(trial));
+      const Graph pristine = onion::graph::random_regular(n, kDegree, rng);
+      std::vector<NodeId> order = pristine.alive_nodes();
+      rng.shuffle(order);
+      const std::size_t point = partition_point(pristine, order);
+      total += point;
+      lo = std::min(lo, point);
+      hi = std::max(hi, point);
+    }
+    const double mean = static_cast<double>(total) / kTrials;
+    std::printf("%zu,%.1f,%zu,%zu,%.3f\n", n, mean, lo, hi,
+                mean / static_cast<double>(n));
+    sum_xy += static_cast<double>(n) * mean;
+    sum_xx += static_cast<double>(n) * static_cast<double>(n);
+  }
+
+  std::printf(
+      "\nleast-squares slope through origin: f(x) = %.3f * x\n"
+      "Expected (paper): about 0.4x — partition after ~40%% of nodes\n"
+      "are removed simultaneously.\n",
+      sum_xy / sum_xx);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 7 reproduction: the SOAP (Sybil Onion Attack Protocol)
+// containment timeline. Starting from one captured bot, clones with tiny
+// declared degrees peer with every discovered bot, evicting its benign
+// neighbors until the whole botnet is ringed by clones and partitioned
+// (paper Section VI-B).
+#include <cstdio>
+
+#include "core/overlay.hpp"
+#include "mitigation/soap.hpp"
+
+namespace {
+
+using onion::Rng;
+using onion::core::OverlayConfig;
+using onion::core::OverlayNetwork;
+using onion::mitigation::SoapCampaign;
+using onion::mitigation::SoapConfig;
+
+void run_campaign(std::size_t n, std::size_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  OverlayConfig overlay;
+  overlay.dmin = k;
+  overlay.dmax = k;
+  OverlayNetwork net = OverlayNetwork::random_regular(n, k, overlay, rng);
+  SoapConfig cfg;
+  cfg.requests_per_target_per_round = 1;
+  SoapCampaign campaign(net, cfg, rng);
+  campaign.capture(0);
+
+  std::printf("# campaign n=%zu k=%zu\n", n, k);
+  std::printf(
+      "round,discovered,contained,clones,honest_edges,"
+      "honest_components\n");
+  const auto timeline = campaign.run();
+  for (const auto& s : timeline) {
+    std::printf("%zu,%zu,%zu,%zu,%zu,%zu\n", s.round, s.discovered,
+                s.contained, s.clones, s.honest_edges,
+                s.honest_components);
+  }
+  std::printf(
+      "result: fully_contained=%s rounds=%zu clones=%zu "
+      "clones_per_bot=%.1f\n\n",
+      campaign.fully_contained() ? "yes" : "no", campaign.rounds_run(),
+      campaign.clones_created(),
+      static_cast<double>(campaign.clones_created()) /
+          static_cast<double>(n));
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== OnionBots reproduction: Figure 7 (SOAP) ===\n"
+      "Sybil containment campaign from a single captured bot. Clones\n"
+      "declare degree 1-3, undercut honest peers (true degree = k), and\n"
+      "the DDSR acceptance rule evicts the benign neighbors one by one.\n\n");
+
+  run_campaign(/*n=*/500, /*k=*/10, 0x70);
+  run_campaign(/*n=*/1000, /*k=*/10, 0x71);
+  run_campaign(/*n=*/500, /*k=*/15, 0x72);
+
+  std::printf(
+      "Expected shape (paper): discovery spreads through harvested\n"
+      "neighbor lists; containment sweeps the botnet; at the end no\n"
+      "honest-honest edges remain — the network is partitioned into\n"
+      "clone-ringed singletons (Figure 7 step 9).\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 7, full-stack edition: the SOAP walkthrough executed against a
+// live botnet of message-passing bots over the simulated Tor network —
+// clone hidden services, real peering wires, real evictions — head to
+// head for the basic OnionBot and the §VII-A probing-defended variant.
+// (bench/fig7_soap runs the paper's graph-level model; this binary
+// confirms the same dynamics survive contact with the full protocol
+// stack, latencies, rotation, and maintenance included.)
+#include <cstdio>
+
+#include "graph/metrics.hpp"
+#include "mitigation/live_soap.hpp"
+
+namespace {
+
+using namespace onion;
+
+core::Botnet::Params params(bool probing) {
+  core::Botnet::Params p;
+  p.num_bots = 20;
+  p.initial_degree = 4;
+  p.seed = 0xf177;
+  p.tor.num_relays = 24;
+  p.bot.dmin = 3;
+  p.bot.dmax = 5;
+  p.bot.heartbeat_interval = 60 * kSecond;
+  p.bot.non_share_interval = 3 * kMinute;
+  p.bot.probe_peers = probing;
+  return p;
+}
+
+void run_series(bool probing) {
+  core::Botnet net(params(probing));
+  mitigation::LiveSoapCampaign campaign(net, {});
+  campaign.capture(0);
+
+  std::printf("# series defense=%s\n", probing ? "probing" : "none");
+  std::printf(
+      "round,discovered,clones,acceptances,contained,honest_edges\n");
+  for (int round = 0; round <= 24; ++round) {
+    const graph::Graph overlay = net.overlay_snapshot();
+    std::printf("%d,%zu,%zu,%zu,%zu,%zu\n", round,
+                campaign.discovered().size(), campaign.clones_created(),
+                campaign.acceptances(), campaign.contained_count(),
+                overlay.num_edges());
+    campaign.step();
+    net.run_for(4 * kMinute);
+  }
+
+  // Post-campaign broadcast reach.
+  core::Command cmd;
+  cmd.type = core::CommandType::Ddos;
+  net.master().broadcast(cmd, 2);
+  net.run_for(15 * kMinute);
+  std::printf("broadcast reach after campaign: %zu/%zu\n\n",
+              net.count_executed(core::CommandType::Ddos), net.num_bots());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== OnionBots reproduction: Figure 7 on the full stack ===\n"
+      "Clone hidden services soaping a live 20-bot OnionBot network over\n"
+      "simulated Tor; one round = one clone wave + 4 virtual minutes.\n\n");
+  run_series(/*probing=*/false);
+  run_series(/*probing=*/true);
+  std::printf(
+      "Expected shape (paper SS VI-B, VII-A): without defense, contained\n"
+      "count climbs to (nearly) the whole botnet and broadcast reach\n"
+      "collapses; with the probing defense the same campaign stalls and\n"
+      "the botnet keeps executing commands.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 8 / Section VII reproduction: SuperOnionBots vs SOAP. The same
+// Sybil campaign that neutralizes a basic OnionBot overlay is run
+// against a SuperOnion construction (m virtual nodes per host, probe +
+// resurrect loop). Reported: hosts alive over attack rounds, soaped
+// vnodes detected, resurrections, and gossip overhead.
+#include <cstdio>
+
+#include "mitigation/soap.hpp"
+#include "superonion/super_network.hpp"
+
+namespace {
+
+using onion::Rng;
+using onion::mitigation::SoapCampaign;
+using onion::mitigation::SoapConfig;
+using onion::super::SuperConfig;
+using onion::super::SuperOnionNetwork;
+
+void run(std::size_t hosts, std::size_t m, std::size_t i,
+         std::uint64_t seed, int rounds) {
+  Rng rng(seed);
+  SuperConfig cfg;
+  cfg.hosts = hosts;
+  cfg.vnodes_per_host = m;
+  cfg.peers_per_vnode = i;
+  SuperOnionNetwork net(cfg, rng);
+
+  SoapConfig soap;
+  soap.requests_per_target_per_round = 2;
+  SoapCampaign campaign(net.overlay(), soap, rng);
+  campaign.capture(net.vnodes_of(0)[0]);
+
+  std::printf("# construction n=%zu m=%zu i=%zu\n", hosts, m, i);
+  std::printf(
+      "round,hosts_alive,soaped_detected,resurrected,clones,"
+      "gossip_messages\n");
+  std::size_t total_resurrected = 0;
+  for (int round = 0; round <= rounds; ++round) {
+    if (round > 0) {
+      campaign.step();
+      const auto report = net.probe_and_recover();
+      total_resurrected += report.resurrected;
+      std::printf("%d,%zu,%zu,%zu,%zu,%zu\n", round, report.hosts_alive,
+                  report.soaped_detected, report.resurrected,
+                  campaign.clones_created(), report.gossip_messages);
+    } else {
+      std::printf("%d,%zu,0,0,0,0\n", round, net.hosts_alive());
+    }
+  }
+  std::printf("result: hosts_alive=%zu/%zu resurrections=%zu "
+              "vnodes_created=%zu\n\n",
+              net.hosts_alive(), hosts, total_resurrected,
+              net.vnodes_created());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== OnionBots reproduction: Figure 8 / Section VII "
+      "(SuperOnionBots) ===\n"
+      "SOAP campaign vs the SuperOnion construction: hosts run m virtual\n"
+      "nodes, flood connectivity probes (gossip over honest edges only —\n"
+      "authorities cannot relay botnet traffic), abandon soaped vnodes,\n"
+      "and bootstrap replacements through surviving ones.\n\n");
+
+  // The paper's illustrative construction, scaled up, plus the m=1
+  // degenerate case (equivalent to a basic OnionBot: no sibling probes,
+  // no recovery).
+  run(/*hosts=*/30, /*m=*/1, /*i=*/3, 0x80, /*rounds=*/40);
+  run(/*hosts=*/30, /*m=*/3, /*i=*/2, 0x81, /*rounds=*/40);
+  run(/*hosts=*/30, /*m=*/3, /*i=*/3, 0x82, /*rounds=*/40);
+  run(/*hosts=*/30, /*m=*/5, /*i=*/3, 0x83, /*rounds=*/40);
+
+  std::printf(
+      "Expected shape (paper): with m=1 hosts fall to SOAP like basic\n"
+      "OnionBots; with m>=3 the probe/resurrect loop keeps essentially\n"
+      "all hosts alive — a host is lost only if all m virtual nodes are\n"
+      "soaped within one probe interval. Gossip cost is the price.\n");
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Micro-benchmarks for the cryptographic substrate: hash/MAC/cipher
+// throughput, simulation-RSA operations, the rotation KDF, and the
+// uniform-cell codec. These set the cost model behind the simulator's
+// protocol operations.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "crypto/elligator_sim.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/kdf.hpp"
+#include "crypto/legacy_ciphers.hpp"
+#include "crypto/rc4.hpp"
+#include "crypto/sha1.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/simrsa.hpp"
+
+namespace {
+
+using namespace onion;
+using namespace onion::crypto;
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+void BM_Sha1(benchmark::State& state) {
+  const Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) benchmark::DoNotOptimize(Sha1::hash(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) benchmark::DoNotOptimize(Sha256::hash(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key = random_bytes(32, 3);
+  const Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) benchmark::DoNotOptimize(hmac_sha256(key, data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(512);
+
+void BM_Rc4(benchmark::State& state) {
+  const Bytes key = random_bytes(16, 5);
+  const Bytes data = random_bytes(static_cast<std::size_t>(state.range(0)), 6);
+  for (auto _ : state) {
+    Rc4 cipher(key);
+    benchmark::DoNotOptimize(cipher.process(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Rc4)->Arg(512)->Arg(4096);
+
+void BM_ChainedXor(benchmark::State& state) {
+  const Bytes data = random_bytes(512, 7);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(chained_xor_encrypt(data, 0x5a));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          512);
+}
+BENCHMARK(BM_ChainedXor);
+
+void BM_RsaKeygen(benchmark::State& state) {
+  Rng rng(8);
+  for (auto _ : state) benchmark::DoNotOptimize(rsa_generate(rng, 1024));
+}
+BENCHMARK(BM_RsaKeygen);
+
+void BM_RsaSign(benchmark::State& state) {
+  Rng rng(9);
+  const RsaKeyPair key = rsa_generate(rng, 2048);
+  const Bytes msg = random_bytes(128, 10);
+  for (auto _ : state) benchmark::DoNotOptimize(rsa_sign(key, msg));
+}
+BENCHMARK(BM_RsaSign);
+
+void BM_RsaVerify(benchmark::State& state) {
+  Rng rng(11);
+  const RsaKeyPair key = rsa_generate(rng, 2048);
+  const Bytes msg = random_bytes(128, 12);
+  const RsaSignature sig = rsa_sign(key, msg);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(rsa_verify(key.pub, msg, sig));
+}
+BENCHMARK(BM_RsaVerify);
+
+void BM_RotatedServiceKey(benchmark::State& state) {
+  // One address rotation = one deterministic keygen; this is the per-bot
+  // per-period cost of the paper's rotation scheme.
+  Rng rng(13);
+  const RsaKeyPair master = rsa_generate(rng, 2048);
+  const Bytes kb = random_bytes(32, 14);
+  std::uint64_t period = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(rotated_service_key(master.pub, kb, ++period));
+}
+BENCHMARK(BM_RotatedServiceKey);
+
+void BM_UniformEncode(benchmark::State& state) {
+  Rng rng(15);
+  const Bytes key = random_bytes(32, 16);
+  const Bytes msg = random_bytes(200, 17);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(uniform_encode(key, msg, rng));
+}
+BENCHMARK(BM_UniformEncode);
+
+void BM_UniformDecode(benchmark::State& state) {
+  Rng rng(18);
+  const Bytes key = random_bytes(32, 19);
+  const Bytes cell = uniform_encode(key, random_bytes(200, 20), rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(uniform_decode(key, cell));
+}
+BENCHMARK(BM_UniformDecode);
+
+}  // namespace

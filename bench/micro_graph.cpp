@@ -1,0 +1,96 @@
+// Micro-benchmarks for the graph substrate: generation, the DDSR repair
+// operation itself, and the metric estimators used by the figure
+// harnesses (sampled closeness, double-sweep diameter, components).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/ddsr.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+
+namespace {
+
+using onion::Rng;
+using onion::core::DdsrEngine;
+using onion::core::DdsrPolicy;
+using onion::graph::Graph;
+
+void BM_RandomRegular(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(onion::graph::random_regular(n, 10, rng));
+}
+BENCHMARK(BM_RandomRegular)->Arg(1000)->Arg(5000)->Arg(15000);
+
+void BM_DdsrRemoveNode(benchmark::State& state) {
+  // Cost of one deletion + repair + prune + refill at k=10.
+  Rng rng(2);
+  DdsrPolicy policy;
+  policy.dmin = 10;
+  policy.dmax = 10;
+  auto g = std::make_unique<Graph>(onion::graph::random_regular(5000, 10, rng));
+  auto engine = std::make_unique<DdsrEngine>(*g, policy, rng);
+  auto alive = g->alive_nodes();
+  std::size_t cursor = 0;
+  Rng order(3);
+  order.shuffle(alive);
+  for (auto _ : state) {
+    if (cursor >= alive.size() - 100) {  // keep the graph big enough
+      state.PauseTiming();
+      g = std::make_unique<Graph>(
+          onion::graph::random_regular(5000, 10, rng));
+      engine = std::make_unique<DdsrEngine>(*g, policy, rng);
+      alive = g->alive_nodes();
+      order.shuffle(alive);
+      cursor = 0;
+      state.ResumeTiming();
+    }
+    engine->remove_node(alive[cursor++]);
+  }
+}
+BENCHMARK(BM_DdsrRemoveNode);
+
+void BM_ClosenessSampled(benchmark::State& state) {
+  Rng rng(4);
+  const Graph g = onion::graph::random_regular(
+      static_cast<std::size_t>(state.range(0)), 10, rng);
+  Rng mrng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        onion::graph::average_closeness_sampled(g, 250, mrng));
+  }
+}
+BENCHMARK(BM_ClosenessSampled)->Arg(5000)->Arg(15000);
+
+void BM_DiameterDoubleSweep(benchmark::State& state) {
+  Rng rng(6);
+  const Graph g = onion::graph::random_regular(
+      static_cast<std::size_t>(state.range(0)), 10, rng);
+  Rng mrng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        onion::graph::diameter_double_sweep(g, 4, mrng));
+  }
+}
+BENCHMARK(BM_DiameterDoubleSweep)->Arg(5000)->Arg(15000);
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  Rng rng(8);
+  const Graph g = onion::graph::random_regular(
+      static_cast<std::size_t>(state.range(0)), 10, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(onion::graph::connected_components(g));
+}
+BENCHMARK(BM_ConnectedComponents)->Arg(5000)->Arg(15000);
+
+void BM_BfsDistances(benchmark::State& state) {
+  Rng rng(9);
+  const Graph g = onion::graph::random_regular(5000, 10, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(onion::graph::bfs_distances(g, 0));
+}
+BENCHMARK(BM_BfsDistances);
+
+}  // namespace

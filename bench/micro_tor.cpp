@@ -1,0 +1,91 @@
+// Micro-benchmarks for the Tor substrate: descriptor math, cell
+// layering, and full rendezvous connections over the discrete-event
+// simulator (wall-clock cost of simulating one hidden-service contact;
+// the virtual latency lives in the simulator clock).
+#include <benchmark/benchmark.h>
+
+#include "sim/simulator.hpp"
+#include "tor/cell.hpp"
+#include "tor/descriptor.hpp"
+#include "tor/tor_network.hpp"
+
+namespace {
+
+using namespace onion;
+using namespace onion::tor;
+
+crypto::RsaKeyPair key_of(std::uint64_t seed) {
+  Rng rng(seed);
+  return crypto::rsa_generate(rng, 1024);
+}
+
+void BM_DescriptorId(benchmark::State& state) {
+  const OnionAddress addr = OnionAddress::from_public_key(key_of(1).pub);
+  std::uint64_t period = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(descriptor_id(addr, ++period, {}, 0));
+}
+BENCHMARK(BM_DescriptorId);
+
+void BM_CellLayering(benchmark::State& state) {
+  const std::vector<Bytes> keys = {Bytes(32, 1), Bytes(32, 2),
+                                   Bytes(32, 3)};
+  const Cell cell = make_cell(to_bytes("cell payload"));
+  std::uint64_t seq = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(onion_wrap(keys, ++seq, cell));
+}
+BENCHMARK(BM_CellLayering);
+
+void BM_PublishService(benchmark::State& state) {
+  sim::Simulator sim;
+  TorNetwork tor(sim, TorConfig{.num_relays = 40}, 0x123);
+  const EndpointId host = tor.create_endpoint();
+  std::uint64_t seed = 100;
+  for (auto _ : state) {
+    const auto key = key_of(seed++);
+    benchmark::DoNotOptimize(tor.publish_service(
+        host, key, [](BytesView, const OnionAddress&) -> Bytes {
+          return {};
+        }));
+  }
+}
+BENCHMARK(BM_PublishService);
+
+void BM_FullRendezvousConnect(benchmark::State& state) {
+  // Wall-clock cost of simulating one complete hidden-service contact
+  // (descriptor fetch, rendezvous, intro, join, payload, reply).
+  sim::Simulator sim;
+  TorNetwork tor(sim, TorConfig{.num_relays = 40}, 0x456);
+  const EndpointId host = tor.create_endpoint();
+  const EndpointId client = tor.create_endpoint();
+  const OnionAddress addr = tor.publish_service(
+      host, key_of(7),
+      [](BytesView, const OnionAddress&) -> Bytes { return to_bytes("ok"); });
+  for (auto _ : state) {
+    bool ok = false;
+    tor.connect_and_send(client, addr, to_bytes("ping"),
+                         [&](const ConnectResult& r) { ok = r.ok; });
+    sim.run();
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_FullRendezvousConnect);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    int counter = 0;
+    for (int i = 0; i < 10000; ++i)
+      sim.schedule_at(static_cast<SimTime>(i), [&counter] { ++counter; });
+    state.ResumeTiming();
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+}  // namespace

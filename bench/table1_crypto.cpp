@@ -1,0 +1,104 @@
+// Table I reproduction: "Cryptographic use in different botnets" —
+// demonstrated in running code. For each legacy family the harness
+// decrypts a command, replays a captured wire, and attempts a forgery;
+// the OnionBot row shows the contrast (authenticated commands, replay
+// rejected).
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "baselines/legacy.hpp"
+#include "core/messages.hpp"
+#include "crypto/elligator_sim.hpp"
+
+namespace {
+
+using onion::Rng;
+using namespace onion::baselines;
+
+void demo_family(LegacyFamily family, Rng& rng) {
+  const LegacyProfile& prof = profile(family);
+  const LegacyController controller(family, rng);
+  LegacyBot bot(controller);
+
+  const LegacyWire wire = controller.make_command("ddos target.example");
+  const bool decoded = bot.accept(wire).has_value();
+  const bool replayed = bot.accept(wire).has_value();
+  const bool forged =
+      bot.accept(forge_command(controller, "forged command")).has_value();
+
+  std::printf("%-14s | %-12s | %-9s | %-6s | replay=%s forge=%s\n",
+              prof.name, prof.crypto, prof.signing,
+              prof.replayable ? "yes" : "no", replayed ? "OK" : "NO",
+              forged ? "OK" : "NO");
+  if (!decoded) std::printf("  !! decode failed unexpectedly\n");
+}
+
+void demo_onionbot(Rng& rng) {
+  using namespace onion::core;
+  // OnionBot command plane: RSA-2048(sim)-signed commands inside
+  // uniform-looking envelopes; bots keep a nonce cache.
+  const onion::crypto::RsaKeyPair master =
+      onion::crypto::rsa_generate(rng, 2048);
+  onion::Bytes group_key(32, 0x11);
+
+  Command cmd;
+  cmd.type = CommandType::Ddos;
+  cmd.argument = "target.example";
+  cmd.issued_at = 1000;
+  cmd.nonce = rng.next_u64();
+  const SignedCommand sc = sign_command(master, cmd);
+  const onion::Bytes envelope =
+      onion::crypto::uniform_encode(group_key, sc.serialize(), rng);
+
+  // A "bot": verify + nonce cache.
+  std::set<std::uint64_t> nonces;
+  const auto accept = [&](const onion::Bytes& env) {
+    const auto opened = onion::crypto::uniform_decode(group_key, env);
+    if (!opened) return false;
+    const SignedCommand parsed = SignedCommand::parse(*opened);
+    if (!parsed.verify(master.pub, 2000, onion::kHour)) return false;
+    return nonces.insert(parsed.command.nonce).second;
+  };
+
+  const bool first = accept(envelope);
+  const bool replayed = accept(envelope);
+  // Forgery: signed by a non-master key.
+  Rng forger(999);
+  const onion::crypto::RsaKeyPair impostor =
+      onion::crypto::rsa_generate(forger, 2048);
+  Command evil = cmd;
+  evil.nonce = forger.next_u64();
+  const SignedCommand forged_cmd = sign_command(impostor, evil);
+  const bool forged = accept(
+      onion::crypto::uniform_encode(group_key, forged_cmd.serialize(),
+                                    forger));
+
+  std::printf("%-14s | %-12s | %-9s | %-6s | replay=%s forge=%s\n",
+              "OnionBot", "Tor+uniform", "RSA 2048", "no",
+              replayed ? "OK" : "NO", forged ? "OK" : "NO");
+  if (!first) std::printf("  !! first delivery failed unexpectedly\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== OnionBots reproduction: Table I ===\n"
+      "Cryptographic use in different botnets, demonstrated live:\n"
+      "each row runs the family's real scheme; 'replay' replays a\n"
+      "captured wire, 'forge' submits a defender-forged command.\n\n");
+  std::printf("%-14s | %-12s | %-9s | %-6s | live demo\n", "Botnet",
+              "Crypto", "Signing", "Replay");
+  std::printf(
+      "---------------+--------------+-----------+--------+--------------"
+      "------\n");
+  Rng rng(0x7ab1e);
+  for (const LegacyFamily family : all_legacy_families())
+    demo_family(family, rng);
+  demo_onionbot(rng);
+  std::printf(
+      "\nExpected (paper Table I): all four legacy families replayable;\n"
+      "Miner and Storm forgeable (no signing). OnionBot: neither.\n");
+  return 0;
+}

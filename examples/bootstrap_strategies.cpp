@@ -1,0 +1,84 @@
+// Example: the paper's §IV-B bootstrap menu, exercised through the
+// public API. A fresh infection must find the botnet; this walks the
+// hardcoded-subset handout, a hotlist directory (including a server
+// seizure mid-way), the public out-of-band store, and prints why random
+// probing of the .onion space is not on the menu.
+//
+// Run: build/examples/bootstrap_strategies
+#include <cstdio>
+
+#include "core/bootstrap.hpp"
+#include "core/botnet.hpp"
+#include "tor/address_cost.hpp"
+
+using namespace onion;
+using namespace onion::core;
+
+int main() {
+  Botnet::Params params;
+  params.num_bots = 20;
+  params.initial_degree = 4;
+  params.seed = 0xb0075;
+  params.tor.num_relays = 20;
+  params.bot.dmin = 3;
+  Botnet net(params);
+
+  std::printf("=== OnionBots example: bootstrap strategies (SS IV-B) ===\n\n");
+
+  // --- 1. hardcoded subset -------------------------------------------
+  Rng rng(1);
+  LeadList infector_peers;
+  for (const auto& [addr, info] : net.bot(0).peers())
+    infector_peers.push_back(addr);
+  const LeadList handout = hardcoded_subset(infector_peers, 0.5, rng);
+  std::printf("[hardcoded] infector shares %zu of its %zu peers (p=0.5)\n",
+              handout.size(), infector_peers.size());
+  Bot& recruit1 = net.infect_new_bot();
+  recruit1.rally(handout);
+  net.run_for(10 * kMinute);
+  std::printf("[hardcoded] recruit rallied to degree %zu (dmin=%zu)\n\n",
+              recruit1.degree(), params.bot.dmin);
+
+  // --- 2. hotlist -------------------------------------------------------
+  HotlistDirectory dir({.servers = 4, .window = 32, .servers_per_bot = 2},
+                       rng);
+  for (std::size_t i = 0; i < net.num_bots(); ++i)
+    dir.announce(net.bot(i).address(), dir.assign_subset());
+  const auto subset = dir.assign_subset();
+  std::printf("[hotlist] new bot holds servers {%zu, %zu}; query returns "
+              "%zu leads\n",
+              subset[0], subset[1], dir.query(subset).size());
+  const LeadList seized = dir.seize(subset[0]);
+  std::printf("[hotlist] authorities seize server %zu: harvest %zu "
+              "addresses, bots still get %zu leads from the rest\n",
+              subset[0], seized.size(), dir.query(subset).size());
+  Bot& recruit2 = net.infect_new_bot();
+  recruit2.rally(dir.query(subset));
+  net.run_for(10 * kMinute);
+  std::printf("[hotlist] recruit rallied to degree %zu despite the "
+              "seizure\n\n",
+              recruit2.degree());
+
+  // --- 4. out-of-band store ---------------------------------------------
+  OutOfBandStore store;
+  for (std::size_t i = 0; i < net.num_bots(); ++i)
+    store.announce(/*period key=*/42, net.bot(i).address());
+  std::vector<tor::OnionAddress> population;
+  for (std::size_t i = 0; i < net.num_bots(); ++i)
+    population.push_back(net.bot(i).address());
+  std::printf("[out-of-band] store serves %zu leads to anyone — exposure "
+              "to a crawler: %.0f%%\n\n",
+              store.lookup(42).size(),
+              100.0 * exposure_fraction(store.lookup(42), population));
+
+  // --- 3. random probing: the non-option ---------------------------------
+  std::printf(
+      "[random probing] expected probes to find one of 1e6 bots: 2^80/1e6"
+      " = %.2e\n"
+      "[random probing] at 1e6 probes/s that is %.0f years; a vanity\n"
+      "8-char prefix alone costs %.0f days (Shallot calibration)\n",
+      tor::expected_probes_to_find_bot(1e6),
+      tor::expected_years_to_find_bot(1e6, 1e6),
+      tor::vanity_prefix_days(8));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Botnet-for-rent walkthrough (paper §IV-E): Mallory (the botmaster)
+// issues Trudy (the renter) a signed token — public key, expiry,
+// command whitelist. Trudy drives the botnet herself within the
+// contract, and the bots enforce every term cryptographically with no
+// further involvement from Mallory.
+//
+//   $ ./botnet_for_rent
+#include <cstdio>
+
+#include "core/botnet.hpp"
+
+using namespace onion;
+using namespace onion::core;
+
+int main() {
+  Botnet::Params params;
+  params.num_bots = 16;
+  params.initial_degree = 4;
+  params.tor.num_relays = 20;
+  params.seed = 99;
+  Botnet net(params);
+  std::printf("botnet of %zu bots is up\n", net.num_bots());
+
+  // Trudy generates her own key pair and pays Mallory (out of band —
+  // the paper suggests bitcoin over a marketplace).
+  Rng rng(7);
+  const crypto::RsaKeyPair trudy = crypto::rsa_generate(rng, 2048);
+
+  // Mallory signs the rental contract: spam and compute only, 2 hours.
+  const RentalToken token = net.master().rent(
+      trudy.pub, net.simulator().now() + 2 * kHour,
+      {CommandType::Spam, CommandType::Compute});
+  std::printf("token issued: expires at %llu min, whitelist = spam, "
+              "compute\n",
+              static_cast<unsigned long long>(token.expires_at / kMinute));
+
+  // Trudy issues a whitelisted command: every bot verifies the chain
+  // (master signed the token, the token admits the type, Trudy signed
+  // the command) and executes.
+  Command spam;
+  spam.type = CommandType::Spam;
+  spam.argument = "campaign-1";
+  net.master().broadcast_rented(trudy, token, spam, 3);
+  net.run_for(15 * kMinute);
+  std::printf("spam (whitelisted):   executed by %zu/%zu bots\n",
+              net.count_executed(CommandType::Spam), net.num_bots());
+
+  // A DDoS is outside the whitelist: every bot refuses.
+  Command ddos;
+  ddos.type = CommandType::Ddos;
+  ddos.argument = "victim.example";
+  net.master().broadcast_rented(trudy, token, ddos, 3);
+  net.run_for(15 * kMinute);
+  std::printf("ddos (not whitelisted): executed by %zu bots\n",
+              net.count_executed(CommandType::Ddos));
+
+  // After the contract term, even whitelisted commands die.
+  net.run_for(2 * kHour);
+  Command late;
+  late.type = CommandType::Compute;
+  net.master().broadcast_rented(trudy, token, late, 3);
+  net.run_for(15 * kMinute);
+  std::printf("compute (after expiry): executed by %zu bots\n",
+              net.count_executed(CommandType::Compute));
+
+  std::printf(
+      "\nthe rental contract is enforced by the bots themselves — no\n"
+      "further involvement from the botmaster (paper Section IV-E).\n");
+  return 0;
+}

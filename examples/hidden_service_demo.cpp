@@ -1,0 +1,74 @@
+// Figure 1 walkthrough: the life of a Tor hidden service in the
+// simulator — key generation, .onion naming, descriptor publication to
+// the HSDir ring (Figure 2), and a client's 7-step rendezvous, narrated.
+//
+//   $ ./hidden_service_demo
+#include <cstdio>
+
+#include "common/bytes.hpp"
+#include "crypto/simrsa.hpp"
+#include "sim/simulator.hpp"
+#include "tor/descriptor.hpp"
+#include "tor/tor_network.hpp"
+
+using namespace onion;
+using namespace onion::tor;
+
+int main() {
+  sim::Simulator sim;
+  TorNetwork tor(sim, TorConfig{.num_relays = 30}, /*seed=*/7);
+  std::printf("Tor network: %zu relays, %zu HSDirs in the consensus\n",
+              tor.num_relays(), tor.consensus().hsdirs().size());
+
+  // Bob generates a service identity; the .onion hostname is the base32
+  // of the first 80 bits of SHA-1(public key).
+  Rng rng(1);
+  const crypto::RsaKeyPair bob_key = crypto::rsa_generate(rng, 1024);
+  const EndpointId bob = tor.create_endpoint();
+  const OnionAddress addr = tor.publish_service(
+      bob, bob_key, [](BytesView request, const OnionAddress&) -> Bytes {
+        std::printf("  [bob] request arrived: \"%s\"\n",
+                    to_string(request).c_str());
+        return to_bytes("hello from the hidden service");
+      });
+  std::printf("\nstep 1-2: Bob picked intro points and published "
+              "descriptors for\n  %s\n",
+              addr.hostname().c_str());
+
+  // Where did the descriptors go? The HSDir ring positions follow the
+  // descriptor IDs (Figure 2).
+  const auto responsible = tor.responsible_hsdirs_now(addr);
+  const auto ids = descriptor_ids_at(addr, sim.now());
+  for (std::size_t replica = 0; replica < responsible.size(); ++replica) {
+    std::printf("  replica %zu: descriptor-id %s... -> HSDirs ", replica,
+                to_hex(BytesView(ids[replica].data(), 4)).c_str());
+    for (const RelayId r : responsible[replica]) std::printf("%u ", r);
+    std::printf("\n");
+  }
+
+  // Alice connects: fetch descriptor (step 3), set up a rendezvous
+  // point (step 4), introduce (steps 5-6), join (step 7), then talk.
+  const EndpointId alice = tor.create_endpoint();
+  std::printf("\nsteps 3-7: Alice connects to %s\n",
+              addr.hostname().c_str());
+  ConnectResult outcome;
+  tor.connect_and_send(alice, addr, to_bytes("GET /index"),
+                       [&](const ConnectResult& r) { outcome = r; });
+  sim.run();
+
+  std::printf("  [alice] reply: \"%s\" (virtual time %.1f s)\n",
+              to_string(outcome.reply).c_str(),
+              static_cast<double>(outcome.completed_at) / kSecond);
+
+  const TorStats& stats = tor.stats();
+  std::printf(
+      "\naccounting: %llu circuits built, %llu cells forwarded, "
+      "%llu descriptor fetches\n",
+      static_cast<unsigned long long>(stats.circuits_built),
+      static_cast<unsigned long long>(stats.cells_forwarded),
+      static_cast<unsigned long long>(stats.descriptor_fetch_attempts));
+  std::printf("mean relayed-cell entropy: %.2f bits/byte — the relays "
+              "saw only noise\n",
+              tor.mean_relayed_cell_entropy());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Example: the §VI-B / §VII-A arms race on the full stack. The same
+// clone campaign runs twice — against a basic OnionBot network (falls)
+// and against one with the keyed probing defense (holds). Narrated
+// round by round.
+//
+// Run: build/examples/probing_defense
+#include <cstdio>
+
+#include "graph/metrics.hpp"
+#include "mitigation/live_soap.hpp"
+
+using namespace onion;
+
+namespace {
+
+core::Botnet::Params make_params(bool probing) {
+  core::Botnet::Params p;
+  p.num_bots = 16;
+  p.initial_degree = 4;
+  p.seed = 0xa8e5;
+  p.tor.num_relays = 20;
+  p.bot.dmin = 3;
+  p.bot.dmax = 5;
+  p.bot.probe_peers = probing;
+  return p;
+}
+
+void duel(bool probing) {
+  std::printf("--- botnet with probing defense %s ---\n",
+              probing ? "ON (SS VII-A)" : "OFF (basic OnionBot)");
+  core::Botnet net(make_params(probing));
+  mitigation::LiveSoapCampaign campaign(net, {});
+  campaign.capture(3);
+  std::printf("defender captures bot 3: learns %zu addresses\n",
+              campaign.discovered().size());
+
+  for (int round = 1; round <= 20; ++round) {
+    campaign.step();
+    net.run_for(4 * kMinute);
+    if (round % 5 == 0) {
+      std::printf(
+          "round %2d: %2zu/%zu bots contained, %3zu clones running, "
+          "%2zu honest links left\n",
+          round, campaign.contained_count(), net.num_bots(),
+          campaign.clones_created(), net.overlay_snapshot().num_edges());
+    }
+  }
+
+  core::Command cmd;
+  cmd.type = core::CommandType::Ddos;
+  cmd.argument = "victim.example";
+  net.master().broadcast(cmd, 2);
+  net.run_for(15 * kMinute);
+  std::printf("botmaster broadcast reaches %zu/%zu bots\n\n",
+              net.count_executed(core::CommandType::Ddos), net.num_bots());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== OnionBots example: SOAP vs the probing defense, end to end "
+      "===\n\n");
+  duel(false);
+  duel(true);
+  std::printf(
+      "The same defender, the same clone budget: the basic botnet is\n"
+      "neutralized; the probing botnet drops clones at every heartbeat\n"
+      "and keeps serving its master. The open question the paper leaves\n"
+      "is the cost: probing buys resilience with maintenance traffic.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: stand up a complete OnionBot research simulation in ~50
+// lines — a simulated Tor network, a botnet of hidden-service bots, a
+// C&C broadcast, a takedown, and the self-healing response.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/botnet.hpp"
+#include "graph/metrics.hpp"
+
+using namespace onion;
+
+int main() {
+  // 1. A botnet of 24 bots over a 20-relay simulated Tor network. Every
+  //    bot is a hidden service; nobody (including the C&C) ever sees an
+  //    IP address.
+  core::Botnet::Params params;
+  params.num_bots = 24;
+  params.initial_degree = 4;
+  params.tor.num_relays = 20;
+  params.seed = 2026;
+  core::Botnet net(params);
+  std::printf("botnet up: %zu bots, %zu Tor relays\n", net.num_bots(),
+              net.tor().num_relays());
+  std::printf("bot 0 answers on %s\n",
+              net.bot(0).address().hostname().c_str());
+
+  // 2. The botmaster broadcasts a signed command; it floods bot-to-bot
+  //    as uniform-looking fixed-size envelopes.
+  core::Command cmd;
+  cmd.type = core::CommandType::Ddos;
+  cmd.argument = "victim.example";
+  net.master().broadcast(cmd, /*fanout=*/3);
+  net.run_for(15 * kMinute);
+  std::printf("after broadcast: %zu/%zu bots executed the command\n",
+              net.count_executed(core::CommandType::Ddos), net.num_bots());
+
+  // 3. A defender takes down a quarter of the botnet, one bot at a time.
+  for (const std::size_t victim : {2u, 7u, 11u, 16u, 20u, 23u}) {
+    net.kill_bot(victim);
+    net.run_for(20 * kMinute);  // heartbeats notice, DDSR repairs
+  }
+
+  // 4. The overlay healed: still one connected component, degrees
+  //    bounded, and commands still reach everyone alive.
+  const graph::Graph overlay = net.overlay_snapshot();
+  std::printf("after takedown: %zu bots alive, overlay connected: %s\n",
+              net.num_alive(),
+              graph::is_connected(overlay) ? "yes" : "no");
+
+  core::Command again;
+  again.type = core::CommandType::Spam;
+  net.master().broadcast(again, 3);
+  net.run_for(15 * kMinute);
+  std::printf("post-heal broadcast reached %zu/%zu alive bots\n",
+              net.count_executed(core::CommandType::Spam),
+              net.num_alive());
+
+  // 5. Everything any relay saw was a fixed-size high-entropy cell.
+  std::printf("mean entropy of relayed cells: %.2f bits/byte (8.0 = "
+              "uniform)\n",
+              net.tor().mean_relayed_cell_entropy());
+  return 0;
+}

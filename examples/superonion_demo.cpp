@@ -1,0 +1,62 @@
+// Figure 8 walkthrough: the SuperOnion construction (n hosts x m virtual
+// nodes x i peers) under a live SOAP campaign. Shows probe detection of
+// a soaped virtual node, abandonment, resurrection through surviving
+// siblings, and the survival contrast with basic OnionBots.
+//
+//   $ ./superonion_demo
+#include <cstdio>
+
+#include "mitigation/soap.hpp"
+#include "superonion/super_network.hpp"
+
+using namespace onion;
+using super::SuperConfig;
+using super::SuperOnionNetwork;
+
+int main() {
+  Rng rng(5);
+  // The paper's illustration: n=5, m=3, i=2.
+  SuperConfig cfg;
+  cfg.hosts = 5;
+  cfg.vnodes_per_host = 3;
+  cfg.peers_per_vnode = 2;
+  SuperOnionNetwork net(cfg, rng);
+  std::printf("SuperOnion up: n=%zu hosts, m=%zu virtual nodes each, "
+              "i=%zu peers per vnode\n",
+              cfg.hosts, cfg.vnodes_per_host, cfg.peers_per_vnode);
+  for (std::size_t h = 0; h < net.num_hosts(); ++h) {
+    std::printf("  host %zu vnodes:", h);
+    for (const auto v : net.vnodes_of(h)) std::printf(" %u", v);
+    std::printf("\n");
+  }
+
+  // A healthy probe cycle: every virtual node hears its siblings.
+  auto report = net.probe_and_recover();
+  std::printf("\nprobe cycle (healthy): soaped=%zu gossip_messages=%zu\n",
+              report.soaped_detected, report.gossip_messages);
+
+  // SOAP attacks one virtual node of host 0.
+  std::printf("\nSOAP campaign begins against host 0's first vnode...\n");
+  mitigation::SoapConfig soap;
+  soap.requests_per_target_per_round = 2;
+  mitigation::SoapCampaign campaign(net.overlay(), soap, rng);
+  campaign.capture(net.vnodes_of(0)[0]);
+
+  for (int round = 1; round <= 12; ++round) {
+    campaign.step();
+    report = net.probe_and_recover();
+    std::printf(
+        "round %2d: clones=%-3zu soaped_detected=%zu resurrected=%zu "
+        "hosts_alive=%zu/%zu\n",
+        round, campaign.clones_created(), report.soaped_detected,
+        report.resurrected, report.hosts_alive, net.num_hosts());
+  }
+
+  std::printf(
+      "\nall %zu hosts alive: every soaped identity was abandoned and\n"
+      "replaced through surviving virtual nodes (paper Section VII-B).\n"
+      "A basic OnionBot (m=1) under the same campaign is contained —\n"
+      "see bench/fig8_superonion for the head-to-head series.\n",
+      net.hosts_alive());
+  return 0;
+}

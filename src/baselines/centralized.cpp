@@ -1,0 +1,25 @@
+#include "baselines/centralized.hpp"
+
+#include <set>
+
+namespace onion::baselines {
+
+std::size_t CentralizedBotnet::broadcast(const std::string& command) {
+  if (seized_) return 0;
+  for (std::uint32_t bot = 0; bot < num_bots_; ++bot) {
+    // Pull model: each bot polls the C&C and fetches the command; both
+    // directions land in the defender's flow log.
+    flows_.push_back(FlowRecord{bot, /*dst=*/0, /*bytes=*/64, true});
+    flows_.push_back(
+        FlowRecord{bot, /*dst=*/0, command.size() + 16, false});
+  }
+  return num_bots_;
+}
+
+std::size_t CentralizedBotnet::bots_exposed() const {
+  std::set<std::uint32_t> seen;
+  for (const FlowRecord& f : flows_) seen.insert(f.src);
+  return seen.size();
+}
+
+}  // namespace onion::baselines

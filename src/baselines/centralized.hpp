@@ -1,0 +1,55 @@
+// Centralized C&C baseline (paper Section II): bots contact a fixed
+// server over plain channels. Two structural weaknesses OnionBots remove,
+// both demonstrated by tests/benches against this model:
+//
+//   1. Single point of failure: seize the C&C address and the whole
+//      botnet goes silent.
+//   2. Observability: every flow exposes (source, destination, size,
+//      direction) to any on-path defender — the raw material of the
+//      NetFlow/DNS detection literature the paper surveys.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace onion::baselines {
+
+/// One observable flow record, as an ISP-level defender would log it.
+struct FlowRecord {
+  std::uint32_t src = 0;   // bot identifier (its IP, in the real world)
+  std::uint32_t dst = 0;   // C&C identifier
+  std::size_t bytes = 0;
+  bool to_cnc = true;
+};
+
+/// Minimal centralized botnet model.
+class CentralizedBotnet {
+ public:
+  explicit CentralizedBotnet(std::size_t num_bots)
+      : num_bots_(num_bots) {}
+
+  std::size_t num_bots() const { return num_bots_; }
+  bool cnc_seized() const { return seized_; }
+
+  /// The defender takes over / blocks the C&C address.
+  void seize_cnc() { seized_ = true; }
+
+  /// Botmaster pushes a command; returns how many bots received it
+  /// (zero after seizure — the single point of failure).
+  std::size_t broadcast(const std::string& command);
+
+  /// Every message so far, as the defender's flow log. Each record maps a
+  /// bot to the C&C — the botnet enumerates *itself* to any observer.
+  const std::vector<FlowRecord>& flow_log() const { return flows_; }
+
+  /// How many distinct bots an on-path observer has identified.
+  std::size_t bots_exposed() const;
+
+ private:
+  std::size_t num_bots_;
+  bool seized_ = false;
+  std::vector<FlowRecord> flows_;
+};
+
+}  // namespace onion::baselines

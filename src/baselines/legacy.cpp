@@ -1,0 +1,154 @@
+#include "baselines/legacy.hpp"
+
+#include "common/check.hpp"
+#include "crypto/legacy_ciphers.hpp"
+#include "crypto/rc4.hpp"
+
+namespace onion::baselines {
+
+namespace {
+// Command wires start with a magic tag so bots can tell a good decrypt.
+constexpr std::string_view kMagic = "CMD:";
+
+Bytes tagged(const std::string& command) {
+  Bytes out = to_bytes(kMagic);
+  append(out, to_bytes(command));
+  return out;
+}
+
+std::optional<std::string> untag(BytesView plain) {
+  if (plain.size() < kMagic.size()) return std::nullopt;
+  for (std::size_t i = 0; i < kMagic.size(); ++i)
+    if (plain[i] != static_cast<std::uint8_t>(kMagic[i]))
+      return std::nullopt;
+  return std::string(plain.begin() + kMagic.size(), plain.end());
+}
+
+const LegacyProfile kProfiles[] = {
+    {"Miner", "none", "none", true, 0},
+    {"Storm", "XOR", "none", true, 0},
+    {"ZeroAccess v1", "RC4", "RSA 512", true, 512},
+    {"Zeus", "chained XOR", "RSA 2048", true, 2048},
+};
+}  // namespace
+
+const LegacyProfile& profile(LegacyFamily family) {
+  return kProfiles[static_cast<std::size_t>(family)];
+}
+
+std::vector<LegacyFamily> all_legacy_families() {
+  return {LegacyFamily::Miner, LegacyFamily::Storm,
+          LegacyFamily::ZeroAccessV1, LegacyFamily::Zeus};
+}
+
+LegacyController::LegacyController(LegacyFamily family, Rng& rng)
+    : family_(family) {
+  const LegacyProfile& prof = profile(family);
+  if (prof.signing_bits > 0)
+    key_ = crypto::rsa_generate(rng, prof.signing_bits);
+  sym_key_ = static_cast<std::uint8_t>(rng.uniform_in(1, 255));
+  rc4_key_.resize(16);
+  for (auto& b : rc4_key_) b = static_cast<std::uint8_t>(rng.next_u64());
+}
+
+LegacyWire LegacyController::make_command(const std::string& command) const {
+  const Bytes plain = tagged(command);
+  LegacyWire wire;
+  switch (family_) {
+    case LegacyFamily::Miner:
+      wire.bytes = plain;
+      break;
+    case LegacyFamily::Storm:
+      wire.bytes = crypto::xor_cipher(plain, sym_key_);
+      break;
+    case LegacyFamily::ZeroAccessV1: {
+      // [signature(8)] [RC4(plain)]
+      const crypto::RsaSignature sig = crypto::rsa_sign(key_, plain);
+      wire.bytes = be64(sig);
+      crypto::Rc4 cipher(rc4_key_);
+      append(wire.bytes, cipher.process(plain));
+      break;
+    }
+    case LegacyFamily::Zeus: {
+      const crypto::RsaSignature sig = crypto::rsa_sign(key_, plain);
+      wire.bytes = be64(sig);
+      append(wire.bytes, crypto::chained_xor_encrypt(plain, sym_key_));
+      break;
+    }
+  }
+  return wire;
+}
+
+LegacyBot::LegacyBot(const LegacyController& controller)
+    : controller_(controller) {}
+
+std::optional<std::string> LegacyBot::accept(const LegacyWire& wire) {
+  const LegacyFamily family = controller_.family();
+  Bytes plain;
+  std::optional<crypto::RsaSignature> sig;
+  switch (family) {
+    case LegacyFamily::Miner:
+      plain = wire.bytes;
+      break;
+    case LegacyFamily::Storm:
+      plain = crypto::xor_cipher(wire.bytes, controller_.symmetric_key());
+      break;
+    case LegacyFamily::ZeroAccessV1: {
+      if (wire.bytes.size() < 8) return std::nullopt;
+      sig = read_be64(wire.bytes);
+      crypto::Rc4 cipher(controller_.rc4_key());
+      plain = cipher.process(BytesView(wire.bytes).subspan(8));
+      break;
+    }
+    case LegacyFamily::Zeus: {
+      if (wire.bytes.size() < 8) return std::nullopt;
+      sig = read_be64(wire.bytes);
+      plain = crypto::chained_xor_decrypt(
+          BytesView(wire.bytes).subspan(8), controller_.symmetric_key());
+      break;
+    }
+  }
+  const auto command = untag(plain);
+  if (!command) return std::nullopt;
+  if (sig && !crypto::rsa_verify(controller_.public_key(), plain, *sig))
+    return std::nullopt;
+  // Faithful to the originals: no nonce cache, no timestamp window —
+  // a replayed wire executes again.
+  ++executed_;
+  return command;
+}
+
+bool hijackable(LegacyFamily family) {
+  return profile(family).signing_bits == 0;
+}
+
+LegacyWire forge_command(const LegacyController& controller,
+                         const std::string& command) {
+  const Bytes plain = tagged(command);
+  LegacyWire wire;
+  switch (controller.family()) {
+    case LegacyFamily::Miner:
+      wire.bytes = plain;
+      break;
+    case LegacyFamily::Storm:
+      // The XOR key ships inside every bot binary; extracting it from a
+      // captured sample is routine.
+      wire.bytes = crypto::xor_cipher(plain, controller.symmetric_key());
+      break;
+    case LegacyFamily::ZeroAccessV1: {
+      // No private key: the best a forger can do is garbage signature.
+      wire.bytes = be64(0);
+      crypto::Rc4 cipher(controller.rc4_key());
+      append(wire.bytes, cipher.process(plain));
+      break;
+    }
+    case LegacyFamily::Zeus:
+      wire.bytes = be64(0);
+      append(wire.bytes, crypto::chained_xor_encrypt(
+                             plain, controller.symmetric_key()));
+      break;
+  }
+  return wire;
+}
+
+}  // namespace onion::baselines

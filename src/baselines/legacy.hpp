@@ -1,0 +1,111 @@
+// Working reproductions of the command-channel "crypto" of the botnet
+// families in the paper's Table I, as documented by the reverse-
+// engineering literature the paper cites (Rossow et al., "SoK: P2PWNED"):
+//
+//   Botnet          Crypto        Signing    Replay
+//   Miner           none          none       yes
+//   Storm           XOR           none       yes
+//   ZeroAccess v1   RC4           RSA 512    yes
+//   Zeus            chained XOR   RSA 2048   yes
+//
+// Each family gets a functioning bot model that accepts command wires
+// the way the original did — crucially, none of them tracks nonces, so
+// all are replayable, and the unsigned ones are hijackable outright. The
+// Table I bench demonstrates every cell of the table in running code and
+// contrasts it with the OnionBot command channel.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/simrsa.hpp"
+
+namespace onion::baselines {
+
+/// The Table I botnet families.
+enum class LegacyFamily : std::uint8_t {
+  Miner = 0,
+  Storm = 1,
+  ZeroAccessV1 = 2,
+  Zeus = 3,
+};
+
+/// Static properties — the literal content of Table I.
+struct LegacyProfile {
+  const char* name;
+  const char* crypto;
+  const char* signing;
+  bool replayable;
+  /// Nominal RSA bits (0 = unsigned).
+  int signing_bits;
+};
+
+/// Profile for a family (matches Table I row for row).
+const LegacyProfile& profile(LegacyFamily family);
+
+/// All four families, Table I order.
+std::vector<LegacyFamily> all_legacy_families();
+
+/// A captured command wire: what a defender sniffing the C&C channel
+/// records and can replay.
+struct LegacyWire {
+  Bytes bytes;
+};
+
+/// The controller side: builds command wires for its bots.
+class LegacyController {
+ public:
+  LegacyController(LegacyFamily family, Rng& rng);
+
+  /// Encrypts (and signs, where the family does) a command string.
+  LegacyWire make_command(const std::string& command) const;
+
+  /// The verification key bots of signing families carry.
+  const crypto::RsaPublicKey& public_key() const { return key_.pub; }
+
+  /// The symmetric key byte (XOR / chained-XOR families) or RC4 key.
+  std::uint8_t symmetric_key() const { return sym_key_; }
+  const Bytes& rc4_key() const { return rc4_key_; }
+
+  LegacyFamily family() const { return family_; }
+
+ private:
+  LegacyFamily family_;
+  crypto::RsaKeyPair key_;
+  std::uint8_t sym_key_ = 0;
+  Bytes rc4_key_;
+};
+
+/// The bot side: accepts or rejects command wires exactly as the family's
+/// real bots did (decrypt, magic check, signature check — no replay
+/// protection anywhere, faithfully).
+class LegacyBot {
+ public:
+  explicit LegacyBot(const LegacyController& controller);
+
+  /// Processes a wire; returns the decoded command if accepted.
+  std::optional<std::string> accept(const LegacyWire& wire);
+
+  /// Commands executed so far (replays included — that is the point).
+  std::size_t executed_count() const { return executed_; }
+
+ private:
+  const LegacyController& controller_;
+  std::size_t executed_ = 0;
+};
+
+/// True iff a defender (who captured wires but has no keys) can forge a
+/// *new* command the family's bots accept: the unsigned families.
+bool hijackable(LegacyFamily family);
+
+/// Demonstrates the hijack: forges a command wire for an unsigned family
+/// using only knowledge extractable from a captured bot binary (the
+/// symmetric key — hardcoded in the real samples).
+LegacyWire forge_command(const LegacyController& controller,
+                         const std::string& command);
+
+}  // namespace onion::baselines

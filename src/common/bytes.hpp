@@ -1,0 +1,62 @@
+// Byte-buffer helpers shared by every subsystem: hex and base32 codecs
+// (base32 per RFC 4648, lowercase, unpadded — the alphabet Tor uses for
+// .onion hostnames), concatenation, constant conversions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace onion {
+
+/// Owning byte buffer. A plain vector so the standard library does the work.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Read-only view over bytes; the parameter type of choice for all APIs.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Builds a buffer from a string's raw characters (no encoding applied).
+Bytes to_bytes(std::string_view s);
+
+/// Interprets a buffer as a string of raw characters.
+std::string to_string(BytesView b);
+
+/// Lowercase hex encoding ("deadbeef").
+std::string to_hex(BytesView b);
+
+/// Decodes lowercase/uppercase hex; throws std::invalid_argument on bad
+/// input (odd length or non-hex character).
+Bytes from_hex(std::string_view hex);
+
+/// RFC 4648 base32, lowercase, no padding — the exact alphabet Tor uses to
+/// render .onion hostnames from the 80-bit service identifier.
+std::string base32_encode(BytesView b);
+
+/// Inverse of base32_encode; accepts lowercase or uppercase, rejects
+/// padding and out-of-alphabet characters with std::invalid_argument.
+Bytes base32_decode(std::string_view s);
+
+/// a ‖ b.
+Bytes concat(BytesView a, BytesView b);
+
+/// a ‖ b ‖ c.
+Bytes concat(BytesView a, BytesView b, BytesView c);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, BytesView src);
+
+/// Big-endian encoding of a 64-bit value (8 bytes), as used in the
+/// descriptor time-period and key-derivation inputs.
+Bytes be64(std::uint64_t v);
+
+/// Reads a big-endian 64-bit value from the first 8 bytes of `b`.
+/// Precondition: b.size() >= 8.
+std::uint64_t read_be64(BytesView b);
+
+/// Byte-wise XOR of equal-length buffers; throws std::invalid_argument on
+/// length mismatch.
+Bytes xor_bytes(BytesView a, BytesView b);
+
+}  // namespace onion

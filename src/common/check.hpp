@@ -1,0 +1,44 @@
+// Precondition / invariant checking in the spirit of the Core Guidelines'
+// Expects()/Ensures(). Violations are programming errors: they throw
+// onion::ContractViolation so tests can assert on them, and the message
+// carries the failing expression and location.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace onion {
+
+/// Thrown when a precondition, postcondition, or invariant check fails.
+/// Deriving from std::logic_error: these indicate bugs, not runtime
+/// conditions a caller is expected to handle.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace onion
+
+/// Precondition: the caller must guarantee `cond`.
+#define ONION_EXPECTS(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::onion::detail::contract_fail("precondition", #cond, __FILE__,        \
+                                     __LINE__);                              \
+  } while (false)
+
+/// Postcondition / internal invariant: the implementation guarantees `cond`.
+#define ONION_ENSURES(cond)                                                  \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::onion::detail::contract_fail("postcondition", #cond, __FILE__,       \
+                                     __LINE__);                              \
+  } while (false)

@@ -1,0 +1,26 @@
+// Simulated-time vocabulary types. The discrete-event simulator advances a
+// virtual clock measured in milliseconds; Tor-level concepts (descriptor
+// periods, HSDir uptime) are expressed in seconds/hours on top of it.
+#pragma once
+
+#include <cstdint>
+
+namespace onion {
+
+/// Virtual time in milliseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// Durations, also in milliseconds.
+using SimDuration = std::uint64_t;
+
+constexpr SimDuration kMillisecond = 1;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+constexpr SimDuration kMinute = 60 * kSecond;
+constexpr SimDuration kHour = 60 * kMinute;
+constexpr SimDuration kDay = 24 * kHour;
+
+/// Converts virtual time to whole seconds (used by descriptor formulas,
+/// which operate on UNIX-style second timestamps).
+constexpr std::uint64_t to_seconds(SimTime t) { return t / kSecond; }
+
+}  // namespace onion

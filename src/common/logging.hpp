@@ -1,0 +1,50 @@
+// Minimal leveled logger. Examples narrate through it at Info level;
+// benches and tests keep it at Warn so output stays machine-readable.
+// Not thread-safe by design: the entire simulator is single-threaded
+// (discrete-event), which keeps every run deterministic.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace onion {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+/// Streams a log line at `level`, e.g. ONION_LOG(Info) << "bots: " << n;
+#define ONION_LOG(level_name)                                              \
+  for (bool onion_log_once =                                               \
+           ::onion::log_level() <= ::onion::LogLevel::level_name;          \
+       onion_log_once; onion_log_once = false)                             \
+  ::onion::detail::LogLine(::onion::LogLevel::level_name)
+
+namespace detail {
+/// Accumulates one log line and emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace onion

@@ -1,0 +1,126 @@
+// Bootstrap / rally strategies (paper §IV-B). A newly infected bot must
+// find existing members; the paper weighs four approaches and predicts
+// OnionBots combine the first two:
+//
+//   Hardcoded peer list   the infector hands over a probability-p subset
+//                         of its own peer list ("Each node in the
+//                         original peer list will be included in the
+//                         subset with probability p")
+//   Hotlist (webcache)    bots query directory nodes for current peers;
+//                         each bot knows only a subset of the servers
+//   Random probing        infeasible: the space is 32^16 (see
+//                         tor/address_cost.hpp)
+//   Out-of-band (DHT)     peer lists stored under well-known keys in an
+//                         external store (BitTorrent Mainline DHT,
+//                         social networks)
+//
+// Each strategy exposes the same interface — produce leads for a
+// recruit — plus the defender-side accounting the trade-off discussion
+// turns on: what does an adversary learn by compromising an infector, a
+// hotlist server, or by crawling the out-of-band store?
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tor/onion_address.hpp"
+
+namespace onion::core {
+
+/// Leads handed to a recruit at rally time.
+using LeadList = std::vector<tor::OnionAddress>;
+
+/// --- 1. hardcoded peer list -------------------------------------------
+
+/// Subset-of-infector's-peers handout: each entry of `infector_peers` is
+/// included independently with probability `p`. Guarantees at least one
+/// lead when the source list is non-empty (an empty handout would orphan
+/// the recruit; the infector always shares something).
+LeadList hardcoded_subset(const LeadList& infector_peers, double p,
+                          Rng& rng);
+
+/// --- 2. hotlist (webcache) ----------------------------------------------
+
+/// A population of hotlist servers, each holding a rolling window of
+/// member addresses. Bots know only `servers_per_bot` of them; a
+/// defender who seizes a server learns exactly that server's window and
+/// can stop it from answering.
+class HotlistDirectory {
+ public:
+  struct Config {
+    std::size_t servers = 8;
+    /// Addresses a server retains (oldest evicted first).
+    std::size_t window = 64;
+    /// Servers each bot is given (its private subset).
+    std::size_t servers_per_bot = 2;
+  };
+
+  HotlistDirectory(Config config, Rng& rng)
+      : config_(config), rng_(rng), windows_(config.servers) {
+    ONION_EXPECTS(config.servers > 0);
+    ONION_EXPECTS(config.servers_per_bot <= config.servers);
+  }
+
+  /// A member announces its (current) address; lands on every server in
+  /// its private subset.
+  void announce(const tor::OnionAddress& address,
+                const std::vector<std::size_t>& subset);
+
+  /// Random private server subset for a new bot.
+  std::vector<std::size_t> assign_subset();
+
+  /// Queries the bot's subset; seized servers contribute nothing.
+  LeadList query(const std::vector<std::size_t>& subset) const;
+
+  /// Defender action: seize a server. Returns the window it held — the
+  /// defender's intelligence haul.
+  LeadList seize(std::size_t server);
+
+  std::size_t num_servers() const { return config_.servers; }
+  bool seized(std::size_t server) const { return seized_.count(server) > 0; }
+  /// Addresses a defender has harvested across all seizures.
+  const LeadList& harvested() const { return harvested_; }
+
+ private:
+  Config config_;
+  Rng& rng_;
+  std::vector<std::vector<tor::OnionAddress>> windows_;
+  std::set<std::size_t> seized_;
+  LeadList harvested_;
+};
+
+/// --- 4. out-of-band store (DHT) ------------------------------------------
+
+/// Minimal Mainline-DHT-style rendezvous: members announce under a
+/// shared, time-rotated key; recruits look the key up. The whole store
+/// is public — the defender can run the same lookup, which is exactly
+/// the exposure trade-off the paper flags for out-of-band channels.
+class OutOfBandStore {
+ public:
+  /// Rendezvous key for a period (all bots derive it from shared secret
+  /// material; modeled as an opaque integer).
+  using Key = std::uint64_t;
+
+  void announce(Key key, const tor::OnionAddress& address);
+
+  /// All addresses under `key` (bots and defenders get the same view).
+  LeadList lookup(Key key) const;
+
+  /// Number of distinct keys ever used (crawler's work factor).
+  std::size_t keys_used() const { return store_.size(); }
+
+ private:
+  std::map<Key, LeadList> store_;
+};
+
+/// --- exposure accounting ---------------------------------------------------
+
+/// Fraction of `population` addresses a defender learns from a given
+/// haul (dedup'd); the §IV-B trade-off in one number.
+double exposure_fraction(const LeadList& haul,
+                         const std::vector<tor::OnionAddress>& population);
+
+}  // namespace onion::core

@@ -1,0 +1,150 @@
+#include "core/ddsr.hpp"
+
+#include <algorithm>
+
+namespace onion::core {
+
+using graph::NodeId;
+
+void DdsrEngine::remove_node_no_repair(NodeId u) {
+  graph_.remove_node(u);
+  ++stats_.nodes_removed;
+}
+
+void DdsrEngine::remove_node(NodeId u) {
+  const std::vector<NodeId> former = graph_.neighbors(u);
+  graph_.remove_node(u);
+  ++stats_.nodes_removed;
+
+  // Repairing: reconnect the hole.
+  switch (policy_.repair) {
+    case DdsrPolicy::Repair::PairwiseFull:
+      repair_clique(former);
+      break;
+    case DdsrPolicy::Repair::RandomMatch: {
+      std::vector<NodeId> shuffled = former;
+      rng_.shuffle(shuffled);
+      for (std::size_t i = 0; i + 1 < shuffled.size(); i += 2)
+        if (graph_.add_edge(shuffled[i], shuffled[i + 1]))
+          ++stats_.repair_edges_added;
+      break;
+    }
+  }
+
+  // Pruning: former neighbors above dmax shed edges; every node that lost
+  // an edge (prune victims included) is a refill candidate.
+  std::vector<NodeId> refill_candidates = former;
+  if (policy_.prune) {
+    for (const NodeId v : former) prune_node(v, refill_candidates);
+  }
+
+  if (policy_.refill) {
+    for (const NodeId v : refill_candidates) refill_node(v);
+  }
+}
+
+void DdsrEngine::repair_clique(const std::vector<NodeId>& former) {
+  // Clique the dead node's former neighbors (paper rule). Without
+  // pruning, degrees grow into the thousands (that growth *is* the
+  // Figure 4c result), so membership tests use scratch bitmaps: cost per
+  // deleted node is O(|former|^2 + sum of former degrees), with every
+  // test O(1).
+  if (former.size() < 2) return;
+  const std::size_t cap = graph_.capacity();
+  if (adjacent_.size() < cap) adjacent_.resize(cap, 0);
+  for (std::size_t i = 0; i < former.size(); ++i) {
+    const NodeId u = former[i];
+    // Mark u's existing neighbors, connect to every unmarked later
+    // member, then unmark.
+    for (const NodeId w : graph_.neighbors(u)) adjacent_[w] = 1;
+    for (std::size_t j = i + 1; j < former.size(); ++j) {
+      const NodeId v = former[j];
+      if (adjacent_[v]) continue;
+      graph_.add_edge_unchecked(u, v);
+      ++stats_.repair_edges_added;
+    }
+    for (const NodeId w : graph_.neighbors(u)) adjacent_[w] = 0;
+  }
+}
+
+void DdsrEngine::prune_node(NodeId v, std::vector<NodeId>& lost_edge) {
+  if (!graph_.alive(v)) return;
+  while (graph_.degree(v) > policy_.dmax) {
+    const auto& peers = graph_.neighbors(v);
+    NodeId victim = graph::kInvalidNode;
+    switch (policy_.victim) {
+      case DdsrPolicy::Victim::HighestDegree: {
+        // Highest-degree neighbor; ties broken uniformly (paper rule).
+        std::size_t best = 0;
+        std::size_t ties = 0;
+        for (const NodeId p : peers) {
+          const std::size_t d = graph_.degree(p);
+          if (d > best) {
+            best = d;
+            victim = p;
+            ties = 1;
+          } else if (d == best && d > 0) {
+            ++ties;
+            if (rng_.uniform(ties) == 0) victim = p;
+          }
+        }
+        break;
+      }
+      case DdsrPolicy::Victim::Random:
+        victim = peers[static_cast<std::size_t>(rng_.uniform(peers.size()))];
+        break;
+    }
+    if (victim == graph::kInvalidNode) break;
+    graph_.remove_edge(v, victim);
+    ++stats_.prune_edges_removed;
+    lost_edge.push_back(victim);
+  }
+}
+
+void DdsrEngine::refill_node(NodeId v) {
+  // Work queue: refilling through a full acceptor evicts one of its
+  // peers, which then sits below dmin itself and must be refilled in
+  // turn. Dropping those cascade victims is how holes silently appear,
+  // so they are re-enqueued here. A step guard bounds pathological
+  // add/evict cycles (possible when dmin == dmax and ties break badly).
+  std::vector<NodeId> pending{v};
+  int guard = 0;
+  while (!pending.empty() && guard < 512) {
+    const NodeId u = pending.back();
+    pending.pop_back();
+    if (!graph_.alive(u)) continue;
+    while (graph_.degree(u) < policy_.dmin && guard++ < 512) {
+      // Candidates: alive neighbors-of-neighbors not already adjacent.
+      // Nodes with spare capacity are preferred (a full node only
+      // accepts by evicting — the bot-level acceptance rule).
+      std::vector<NodeId> candidates;
+      std::vector<NodeId> with_capacity;
+      for (const NodeId n : graph_.neighbors(u)) {
+        for (const NodeId nn : graph_.neighbors(n)) {
+          if (nn == u || graph_.has_edge(u, nn)) continue;
+          if (std::find(candidates.begin(), candidates.end(), nn) !=
+              candidates.end())
+            continue;
+          candidates.push_back(nn);
+          if (graph_.degree(nn) < policy_.dmax) with_capacity.push_back(nn);
+        }
+      }
+      if (candidates.empty()) break;  // NoN exhausted; dmin is best-effort
+      const auto& pool = with_capacity.empty() ? candidates : with_capacity;
+      const NodeId pick =
+          pool[static_cast<std::size_t>(rng_.uniform(pool.size()))];
+      graph_.add_edge(u, pick);
+      ++stats_.refill_edges_added;
+      // A full acceptor evicts its highest-degree neighbor, mirroring
+      // Bot::on_peer_request; the victim is queued for its own refill.
+      if (policy_.prune && graph_.degree(pick) > policy_.dmax) {
+        std::vector<NodeId> lost;
+        prune_node(pick, lost);
+        for (const NodeId w : lost)
+          if (w != u) pending.push_back(w);
+      }
+    }
+  }
+}
+
+}  // namespace onion::core

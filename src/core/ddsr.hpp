@@ -1,0 +1,97 @@
+// The Dynamic Distributed Self-Repairing (DDSR) graph — the paper's core
+// overlay construction (Section IV-C). Built on Neighbors-of-Neighbor
+// (NoN) knowledge: every node knows its neighbors' neighbors, so when a
+// node dies its former neighbors can stitch the hole closed without any
+// global view.
+//
+//   Repairing:  when u is deleted, each pair of u's former neighbors
+//               (uj, uk) forms an edge iff it does not already exist.
+//   Pruning:    a node above dmax drops its highest-degree neighbor
+//               (ties random) until back in range — keeping degree, and
+//               therefore exposure, low.
+//   Refilling:  a node below dmin acquires replacements from its NoN set
+//               (never globally: bots only know two hops out).
+//
+// This graph-level engine drives the Figure 4/5/6 sweeps; the full
+// bot-over-Tor stack (core/botnet.hpp) executes the same policies through
+// real peer messages.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace onion::core {
+
+/// Repair-policy knobs; defaults follow the paper. Alternatives exist for
+/// the ablation benches called out in DESIGN.md §4.
+struct DdsrPolicy {
+  /// Degree band [dmin, dmax] the maintenance keeps nodes inside.
+  std::size_t dmin = 5;
+  std::size_t dmax = 5;
+
+  /// Pruning on/off — the Figure 4 with/without-pruning comparison.
+  bool prune = true;
+
+  /// NoN refill of nodes that fell below dmin.
+  bool refill = true;
+
+  /// Which neighbor a pruning node evicts.
+  enum class Victim {
+    HighestDegree,  // the paper's rule: preserves reachability
+    Random,         // ablation
+  };
+  Victim victim = Victim::HighestDegree;
+
+  /// How a dead node's former neighbors reconnect.
+  enum class Repair {
+    PairwiseFull,  // the paper's rule: clique over former neighbors
+    RandomMatch,   // ablation: shuffled pairing, half the edges
+  };
+  Repair repair = Repair::PairwiseFull;
+};
+
+/// Counters describing maintenance work done so far.
+struct DdsrStats {
+  std::uint64_t nodes_removed = 0;
+  std::uint64_t repair_edges_added = 0;
+  std::uint64_t prune_edges_removed = 0;
+  std::uint64_t refill_edges_added = 0;
+};
+
+/// Applies DDSR maintenance to a Graph as nodes are removed. The engine
+/// borrows the graph; the caller keeps ownership and may inspect it
+/// between operations.
+class DdsrEngine {
+ public:
+  DdsrEngine(graph::Graph& g, DdsrPolicy policy, Rng& rng)
+      : graph_(g), policy_(policy), rng_(rng) {}
+
+  /// Removes `u` and runs repair/prune/refill on its former neighborhood
+  /// (the gradual-takedown model: one deletion, then the network heals).
+  void remove_node(graph::NodeId u);
+
+  /// Removes `u` with no healing (the "Normal" baseline of Figure 5, and
+  /// the simultaneous-takedown model of Figure 6).
+  void remove_node_no_repair(graph::NodeId u);
+
+  const DdsrStats& stats() const { return stats_; }
+  const DdsrPolicy& policy() const { return policy_; }
+
+ private:
+  void prune_node(graph::NodeId v, std::vector<graph::NodeId>& lost_edge);
+  void refill_node(graph::NodeId v);
+  void repair_clique(const std::vector<graph::NodeId>& former);
+
+  graph::Graph& graph_;
+  DdsrPolicy policy_;
+  Rng& rng_;
+  DdsrStats stats_;
+  /// Scratch adjacency bitmap for repair_clique, kept across calls so
+  /// the unpruned Figure-4 runs (degrees in the thousands) pay O(1) per
+  /// membership test instead of an O(deg) adjacency scan.
+  std::vector<std::uint8_t> adjacent_;
+};
+
+}  // namespace onion::core

@@ -1,0 +1,188 @@
+#include "core/overlay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/union_find.hpp"
+
+namespace onion::core {
+
+using graph::NodeId;
+
+OverlayNetwork OverlayNetwork::random_regular(std::size_t n, std::size_t k,
+                                              OverlayConfig config,
+                                              Rng& rng) {
+  OverlayNetwork net(config, rng);
+  for (std::size_t i = 0; i < n; ++i) net.add_node(/*honest=*/true);
+  const graph::Graph topology = graph::random_regular(n, k, rng);
+  for (NodeId u = 0; u < n; ++u)
+    for (const NodeId v : topology.neighbors(u))
+      if (u < v) net.graph_.add_edge(u, v);
+  return net;
+}
+
+NodeId OverlayNetwork::add_node(bool honest, std::size_t declared_degree) {
+  const NodeId id = graph_.add_node();
+  honest_.push_back(honest ? 1 : 0);
+  declared_.push_back(declared_degree);
+  requests_seen_.push_back(0);
+  accepted_this_round_.push_back(0);
+  return id;
+}
+
+std::size_t OverlayNetwork::declared_degree(NodeId u) const {
+  const std::size_t lie = declared_.at(u);
+  if (lie == kTruthful) return graph_.degree(u);
+  return lie;
+}
+
+double OverlayNetwork::pow_cost_for(NodeId target) {
+  if (config_.pow_base_cost <= 0.0) return 0.0;
+  const double cost =
+      config_.pow_base_cost *
+      std::pow(config_.pow_growth,
+               static_cast<double>(requests_seen_[target]));
+  ++requests_seen_[target];
+  return cost;
+}
+
+PeerDecision OverlayNetwork::request_peering(NodeId requester,
+                                             NodeId target) {
+  ONION_EXPECTS(graph_.alive(requester) && graph_.alive(target));
+  ONION_EXPECTS(requester != target);
+
+  // The proof-of-work puzzle is solved before the target even considers
+  // the request; it is sunk cost for the requester.
+  const double cost = pow_cost_for(target);
+  (honest(requester) ? honest_work_ : sybil_work_) += cost;
+
+  if (graph_.has_edge(requester, target)) return PeerDecision::Rejected;
+  if (accepted_this_round_[target] >= config_.rate_limit_per_round)
+    return PeerDecision::RateLimited;
+
+  if (graph_.degree(target) < config_.dmax) {
+    graph_.add_edge(requester, target);
+    ++accepted_this_round_[target];
+    return PeerDecision::AcceptedWithCapacity;
+  }
+
+  // Full: accept only if the newcomer undercuts the worst current peer
+  // (by declared degree); that peer is evicted — Figure 7 step 4.
+  const auto& peers = graph_.neighbors(target);
+  NodeId victim = graph::kInvalidNode;
+  std::size_t worst = 0;
+  std::size_t ties = 0;
+  for (const NodeId p : peers) {
+    const std::size_t d = declared_degree(p);
+    if (d > worst) {
+      worst = d;
+      victim = p;
+      ties = 1;
+    } else if (d == worst && victim != graph::kInvalidNode) {
+      ++ties;
+      if (rng_.uniform(ties) == 0) victim = p;
+    }
+  }
+  if (victim == graph::kInvalidNode || declared_degree(requester) >= worst)
+    return PeerDecision::Rejected;
+
+  graph_.remove_edge(target, victim);
+  graph_.add_edge(requester, target);
+  ++accepted_this_round_[target];
+  return PeerDecision::AcceptedEvicted;
+}
+
+void OverlayNetwork::refill(NodeId v) {
+  if (!graph_.alive(v) || !honest(v)) return;
+  while (graph_.degree(v) < config_.dmin) {
+    std::vector<NodeId> candidates;
+    for (const NodeId n : graph_.neighbors(v)) {
+      for (const NodeId nn : graph_.neighbors(n)) {
+        if (nn == v || graph_.has_edge(v, nn)) continue;
+        if (std::find(candidates.begin(), candidates.end(), nn) ==
+            candidates.end())
+          candidates.push_back(nn);
+      }
+    }
+    if (candidates.empty()) return;
+    const NodeId pick =
+        candidates[static_cast<std::size_t>(rng_.uniform(candidates.size()))];
+    // An honest node cannot tell a clone from a bot; it simply asks.
+    const PeerDecision decision = request_peering(v, pick);
+    if (decision == PeerDecision::Rejected ||
+        decision == PeerDecision::RateLimited)
+      return;  // give up this round; the next round may retry
+  }
+}
+
+void OverlayNetwork::begin_round() {
+  std::fill(accepted_this_round_.begin(), accepted_this_round_.end(), 0);
+}
+
+bool OverlayNetwork::contained(NodeId u) const {
+  if (!graph_.alive(u)) return false;
+  const auto& peers = graph_.neighbors(u);
+  if (peers.empty()) return true;  // isolated: cut off from the botnet
+  for (const NodeId p : peers)
+    if (honest(p)) return false;
+  return true;
+}
+
+std::size_t OverlayNetwork::honest_edges() const {
+  std::size_t count = 0;
+  for (NodeId u = 0; u < graph_.capacity(); ++u) {
+    if (!graph_.alive(u) || !honest(u)) continue;
+    for (const NodeId v : graph_.neighbors(u))
+      if (honest(v) && u < v) ++count;
+  }
+  return count;
+}
+
+std::vector<std::uint32_t> OverlayNetwork::honest_component_labels() const {
+  constexpr std::uint32_t kNone = ~std::uint32_t{0};
+  std::vector<std::uint32_t> label(graph_.capacity(), kNone);
+  std::uint32_t next = 0;
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < graph_.capacity(); ++start) {
+    if (!graph_.alive(start) || !honest(start) || label[start] != kNone)
+      continue;
+    const std::uint32_t comp = next++;
+    label[start] = comp;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (const NodeId v : graph_.neighbors(u)) {
+        if (!honest(v) || label[v] != kNone) continue;
+        label[v] = comp;
+        stack.push_back(v);
+      }
+    }
+  }
+  return label;
+}
+
+std::size_t OverlayNetwork::honest_components() const {
+  graph::UnionFind uf(graph_.capacity());
+  std::size_t honest_alive = 0;
+  for (NodeId u = 0; u < graph_.capacity(); ++u) {
+    if (!graph_.alive(u) || !honest(u)) continue;
+    ++honest_alive;
+    for (const NodeId v : graph_.neighbors(u))
+      if (v > u && graph_.alive(v) && honest(v)) uf.unite(u, v);
+  }
+  if (honest_alive == 0) return 0;
+  // num_sets counts singletons for every slot; correct by subtracting the
+  // non-honest/dead slots.
+  return uf.num_sets() - (graph_.capacity() - honest_alive);
+}
+
+std::vector<NodeId> OverlayNetwork::honest_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < graph_.capacity(); ++u)
+    if (graph_.alive(u) && honest(u)) out.push_back(u);
+  return out;
+}
+
+}  // namespace onion::core

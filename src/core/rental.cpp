@@ -1,0 +1,91 @@
+#include "core/rental.hpp"
+
+#include <algorithm>
+
+namespace onion::core {
+
+const char* to_string(CommandType type) {
+  switch (type) {
+    case CommandType::Ping:
+      return "ping";
+    case CommandType::Ddos:
+      return "ddos";
+    case CommandType::Spam:
+      return "spam";
+    case CommandType::Compute:
+      return "compute";
+    case CommandType::Recon:
+      return "recon";
+    case CommandType::InstallGroupKey:
+      return "install-group-key";
+  }
+  return "unknown";
+}
+
+Bytes RentalToken::signed_body() const {
+  Writer w;
+  w.raw(renter_key.serialize());
+  w.u64(expires_at);
+  w.u8(static_cast<std::uint8_t>(whitelist.size()));
+  for (const CommandType t : whitelist)
+    w.u8(static_cast<std::uint8_t>(t));
+  return w.take();
+}
+
+void RentalToken::serialize(Writer& w) const {
+  w.u64(renter_key.n);
+  w.u64(renter_key.e);
+  w.u64(static_cast<std::uint64_t>(renter_key.nominal_bits));
+  w.u64(expires_at);
+  w.u8(static_cast<std::uint8_t>(whitelist.size()));
+  for (const CommandType t : whitelist)
+    w.u8(static_cast<std::uint8_t>(t));
+  w.u64(master_signature);
+}
+
+RentalToken RentalToken::parse(Reader& r) {
+  RentalToken token;
+  token.renter_key.n = r.u64();
+  token.renter_key.e = r.u64();
+  token.renter_key.nominal_bits = static_cast<int>(r.u64());
+  token.expires_at = r.u64();
+  const std::uint8_t count = r.u8();
+  token.whitelist.reserve(count);
+  for (std::uint8_t i = 0; i < count; ++i) {
+    const std::uint8_t raw = r.u8();
+    if (raw > kMaxCommandType)
+      throw WireError("rental token: unknown command type");
+    token.whitelist.push_back(static_cast<CommandType>(raw));
+  }
+  token.master_signature = r.u64();
+  return token;
+}
+
+bool RentalToken::verify(const crypto::RsaPublicKey& master,
+                         SimTime now) const {
+  if (now >= expires_at) return false;
+  return crypto::rsa_verify(master, signed_body(), master_signature);
+}
+
+bool RentalToken::allows(CommandType type) const {
+  // Key management is never rentable, whatever the whitelist says: a
+  // renter who could install group keys could hijack the subgroup
+  // channel outright.
+  if (type == CommandType::InstallGroupKey) return false;
+  return std::find(whitelist.begin(), whitelist.end(), type) !=
+         whitelist.end();
+}
+
+RentalToken issue_rental_token(const crypto::RsaKeyPair& master,
+                               const crypto::RsaPublicKey& renter,
+                               SimTime expires_at,
+                               std::vector<CommandType> whitelist) {
+  RentalToken token;
+  token.renter_key = renter;
+  token.expires_at = expires_at;
+  token.whitelist = std::move(whitelist);
+  token.master_signature = crypto::rsa_sign(master, token.signed_body());
+  return token;
+}
+
+}  // namespace onion::core

@@ -1,0 +1,64 @@
+#include "core/wire.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace onion::core {
+
+void Writer::var_bytes(BytesView b) {
+  ONION_EXPECTS(b.size() < (1u << 16));
+  u16(static_cast<std::uint16_t>(b.size()));
+  raw(b);
+}
+
+void Reader::need(std::size_t n) const {
+  if (pos_ + n > in_.size()) throw WireError("truncated message");
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return in_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  need(2);
+  const std::uint16_t v =
+      static_cast<std::uint16_t>(in_[pos_] << 8 | in_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  const std::uint64_t v = read_be64(in_.subspan(pos_));
+  pos_ += 8;
+  return v;
+}
+
+Bytes Reader::raw(std::size_t n) {
+  need(n);
+  Bytes out(in_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            in_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+Bytes Reader::var_bytes() { return raw(u16()); }
+
+std::string Reader::str() {
+  const Bytes b = var_bytes();
+  return std::string(b.begin(), b.end());
+}
+
+tor::OnionAddress Reader::address() {
+  const Bytes b = raw(10);
+  tor::OnionAddress::Identifier id;
+  std::copy_n(b.begin(), id.size(), id.begin());
+  // Round-trip through the hostname form to reuse validation.
+  tor::OnionAddress addr = tor::OnionAddress::from_hostname(
+      base32_encode(BytesView(id.data(), id.size())));
+  return addr;
+}
+
+}  // namespace onion::core

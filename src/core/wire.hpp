@@ -1,0 +1,71 @@
+// Minimal binary serialization for bot-layer protocol messages. All
+// integers are big-endian; variable-length fields carry a 16-bit length
+// prefix. Reader throws WireError on truncated or malformed input — a bot
+// must survive arbitrary bytes from the network.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "tor/onion_address.hpp"
+
+namespace onion::core {
+
+/// Malformed wire data (distinct from logic errors: peers may be hostile).
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only message builder.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u64(std::uint64_t v) { append(out_, be64(v)); }
+  void raw(BytesView b) { append(out_, b); }
+  /// 16-bit length prefix + bytes. Precondition: b.size() < 2^16.
+  void var_bytes(BytesView b);
+  void str(const std::string& s) { var_bytes(to_bytes(s)); }
+  void address(const tor::OnionAddress& a) {
+    raw(BytesView(a.identifier().data(), a.identifier().size()));
+  }
+
+  Bytes take() { return std::move(out_); }
+  const Bytes& peek() const { return out_; }
+
+ private:
+  Bytes out_;
+};
+
+/// Sequential message parser over a borrowed buffer.
+class Reader {
+ public:
+  explicit Reader(BytesView in) : in_(in) {}
+  /// A Reader borrows its buffer; constructing one over a temporary
+  /// Bytes would leave it dangling the moment the expression ends.
+  explicit Reader(Bytes&&) = delete;
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint64_t u64();
+  Bytes raw(std::size_t n);
+  Bytes var_bytes();
+  std::string str();
+  tor::OnionAddress address();
+
+  bool done() const { return pos_ == in_.size(); }
+  std::size_t remaining() const { return in_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const;
+  BytesView in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace onion::core

@@ -1,0 +1,76 @@
+#include "crypto/elligator_sim.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/rc4.hpp"
+
+namespace onion::crypto {
+
+namespace {
+constexpr std::size_t kNonceSize = 16;
+constexpr std::size_t kLenSize = 2;
+constexpr std::size_t kTagSize = 8;
+constexpr std::size_t kCipherSize = kUniformCellSize - kNonceSize - kTagSize;
+
+Rc4 keystream_for(BytesView key, BytesView nonce) {
+  const Sha256Digest k = hmac_sha256(key, nonce);
+  return Rc4(BytesView(k.data(), k.size()));
+}
+
+// Tag over everything the receiver will trust: nonce and full ciphertext.
+Bytes auth_tag(BytesView key, BytesView nonce, BytesView ciphertext) {
+  const Sha256Digest mac = hmac_sha256(key, concat(nonce, ciphertext));
+  return Bytes(mac.begin(), mac.begin() + kTagSize);
+}
+}  // namespace
+
+Bytes uniform_encode(BytesView key, BytesView plaintext, Rng& rng) {
+  ONION_EXPECTS(plaintext.size() <= kUniformCellCapacity);
+
+  Bytes cell(kUniformCellSize);
+  for (std::size_t i = 0; i < kNonceSize; ++i)
+    cell[i] = static_cast<std::uint8_t>(rng.next_u64());
+  const BytesView nonce(cell.data(), kNonceSize);
+
+  // Inner record: len ‖ plaintext ‖ random padding, then enciphered.
+  Bytes record;
+  record.reserve(kCipherSize);
+  record.push_back(static_cast<std::uint8_t>(plaintext.size() >> 8));
+  record.push_back(static_cast<std::uint8_t>(plaintext.size() & 0xff));
+  append(record, plaintext);
+  while (record.size() < kCipherSize)
+    record.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+
+  Rc4 stream = keystream_for(key, nonce);
+  const Bytes ciphertext = stream.process(record);
+  std::copy(ciphertext.begin(), ciphertext.end(), cell.begin() + kNonceSize);
+
+  const Bytes tag = auth_tag(key, nonce, ciphertext);
+  std::copy(tag.begin(), tag.end(),
+            cell.begin() + static_cast<std::ptrdiff_t>(kNonceSize + kCipherSize));
+  return cell;
+}
+
+std::optional<Bytes> uniform_decode(BytesView key, BytesView cell) {
+  if (cell.size() != kUniformCellSize) return std::nullopt;
+  const BytesView nonce = cell.first(kNonceSize);
+  const BytesView ciphertext = cell.subspan(kNonceSize, kCipherSize);
+  const BytesView tag = cell.subspan(kNonceSize + kCipherSize);
+
+  // Authenticate before touching the plaintext (encrypt-then-MAC order).
+  const Bytes expected = auth_tag(key, nonce, ciphertext);
+  if (!std::equal(expected.begin(), expected.end(), tag.begin(), tag.end()))
+    return std::nullopt;
+
+  Rc4 stream = keystream_for(key, nonce);
+  const Bytes record = stream.process(ciphertext);
+  const std::size_t len =
+      static_cast<std::size_t>(record[0]) << 8 | record[1];
+  if (len > kUniformCellCapacity) return std::nullopt;
+  return Bytes(record.begin() + kLenSize,
+               record.begin() + static_cast<std::ptrdiff_t>(kLenSize + len));
+}
+
+}  // namespace onion::crypto

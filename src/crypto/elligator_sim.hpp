@@ -1,0 +1,49 @@
+// Uniform-looking message encoding (paper §IV-D): "to achieve
+// indistinguishability between all messages, we use constructions such as
+// Elligator. As a result no information is leaked to the relaying bots."
+//
+// The property OnionBot needs is behavioural: every byte a relaying bot
+// sees — headers included — must be indistinguishable from uniform random
+// data, and every message must have the same fixed size. We implement that
+// property with a keyed, authenticated stream encoding (stand-in for real
+// Elligator point encoding, whose algebra adds nothing to the simulation)
+// and verify it statistically in the test suite (chi-square over byte
+// frequencies).
+//
+// Cell layout (encrypt-then-MAC, so *every* byte is authenticated —
+// flipping even a padding bit must be detected):
+//
+//   nonce(16) ‖ C ‖ tag(8),   C = E(len(2) ‖ plaintext ‖ random padding)
+//
+// where E is a stream cipher keyed by HMAC(key, nonce) and
+// tag = HMAC(key, nonce ‖ C) truncated. Nonce, C, and tag are each
+// pseudorandom, so the whole cell stays uniform-looking.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace onion::crypto {
+
+/// All encoded messages are exactly this long — mirroring Tor's fixed-size
+/// cells so length reveals nothing either.
+constexpr std::size_t kUniformCellSize = 512;
+
+/// Maximum plaintext per cell: cell minus nonce(16), length(2), tag(8).
+constexpr std::size_t kUniformCellCapacity = kUniformCellSize - 16 - 2 - 8;
+
+/// Encodes `plaintext` into a fixed-size, uniform-looking cell under
+/// `key`. A fresh random nonce per call means encoding the same plaintext
+/// twice yields unrelated ciphertexts. Precondition: plaintext.size() <=
+/// kUniformCellCapacity.
+Bytes uniform_encode(BytesView key, BytesView plaintext, Rng& rng);
+
+/// Decodes and authenticates a cell produced by uniform_encode under the
+/// same key. Returns std::nullopt on wrong size, wrong key, corrupted
+/// bytes, or an inconsistent length field.
+std::optional<Bytes> uniform_decode(BytesView key, BytesView cell);
+
+}  // namespace onion::crypto

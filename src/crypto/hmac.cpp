@@ -1,0 +1,48 @@
+#include "crypto/hmac.hpp"
+
+namespace onion::crypto {
+
+namespace {
+constexpr std::size_t kBlockSize = 64;  // both SHA-1 and SHA-256
+
+// Shared HMAC skeleton: Digest is the hash's output array type, Hasher the
+// incremental hash class.
+template <typename Hasher, typename Digest>
+Digest hmac_impl(BytesView key, BytesView message) {
+  Bytes key_block(kBlockSize, 0);
+  if (key.size() > kBlockSize) {
+    Hasher hasher;
+    hasher.update(key);
+    const Digest digest = hasher.finalize();
+    std::copy(digest.begin(), digest.end(), key_block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), key_block.begin());
+  }
+
+  Bytes inner_pad(kBlockSize), outer_pad(kBlockSize);
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    inner_pad[i] = key_block[i] ^ 0x36;
+    outer_pad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Hasher inner;
+  inner.update(inner_pad);
+  inner.update(message);
+  const Digest inner_digest = inner.finalize();
+
+  Hasher outer;
+  outer.update(outer_pad);
+  outer.update(BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finalize();
+}
+}  // namespace
+
+Sha256Digest hmac_sha256(BytesView key, BytesView message) {
+  return hmac_impl<Sha256, Sha256Digest>(key, message);
+}
+
+Sha1Digest hmac_sha1(BytesView key, BytesView message) {
+  return hmac_impl<Sha1, Sha1Digest>(key, message);
+}
+
+}  // namespace onion::crypto

@@ -1,0 +1,18 @@
+// HMAC (RFC 2104) over SHA-256 and SHA-1. HMAC-SHA256 underpins the
+// address-rotation KDF; HMAC-SHA1 exists for protocol-fidelity tests.
+// Verified against RFC 4231 / RFC 2202 vectors.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha1.hpp"
+#include "crypto/sha256.hpp"
+
+namespace onion::crypto {
+
+/// HMAC-SHA256(key, message).
+Sha256Digest hmac_sha256(BytesView key, BytesView message);
+
+/// HMAC-SHA1(key, message).
+Sha1Digest hmac_sha1(BytesView key, BytesView message);
+
+}  // namespace onion::crypto

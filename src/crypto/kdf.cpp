@@ -1,0 +1,28 @@
+#include "crypto/kdf.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace onion::crypto {
+
+Bytes derive_bytes(BytesView secret, std::string_view label,
+                   BytesView context) {
+  const Bytes info = concat(to_bytes(label), context);
+  const Sha256Digest mac = hmac_sha256(secret, info);
+  return Bytes(mac.begin(), mac.end());
+}
+
+RsaKeyPair rotated_service_key(const RsaPublicKey& cnc_key, BytesView kb,
+                               std::uint64_t period_index) {
+  // H(K_B, i_p): the per-period secret only the bot and the C&C can form.
+  const Bytes period_secret =
+      derive_bytes(kb, "onionbot-rotation", be64(period_index));
+  // Bind to PK_CC so distinct botnets derive distinct identities even if a
+  // K_B were ever reused, then expand into an RNG seed for keygen.
+  const Bytes seed_material =
+      derive_bytes(period_secret, "onionbot-service-key",
+                   cnc_key.serialize());
+  Rng seeded(read_be64(seed_material));
+  return rsa_generate(seeded, /*nominal_bits=*/1024);
+}
+
+}  // namespace onion::crypto

@@ -1,0 +1,31 @@
+// Key derivation for the OnionBot address-rotation scheme (paper §IV-D):
+//
+//   new private key = generateKey(PK_CC, H(K_B, i_p))
+//
+// where K_B is the symmetric key the bot shared with the C&C at rally time
+// and i_p is the index of the rotation period (e.g. the day number). Both
+// the bot and the botmaster can run this independently, which is what lets
+// the C&C reach every bot after it changes its .onion address without any
+// directory or broadcast.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "crypto/simrsa.hpp"
+
+namespace onion::crypto {
+
+/// Generic labeled derivation: HMAC-SHA256(secret, label ‖ context).
+Bytes derive_bytes(BytesView secret, std::string_view label,
+                   BytesView context);
+
+/// The paper's recipe: a deterministic RSA key pair seeded by
+/// HMAC-SHA256(K_B ‖ period) bound to the C&C public key. Deterministic:
+/// the same (PK_CC, K_B, period) always yields the same service identity,
+/// on the bot and at the C&C.
+RsaKeyPair rotated_service_key(const RsaPublicKey& cnc_key, BytesView kb,
+                               std::uint64_t period_index);
+
+}  // namespace onion::crypto

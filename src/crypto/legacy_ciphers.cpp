@@ -1,0 +1,31 @@
+#include "crypto/legacy_ciphers.hpp"
+
+namespace onion::crypto {
+
+Bytes xor_cipher(BytesView data, std::uint8_t key) {
+  Bytes out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) out[i] = data[i] ^ key;
+  return out;
+}
+
+Bytes chained_xor_encrypt(BytesView data, std::uint8_t key) {
+  Bytes out(data.size());
+  std::uint8_t prev = key;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i] = data[i] ^ prev;
+    prev = out[i];
+  }
+  return out;
+}
+
+Bytes chained_xor_decrypt(BytesView data, std::uint8_t key) {
+  Bytes out(data.size());
+  std::uint8_t prev = key;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i] = data[i] ^ prev;
+    prev = data[i];
+  }
+  return out;
+}
+
+}  // namespace onion::crypto

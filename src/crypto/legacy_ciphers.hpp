@@ -1,0 +1,28 @@
+// The weak "crypto" schemes real botnets shipped (paper Table I):
+//   Miner          — no encryption at all
+//   Storm          — single-byte XOR
+//   Zeus           — chained XOR (each ciphertext byte keys the next)
+// (ZeroAccess v1's RC4 lives in rc4.hpp.)
+// Implemented so the Table I bench can demonstrate, in running code, why
+// each is replayable and hijackable — the contrast motivating OnionBot's
+// cryptographic design (paper Section IV-E).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace onion::crypto {
+
+/// Storm-style XOR: every byte XORed with the same single-byte key.
+Bytes xor_cipher(BytesView data, std::uint8_t key);
+
+/// Zeus-style chained XOR encryption: out[0] = in[0] ^ key;
+/// out[i] = in[i] ^ out[i-1]. Self-synchronizing and trivially breakable,
+/// reproduced faithfully from the malware analyses the paper cites.
+Bytes chained_xor_encrypt(BytesView data, std::uint8_t key);
+
+/// Inverse of chained_xor_encrypt.
+Bytes chained_xor_decrypt(BytesView data, std::uint8_t key);
+
+}  // namespace onion::crypto

@@ -1,0 +1,32 @@
+#include "crypto/rc4.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace onion::crypto {
+
+Rc4::Rc4(BytesView key) {
+  ONION_EXPECTS(!key.empty() && key.size() <= 256);
+  std::iota(state_.begin(), state_.end(), 0);
+  std::uint8_t j = 0;
+  for (std::size_t i = 0; i < 256; ++i) {
+    j = static_cast<std::uint8_t>(j + state_[i] + key[i % key.size()]);
+    std::swap(state_[i], state_[j]);
+  }
+}
+
+std::uint8_t Rc4::next_byte() {
+  i_ = static_cast<std::uint8_t>(i_ + 1);
+  j_ = static_cast<std::uint8_t>(j_ + state_[i_]);
+  std::swap(state_[i_], state_[j_]);
+  return state_[static_cast<std::uint8_t>(state_[i_] + state_[j_])];
+}
+
+Bytes Rc4::process(BytesView data) {
+  Bytes out(data.size());
+  for (std::size_t n = 0; n < data.size(); ++n) out[n] = data[n] ^ next_byte();
+  return out;
+}
+
+}  // namespace onion::crypto

@@ -1,0 +1,34 @@
+// RC4 stream cipher. Two roles in this repository: (1) ZeroAccess v1's
+// payload cipher in the Table I baseline reproduction, and (2) the
+// simulation-grade per-hop cipher inside simulated Tor circuits (stand-in
+// for AES-CTR; the evaluation never depends on cipher strength, only on
+// the layered-encryption structure). Tested against the classic published
+// vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace onion::crypto {
+
+/// RC4 keystream generator; process() encrypts and decrypts (XOR stream).
+class Rc4 {
+ public:
+  /// Precondition: 1 <= key.size() <= 256.
+  explicit Rc4(BytesView key);
+
+  /// XORs the keystream into a copy of `data` and returns it.
+  Bytes process(BytesView data);
+
+  /// Next keystream byte (exposed for the uniform-encoding layer).
+  std::uint8_t next_byte();
+
+ private:
+  std::array<std::uint8_t, 256> state_;
+  std::uint8_t i_ = 0;
+  std::uint8_t j_ = 0;
+};
+
+}  // namespace onion::crypto

@@ -1,0 +1,120 @@
+#include "crypto/sha1.hpp"
+
+#include <cstring>
+
+namespace onion::crypto {
+
+namespace {
+std::uint32_t rotl32(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+}  // namespace
+
+void Sha1::reset() {
+  h_[0] = 0x67452301u;
+  h_[1] = 0xefcdab89u;
+  h_[2] = 0x98badcfeu;
+  h_[3] = 0x10325476u;
+  h_[4] = 0xc3d2e1f0u;
+  buffer_len_ = 0;
+  total_len_ = 0;
+}
+
+void Sha1::update(BytesView data) {
+  total_len_ += data.size();
+  std::size_t offset = 0;
+  if (buffer_len_ > 0) {
+    const std::size_t take = std::min(data.size(), 64 - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset = take;
+    if (buffer_len_ == 64) {
+      process_block(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_, data.data() + offset, data.size() - offset);
+    buffer_len_ = data.size() - offset;
+  }
+}
+
+Sha1Digest Sha1::finalize() {
+  const std::uint64_t bit_len = total_len_ * 8;
+  const std::uint8_t pad_byte = 0x80;
+  update(BytesView(&pad_byte, 1));
+  const std::uint8_t zero = 0x00;
+  while (buffer_len_ != 56) update(BytesView(&zero, 1));
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i)
+    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  update(BytesView(len_bytes, 8));
+
+  Sha1Digest out;
+  for (int i = 0; i < 5; ++i) {
+    out[static_cast<std::size_t>(4 * i)] =
+        static_cast<std::uint8_t>(h_[i] >> 24);
+    out[static_cast<std::size_t>(4 * i + 1)] =
+        static_cast<std::uint8_t>(h_[i] >> 16);
+    out[static_cast<std::size_t>(4 * i + 2)] =
+        static_cast<std::uint8_t>(h_[i] >> 8);
+    out[static_cast<std::size_t>(4 * i + 3)] =
+        static_cast<std::uint8_t>(h_[i]);
+  }
+  return out;
+}
+
+Sha1Digest Sha1::hash(BytesView data) {
+  Sha1 hasher;
+  hasher.update(data);
+  return hasher.finalize();
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = static_cast<std::uint32_t>(block[4 * t]) << 24 |
+           static_cast<std::uint32_t>(block[4 * t + 1]) << 16 |
+           static_cast<std::uint32_t>(block[4 * t + 2]) << 8 |
+           static_cast<std::uint32_t>(block[4 * t + 3]);
+  }
+  for (int t = 16; t < 80; ++t)
+    w[t] = rotl32(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int t = 0; t < 80; ++t) {
+    std::uint32_t f, k;
+    if (t < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5a827999u;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ed9eba1u;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8f1bbcdcu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xca62c1d6u;
+    }
+    const std::uint32_t temp = rotl32(a, 5) + f + e + k + w[t];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = temp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+Bytes digest_bytes(const Sha1Digest& d) { return Bytes(d.begin(), d.end()); }
+
+}  // namespace onion::crypto

@@ -1,0 +1,48 @@
+// SHA-1 (FIPS 180-4). Tor derives .onion identifiers, relay fingerprints,
+// and hidden-service descriptor IDs from SHA-1 digests (Section III of the
+// paper), so the simulator implements it in full and tests it against the
+// official vectors. SHA-1 is used here for protocol fidelity, not for
+// collision resistance.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace onion::crypto {
+
+/// 160-bit SHA-1 digest.
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+/// Incremental SHA-1: init -> update* -> finalize. Reusable after reset().
+class Sha1 {
+ public:
+  Sha1() { reset(); }
+
+  /// Clears state for a fresh hash.
+  void reset();
+
+  /// Absorbs `data`.
+  void update(BytesView data);
+
+  /// Completes the hash. The object must be reset() before reuse.
+  Sha1Digest finalize();
+
+  /// One-shot convenience.
+  static Sha1Digest hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t h_[5];
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Digest as an owning buffer (handy for concatenation into protocol
+/// messages).
+Bytes digest_bytes(const Sha1Digest& d);
+
+}  // namespace onion::crypto

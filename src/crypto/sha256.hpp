@@ -1,0 +1,41 @@
+// SHA-256 (FIPS 180-4). The OnionBot C&C protocol hashes commands before
+// signing, and the address-rotation KDF is HMAC-SHA256 based. Tested
+// against the official vectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace onion::crypto {
+
+/// 256-bit SHA-256 digest.
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256: init -> update* -> finalize. Reusable after
+/// reset().
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  Sha256Digest finalize();
+
+  /// One-shot convenience.
+  static Sha256Digest hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t h_[8];
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Digest as an owning buffer.
+Bytes digest_bytes(const Sha256Digest& d);
+
+}  // namespace onion::crypto

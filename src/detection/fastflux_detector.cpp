@@ -1,0 +1,62 @@
+#include "detection/fastflux_detector.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace onion::detection {
+
+std::vector<FluxFeatures> flux_features(const TrafficTrace& trace) {
+  struct Accum {
+    std::set<std::uint32_t> ips;
+    std::size_t answers = 0;
+    double ttl_sum = 0.0;
+  };
+  std::map<std::string, Accum> per_name;
+  for (const DnsRecord& r : trace.dns) {
+    if (r.nxdomain) continue;
+    Accum& a = per_name[r.qname];
+    ++a.answers;
+    a.ips.insert(r.resolved);
+    a.ttl_sum += static_cast<double>(r.ttl);
+  }
+
+  std::vector<FluxFeatures> out;
+  out.reserve(per_name.size());
+  for (const auto& [name, a] : per_name) {
+    FluxFeatures f;
+    f.qname = name;
+    f.answers = a.answers;
+    f.distinct_ips = a.ips.size();
+    f.mean_ttl = a.ttl_sum / static_cast<double>(a.answers);
+    out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<std::string> fluxed_domains(const TrafficTrace& trace,
+                                        const FluxDetectorConfig& config) {
+  std::vector<std::string> out;
+  for (const FluxFeatures& f : flux_features(trace)) {
+    if (f.answers < config.min_answers) continue;
+    if (f.distinct_ips <= config.distinct_ips_threshold) continue;
+    if (f.mean_ttl >= config.ttl_threshold) continue;
+    out.push_back(f.qname);
+  }
+  return out;
+}
+
+DetectionResult detect_fastflux(const TrafficTrace& trace,
+                                const FluxDetectorConfig& config) {
+  const std::vector<std::string> bad = fluxed_domains(trace, config);
+  const std::set<std::string> bad_set(bad.begin(), bad.end());
+
+  DetectionResult result;
+  std::set<HostId> flagged;
+  for (const DnsRecord& r : trace.dns)
+    if (!r.nxdomain && bad_set.count(r.qname) > 0) flagged.insert(r.client);
+  result.flagged.assign(flagged.begin(), flagged.end());
+  return result;
+}
+
+}  // namespace onion::detection

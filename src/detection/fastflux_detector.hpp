@@ -1,0 +1,46 @@
+// Fast-flux detection from resolver logs (paper §II; the Honeynet
+// Project's "Know Your Enemy: Fast-Flux Service Networks"). The
+// published fingerprint is per-*domain*, not per-host: a fluxed name
+// accumulates an abnormal number of distinct A records at abnormally
+// short TTLs. Hosts are flagged for contacting a fluxed domain.
+//
+// OnionBots never trip this either — there is no domain to flux; the
+// rendezvous role fast-flux plays is subsumed by Tor hidden-service
+// descriptors, which this detector cannot see.
+#pragma once
+
+#include <string>
+
+#include "detection/telemetry.hpp"
+
+namespace onion::detection {
+
+struct FluxDetectorConfig {
+  /// Distinct resolved addresses a single name must exceed.
+  std::size_t distinct_ips_threshold = 10;
+  /// Mean answer TTL (seconds) a fluxed name stays under.
+  double ttl_threshold = 600.0;
+  /// Minimum answered queries before judging a domain.
+  std::size_t min_answers = 10;
+};
+
+/// Per-domain features, exposed for tests and the bench printout.
+struct FluxFeatures {
+  std::string qname;
+  std::size_t answers = 0;
+  std::size_t distinct_ips = 0;
+  double mean_ttl = 0.0;
+};
+
+/// Computes features for every name with at least one answered query.
+std::vector<FluxFeatures> flux_features(const TrafficTrace& trace);
+
+/// Names judged fluxed under the config.
+std::vector<std::string> fluxed_domains(const TrafficTrace& trace,
+                                        const FluxDetectorConfig& config = {});
+
+/// Flags every host that queried a fluxed name.
+DetectionResult detect_fastflux(const TrafficTrace& trace,
+                                const FluxDetectorConfig& config = {});
+
+}  // namespace onion::detection

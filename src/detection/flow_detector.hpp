@@ -1,0 +1,53 @@
+// NetFlow-level C&C channel detection (paper §II cites DISCLOSURE and
+// BotFinder): no payload inspection, only flow metadata. C&C beacons are
+// machine-generated, so per-(src,dst) flow series show
+//
+//   1. near-constant flow sizes (a human's page loads vary by 100x), and
+//   2. timer-driven inter-arrival regularity.
+//
+// Both are measured as coefficients of variation (stddev/mean); a pair
+// whose flows are numerous, size-stable, and clock-regular is a beacon
+// channel, and its source is flagged.
+//
+// Against OnionBots the features degrade by construction: every flow to
+// a guard relay multiplexes heartbeats, NoN shares, rendezvous setup,
+// and relayed third-party broadcast cells, with per-bot jitter on every
+// timer. The residual weak regularity is shared by benign Tor clients
+// (circuit maintenance is timer-driven too), so any threshold that flags
+// the bots flags the legitimate Tor users with them — the paper's
+// point that mitigation collapses into blocking Tor wholesale.
+#pragma once
+
+#include "detection/telemetry.hpp"
+
+namespace onion::detection {
+
+struct FlowDetectorConfig {
+  /// Minimum flows on a (src,dst) pair before judging it.
+  std::size_t min_flows = 12;
+  /// Coefficient of variation of flow sizes below which sizes count as
+  /// machine-constant.
+  double size_cv_threshold = 0.25;
+  /// Coefficient of variation of inter-arrival gaps below which timing
+  /// counts as timer-driven.
+  double gap_cv_threshold = 0.45;
+};
+
+/// Per-channel features, exposed for tests and the bench printout.
+struct ChannelFeatures {
+  HostId src = 0;
+  HostId dst = 0;
+  std::size_t flows = 0;
+  double size_cv = 0.0;
+  double gap_cv = 0.0;
+};
+
+/// Features for every (src,dst) pair meeting the minimum flow count.
+std::vector<ChannelFeatures> channel_features(const TrafficTrace& trace,
+                                              std::size_t min_flows);
+
+/// Flags sources owning at least one beacon-like channel.
+DetectionResult detect_beacons(const TrafficTrace& trace,
+                               const FlowDetectorConfig& config = {});
+
+}  // namespace onion::detection

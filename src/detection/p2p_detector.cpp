@@ -1,0 +1,69 @@
+#include "detection/p2p_detector.hpp"
+
+#include <map>
+#include <set>
+
+namespace onion::detection {
+
+std::vector<MeshFeatures> mesh_features(const TrafficTrace& trace,
+                                        std::size_t min_pair_bytes) {
+  const std::set<HostId> monitored(trace.hosts.begin(), trace.hosts.end());
+
+  // Undirected monitored-host graph with per-pair byte totals.
+  std::map<std::pair<HostId, HostId>, std::size_t> pair_bytes;
+  for (const FlowRecord& f : trace.flows) {
+    if (f.src == f.dst) continue;
+    if (monitored.count(f.src) == 0 || monitored.count(f.dst) == 0)
+      continue;
+    const auto key = f.src < f.dst ? std::make_pair(f.src, f.dst)
+                                   : std::make_pair(f.dst, f.src);
+    pair_bytes[key] += f.bytes;
+  }
+
+  std::map<HostId, std::set<HostId>> adjacency;
+  for (const auto& [pair, bytes] : pair_bytes) {
+    if (bytes < min_pair_bytes) continue;
+    adjacency[pair.first].insert(pair.second);
+    adjacency[pair.second].insert(pair.first);
+  }
+
+  std::vector<MeshFeatures> out;
+  out.reserve(adjacency.size());
+  for (const auto& [host, peers] : adjacency) {
+    MeshFeatures f;
+    f.host = host;
+    f.peer_degree = peers.size();
+    if (peers.size() >= 2) {
+      std::size_t connected_pairs = 0;
+      std::size_t total_pairs = 0;
+      for (auto it = peers.begin(); it != peers.end(); ++it) {
+        for (auto jt = std::next(it); jt != peers.end(); ++jt) {
+          ++total_pairs;
+          const auto a = adjacency.find(*it);
+          if (a != adjacency.end() && a->second.count(*jt) > 0)
+            ++connected_pairs;
+        }
+      }
+      f.peer_interconnection =
+          total_pairs == 0 ? 0.0
+                           : static_cast<double>(connected_pairs) /
+                                 static_cast<double>(total_pairs);
+    }
+    out.push_back(f);
+  }
+  return out;
+}
+
+DetectionResult detect_p2p(const TrafficTrace& trace,
+                           const P2pDetectorConfig& config) {
+  DetectionResult result;
+  for (const MeshFeatures& f :
+       mesh_features(trace, config.min_pair_bytes)) {
+    if (f.peer_degree < config.min_peer_degree) continue;
+    if (f.peer_interconnection < config.min_peer_interconnection) continue;
+    result.flagged.push_back(f.host);
+  }
+  return result;
+}
+
+}  // namespace onion::detection

@@ -1,0 +1,45 @@
+#include "detection/telemetry.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace onion::detection {
+
+void TrafficTrace::append(const TrafficTrace& other) {
+  dns.insert(dns.end(), other.dns.begin(), other.dns.end());
+  flows.insert(flows.end(), other.flows.begin(), other.flows.end());
+  infected.insert(infected.end(), other.infected.begin(),
+                  other.infected.end());
+  hosts.insert(hosts.end(), other.hosts.begin(), other.hosts.end());
+  known_tor_relays.insert(known_tor_relays.end(),
+                          other.known_tor_relays.begin(),
+                          other.known_tor_relays.end());
+}
+
+double DetectionResult::true_positive_rate(const TrafficTrace& trace) const {
+  if (trace.infected.empty()) return 0.0;
+  const std::set<HostId> flagged_set(flagged.begin(), flagged.end());
+  std::size_t hits = 0;
+  for (const HostId h : trace.infected)
+    if (flagged_set.count(h) > 0) ++hits;
+  return static_cast<double>(hits) /
+         static_cast<double>(trace.infected.size());
+}
+
+double DetectionResult::false_positive_rate(
+    const TrafficTrace& trace) const {
+  const std::set<HostId> infected_set(trace.infected.begin(),
+                                      trace.infected.end());
+  std::size_t benign = 0;
+  std::size_t false_hits = 0;
+  const std::set<HostId> flagged_set(flagged.begin(), flagged.end());
+  for (const HostId h : trace.hosts) {
+    if (infected_set.count(h) > 0) continue;
+    ++benign;
+    if (flagged_set.count(h) > 0) ++false_hits;
+  }
+  if (benign == 0) return 0.0;
+  return static_cast<double>(false_hits) / static_cast<double>(benign);
+}
+
+}  // namespace onion::detection

@@ -1,0 +1,76 @@
+// Network telemetry as an ISP/enterprise defender records it — the raw
+// material of every detection system the paper surveys in Section II.
+// Detectors in this module consume nothing else: if a signal is not in
+// the DNS log or the flow log, no detector can use it. That constraint
+// is the point of the module — OnionBot traffic simply leaves the
+// incriminating fields empty (no DNS, no plaintext, no bot-to-bot flows
+// visible past the first Tor hop).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace onion::detection {
+
+/// Identifies a monitored endpoint (a host IP, anonymized).
+using HostId = std::uint32_t;
+
+/// One DNS query observed at the resolver.
+struct DnsRecord {
+  HostId client = 0;
+  std::string qname;
+  /// NXDOMAIN answers are the DGA tell: most generated names are never
+  /// registered.
+  bool nxdomain = false;
+  /// Answer TTL in seconds (fast-flux uses very small values).
+  std::uint32_t ttl = 3600;
+  /// Resolved address (0 when nxdomain). Fast-flux cycles many of these
+  /// per name.
+  std::uint32_t resolved = 0;
+  SimTime at = 0;
+};
+
+/// One flow record (NetFlow-style 5-tuple digest).
+struct FlowRecord {
+  HostId src = 0;
+  HostId dst = 0;
+  std::uint16_t dst_port = 0;
+  std::size_t bytes = 0;
+  /// Whether payload bytes look high-entropy to a DPI tap. Tor traffic
+  /// is always true; legacy families vary.
+  bool encrypted = false;
+  SimTime at = 0;
+};
+
+/// A labelled capture: what the defender's sensors collected over the
+/// observation window, plus ground truth for scoring detectors.
+struct TrafficTrace {
+  std::vector<DnsRecord> dns;
+  std::vector<FlowRecord> flows;
+
+  /// Ground truth: which monitored hosts are actually infected.
+  std::vector<HostId> infected;
+  /// All monitored hosts (infected plus benign).
+  std::vector<HostId> hosts;
+
+  /// Destination IDs that are publicly known Tor relays (defenders have
+  /// the consensus too; knowing a host *uses* Tor is easy — knowing what
+  /// it does through Tor is not).
+  std::vector<HostId> known_tor_relays;
+
+  void append(const TrafficTrace& other);
+};
+
+/// A detector's verdict over a trace.
+struct DetectionResult {
+  std::vector<HostId> flagged;
+
+  /// Scores against ground truth.
+  double true_positive_rate(const TrafficTrace& trace) const;
+  double false_positive_rate(const TrafficTrace& trace) const;
+};
+
+}  // namespace onion::detection

@@ -1,0 +1,22 @@
+#include "detection/tor_flagger.hpp"
+
+#include <map>
+#include <set>
+
+namespace onion::detection {
+
+DetectionResult detect_tor_users(const TrafficTrace& trace,
+                                 std::size_t min_flows) {
+  const std::set<HostId> relays(trace.known_tor_relays.begin(),
+                                trace.known_tor_relays.end());
+  std::map<HostId, std::size_t> tor_flows;
+  for (const FlowRecord& f : trace.flows)
+    if (relays.count(f.dst) > 0) ++tor_flows[f.src];
+
+  DetectionResult result;
+  for (const auto& [host, count] : tor_flows)
+    if (count >= min_flows) result.flagged.push_back(host);
+  return result;
+}
+
+}  // namespace onion::detection

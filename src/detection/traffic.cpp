@@ -1,0 +1,321 @@
+#include "detection/traffic.hpp"
+
+#include <array>
+
+#include "common/check.hpp"
+
+namespace onion::detection {
+
+namespace {
+
+/// A few plausibly popular sites for benign DNS noise.
+constexpr std::array<const char*, 8> kPopularSites = {
+    "search.example",  "video.example",  "social.example", "news.example",
+    "mail.example",    "shop.example",   "wiki.example",   "cdn.example",
+};
+
+/// Benign-looking pseudo-word for synthetic domains (low entropy,
+/// pronounceable-ish — what DGA classifiers contrast against).
+std::string benign_name(Rng& rng) {
+  static constexpr const char* kVowels = "aeiou";
+  static constexpr const char* kConsonants = "bcdfghklmnprstvw";
+  std::string out;
+  const std::size_t syllables = 2 + rng.uniform(2);
+  for (std::size_t s = 0; s < syllables; ++s) {
+    out.push_back(kConsonants[rng.uniform(16)]);
+    out.push_back(kVowels[rng.uniform(5)]);
+  }
+  out += ".example";
+  return out;
+}
+
+/// High-entropy generated label, the classic DGA shape (Conficker-like).
+std::string dga_name(Rng& rng) {
+  std::string out;
+  const std::size_t len = 12 + rng.uniform(8);
+  for (std::size_t i = 0; i < len; ++i)
+    out.push_back(static_cast<char>('a' + rng.uniform(26)));
+  out += ".example";
+  return out;
+}
+
+/// Hosts `count` fresh IDs starting at `next`, appending them to `trace`.
+std::vector<HostId> allocate_hosts(TrafficTrace& trace, HostId& next,
+                                   std::size_t count) {
+  std::vector<HostId> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(next);
+    trace.hosts.push_back(next);
+    ++next;
+  }
+  return out;
+}
+
+/// Emits web-browsing telemetry for one benign host.
+void emit_browsing(TrafficTrace& trace, HostId host, SimDuration window,
+                   Rng& rng) {
+  SimTime t = rng.uniform(5 * kMinute);
+  while (t < window) {
+    DnsRecord dns;
+    dns.client = host;
+    dns.qname = rng.uniform(3) == 0 ? benign_name(rng)
+                                    : kPopularSites[rng.uniform(8)];
+    dns.nxdomain = rng.uniform(50) == 0;  // the odd typo
+    dns.ttl = 300 + static_cast<std::uint32_t>(rng.uniform(3300));
+    dns.resolved =
+        dns.nxdomain ? 0 : 0x0a000000u + static_cast<std::uint32_t>(
+                                             rng.uniform(1 << 16));
+    dns.at = t;
+    trace.dns.push_back(dns);
+
+    if (!dns.nxdomain) {
+      FlowRecord flow;
+      flow.src = host;
+      flow.dst = dns.resolved;
+      flow.dst_port = rng.uniform(4) == 0 ? 80 : 443;
+      flow.bytes = 2'000 + rng.uniform(400'000);
+      flow.encrypted = flow.dst_port == 443;
+      flow.at = t + kSecond;
+      trace.flows.push_back(flow);
+    }
+    // Think time between page visits: human-irregular.
+    t += 30 * kSecond + rng.uniform(20 * kMinute);
+  }
+}
+
+/// Emits Tor-client telemetry: encrypted, cell-quantized flows to a few
+/// guard relays, no meaningful DNS (Tor resolves remotely).
+void emit_tor_client(TrafficTrace& trace, HostId host,
+                     const std::vector<HostId>& relays, SimDuration window,
+                     SimDuration mean_gap, Rng& rng) {
+  ONION_EXPECTS(!relays.empty());
+  // Each client sticks to a small guard set, like real Tor.
+  std::array<HostId, 3> guards = {
+      relays[rng.uniform(relays.size())],
+      relays[rng.uniform(relays.size())],
+      relays[rng.uniform(relays.size())],
+  };
+  SimTime t = rng.uniform(mean_gap);
+  while (t < window) {
+    FlowRecord flow;
+    flow.src = host;
+    flow.dst = guards[rng.uniform(guards.size())];
+    flow.dst_port = 9001;
+    // Tor moves fixed 512-byte cells; flow sizes are cell multiples.
+    flow.bytes = 512 * (1 + rng.uniform(512));
+    flow.encrypted = true;
+    flow.at = t;
+    trace.flows.push_back(flow);
+    t += mean_gap / 2 + rng.uniform(mean_gap);
+  }
+}
+
+/// Registers `count` public relay IDs in the trace.
+std::vector<HostId> register_relays(TrafficTrace& trace, HostId& next,
+                                    std::size_t count) {
+  std::vector<HostId> relays;
+  relays.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    relays.push_back(next);
+    trace.known_tor_relays.push_back(next);
+    ++next;
+  }
+  return relays;
+}
+
+/// Shared benign mix: browsing hosts plus legitimate Tor users.
+void emit_benign(TrafficTrace& trace, const TrafficConfig& config,
+                 HostId& next, Rng& rng) {
+  const auto web = allocate_hosts(trace, next, config.benign_web);
+  for (const HostId h : web) emit_browsing(trace, h, config.window, rng);
+
+  if (config.benign_tor > 0) {
+    const auto relays = register_relays(trace, next, config.tor_relays);
+    const auto tor_users = allocate_hosts(trace, next, config.benign_tor);
+    for (const HostId h : tor_users) {
+      emit_browsing(trace, h, config.window, rng);  // Tor users also browse
+      emit_tor_client(trace, h, relays, config.window, 10 * kMinute, rng);
+    }
+  }
+}
+
+}  // namespace
+
+TrafficTrace benign_background(const TrafficConfig& config, Rng& rng) {
+  TrafficTrace trace;
+  HostId next = config.first_host;
+  emit_benign(trace, config, next, rng);
+  return trace;
+}
+
+TrafficTrace centralized_http_traffic(const TrafficConfig& config,
+                                      Rng& rng) {
+  TrafficTrace trace;
+  HostId next = config.first_host;
+  emit_benign(trace, config, next, rng);
+
+  const std::uint32_t cnc_ip = 0xc0a80001;
+  const auto bots = allocate_hosts(trace, next, config.bots);
+  trace.infected = bots;
+  for (const HostId bot : bots) {
+    emit_browsing(trace, bot, config.window, rng);  // the user still browses
+    SimTime t = rng.uniform(5 * kMinute);
+    while (t < config.window) {
+      DnsRecord dns;
+      dns.client = bot;
+      dns.qname = "update-service.example";  // the one hardcoded domain
+      dns.ttl = 3600;
+      dns.resolved = cnc_ip;
+      dns.at = t;
+      trace.dns.push_back(dns);
+
+      FlowRecord poll;
+      poll.src = bot;
+      poll.dst = cnc_ip;
+      poll.dst_port = 80;
+      poll.bytes = 600 + rng.uniform(64);  // tiny beacon, near-constant
+      poll.encrypted = false;
+      poll.at = t + kSecond;
+      trace.flows.push_back(poll);
+      t += 5 * kMinute + rng.uniform(30 * kSecond);  // timer-regular
+    }
+  }
+  return trace;
+}
+
+TrafficTrace dga_traffic(const TrafficConfig& config, Rng& rng) {
+  TrafficTrace trace;
+  HostId next = config.first_host;
+  emit_benign(trace, config, next, rng);
+
+  const auto bots = allocate_hosts(trace, next, config.bots);
+  trace.infected = bots;
+  for (const HostId bot : bots) {
+    emit_browsing(trace, bot, config.window, rng);
+    // Every rendezvous period the bot walks the generated list until one
+    // name resolves; law enforcement never registered the first N-1.
+    for (SimTime period = 0; period < config.window; period += 6 * kHour) {
+      const std::size_t attempts = 40 + rng.uniform(40);
+      SimTime t = period + rng.uniform(10 * kMinute);
+      for (std::size_t i = 0; i + 1 < attempts; ++i) {
+        DnsRecord miss;
+        miss.client = bot;
+        miss.qname = dga_name(rng);
+        miss.nxdomain = true;
+        miss.ttl = 0;
+        miss.at = t;
+        trace.dns.push_back(miss);
+        t += kSecond + rng.uniform(2 * kSecond);
+      }
+      DnsRecord hit;
+      hit.client = bot;
+      hit.qname = dga_name(rng);  // today's registered name
+      hit.ttl = 600;
+      hit.resolved = 0xc0a80002;
+      hit.at = t;
+      trace.dns.push_back(hit);
+
+      FlowRecord flow;
+      flow.src = bot;
+      flow.dst = hit.resolved;
+      flow.dst_port = 80;
+      flow.bytes = 900 + rng.uniform(128);
+      flow.encrypted = false;
+      flow.at = t + kSecond;
+      trace.flows.push_back(flow);
+    }
+  }
+  return trace;
+}
+
+TrafficTrace fastflux_traffic(const TrafficConfig& config, Rng& rng) {
+  TrafficTrace trace;
+  HostId next = config.first_host;
+  emit_benign(trace, config, next, rng);
+
+  const auto bots = allocate_hosts(trace, next, config.bots);
+  trace.infected = bots;
+  // The flux pool: hundreds of compromised front IPs, rotated per query.
+  const std::size_t pool = 400;
+  for (const HostId bot : bots) {
+    emit_browsing(trace, bot, config.window, rng);
+    SimTime t = rng.uniform(5 * kMinute);
+    while (t < config.window) {
+      DnsRecord dns;
+      dns.client = bot;
+      dns.qname = "promo-deals.example";  // the fluxed domain
+      dns.ttl = 60 + static_cast<std::uint32_t>(rng.uniform(240));
+      dns.resolved =
+          0xac100000u + static_cast<std::uint32_t>(rng.uniform(pool));
+      dns.at = t;
+      trace.dns.push_back(dns);
+
+      FlowRecord flow;
+      flow.src = bot;
+      flow.dst = dns.resolved;
+      flow.dst_port = 80;
+      flow.bytes = 800 + rng.uniform(256);
+      flow.encrypted = false;
+      flow.at = t + kSecond;
+      trace.flows.push_back(flow);
+      t += 10 * kMinute + rng.uniform(2 * kMinute);
+    }
+  }
+  return trace;
+}
+
+TrafficTrace p2p_plain_traffic(const TrafficConfig& config, Rng& rng) {
+  TrafficTrace trace;
+  HostId next = config.first_host;
+  emit_benign(trace, config, next, rng);
+
+  const auto bots = allocate_hosts(trace, next, config.bots);
+  trace.infected = bots;
+  for (const HostId bot : bots) emit_browsing(trace, bot, config.window, rng);
+  // Gossip mesh: each bot keeps pinging a handful of fixed peers with the
+  // family's recognizable message sizes (Storm's OVERNET heritage).
+  for (const HostId bot : bots) {
+    std::array<HostId, 4> peers{};
+    for (auto& p : peers) {
+      do {
+        p = bots[rng.uniform(bots.size())];
+      } while (p == bot && bots.size() > 1);
+    }
+    SimTime t = rng.uniform(kMinute);
+    while (t < config.window) {
+      FlowRecord flow;
+      flow.src = bot;
+      flow.dst = peers[rng.uniform(peers.size())];
+      flow.dst_port = 7871;
+      flow.bytes = 25 + rng.uniform(4);  // tiny keep-alive datagrams
+      flow.encrypted = false;            // XOR "crypto" reads as plaintext
+      flow.at = t;
+      trace.flows.push_back(flow);
+      t += 30 * kSecond + rng.uniform(30 * kSecond);
+    }
+  }
+  return trace;
+}
+
+TrafficTrace onionbot_traffic(const TrafficConfig& config, Rng& rng) {
+  TrafficTrace trace;
+  HostId next = config.first_host;
+  // Benign mix first; reuse its relay registry if Tor users exist,
+  // otherwise register relays now.
+  emit_benign(trace, config, next, rng);
+  std::vector<HostId> relays = trace.known_tor_relays;
+  if (relays.empty()) relays = register_relays(trace, next, config.tor_relays);
+
+  const auto bots = allocate_hosts(trace, next, config.bots);
+  trace.infected = bots;
+  for (const HostId bot : bots) {
+    emit_browsing(trace, bot, config.window, rng);
+    // Heartbeats, NoN shares, relayed broadcasts: all of it is just more
+    // cells into the guard — same shape as the benign Tor users above.
+    emit_tor_client(trace, bot, relays, config.window, 10 * kMinute, rng);
+  }
+  return trace;
+}
+
+}  // namespace onion::detection

@@ -1,0 +1,71 @@
+// Synthetic traffic generators for the detection experiments: one per
+// botnet architecture the paper surveys (Section II), plus benign
+// background. Each generator emits the telemetry an on-path defender
+// would actually record over an observation window — the models encode
+// the published behavioural signatures:
+//
+//   Centralized HTTP  fixed C&C domain, periodic polling (GT-Bots,
+//                     Clickbot.a style)
+//   DGA               hundreds of algorithmically generated lookups per
+//                     period, almost all NXDOMAIN (Torpig, Conficker)
+//   Fast-flux         one domain, many short-TTL A records in rotation
+//                     (single flux; honeynet project description)
+//   P2P plaintext     unencrypted bot-to-bot gossip with a recognizable
+//                     size signature (Storm/Stormnet style)
+//   OnionBot          nothing but encrypted, fixed-size-cell flows to
+//                     public Tor relays; no DNS at all (.onion names
+//                     never touch the resolver)
+//
+// Benign background mixes normal web browsing and — crucially for the
+// false-positive story — legitimate Tor users, who look exactly like
+// OnionBots from the flow log.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "detection/telemetry.hpp"
+
+namespace onion::detection {
+
+/// Shared workload parameters.
+struct TrafficConfig {
+  /// Observation window.
+  SimDuration window = 24 * kHour;
+  /// Infected population.
+  std::size_t bots = 40;
+  /// Benign web-browsing hosts.
+  std::size_t benign_web = 120;
+  /// Benign Tor users (browse through Tor; no botnet involvement).
+  std::size_t benign_tor = 20;
+  /// Simulated public Tor relay count (consensus size).
+  std::size_t tor_relays = 64;
+  /// First HostId to allocate (so traces can be composed).
+  HostId first_host = 0;
+};
+
+/// Benign background only (no infected hosts).
+TrafficTrace benign_background(const TrafficConfig& config, Rng& rng);
+
+/// Centralized HTTP C&C: every bot resolves the (single) C&C domain and
+/// polls it on a timer.
+TrafficTrace centralized_http_traffic(const TrafficConfig& config, Rng& rng);
+
+/// DGA rendezvous: each bot walks the day's generated domain list until
+/// the one registered name answers; the rest are NXDOMAIN.
+TrafficTrace dga_traffic(const TrafficConfig& config, Rng& rng);
+
+/// Fast-flux C&C: one domain whose A records rotate through a large,
+/// short-TTL address pool (the compromised-proxy layer).
+TrafficTrace fastflux_traffic(const TrafficConfig& config, Rng& rng);
+
+/// Unencrypted peer-to-peer C&C: bots gossip directly with each other;
+/// every link is visible in the flow log with a plaintext payload.
+TrafficTrace p2p_plain_traffic(const TrafficConfig& config, Rng& rng);
+
+/// OnionBot: bots speak only to known Tor relays in fixed 512-byte
+/// cells over encrypted channels; no DNS records exist.
+TrafficTrace onionbot_traffic(const TrafficConfig& config, Rng& rng);
+
+}  // namespace onion::detection

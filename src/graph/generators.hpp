@@ -1,0 +1,21 @@
+// Random graph generators. The paper's overlays start as k-regular graphs
+// ("we simulate the node deletion process in a k-regular graph,
+// k = 5, 10, 15, of 5000 nodes" — Section V-B).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace onion::graph {
+
+/// Uniform-ish random simple k-regular graph on n nodes via the
+/// configuration model with edge-swap repair of clashes. Requirements:
+/// n > k, and n*k even; throws std::invalid_argument otherwise.
+Graph random_regular(std::size_t n, std::size_t k, Rng& rng);
+
+/// G(n, p) Erdős–Rényi graph (used by tests and ablations).
+Graph erdos_renyi(std::size_t n, double p, Rng& rng);
+
+}  // namespace onion::graph

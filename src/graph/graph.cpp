@@ -1,0 +1,92 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace onion::graph {
+
+Graph::Graph(std::size_t n)
+    : adjacency_(n), alive_(n, 1), num_alive_(n) {}
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  alive_.push_back(1);
+  ++num_alive_;
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  ONION_EXPECTS(alive(u) && alive(v));
+  // Scan the shorter list.
+  const auto& list =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u]
+                                                   : adjacency_[v];
+  const NodeId target =
+      adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  return std::find(list.begin(), list.end(), target) != list.end();
+}
+
+bool Graph::add_edge(NodeId u, NodeId v) {
+  ONION_EXPECTS(alive(u) && alive(v));
+  if (u == v || has_edge(u, v)) return false;
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++num_edges_;
+  return true;
+}
+
+void Graph::add_edge_unchecked(NodeId u, NodeId v) {
+  ONION_EXPECTS(alive(u) && alive(v));
+  ONION_EXPECTS(u != v);
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++num_edges_;
+}
+
+bool Graph::remove_edge(NodeId u, NodeId v) {
+  ONION_EXPECTS(alive(u) && alive(v));
+  auto& lu = adjacency_[u];
+  const auto it = std::find(lu.begin(), lu.end(), v);
+  if (it == lu.end()) return false;
+  // Swap-erase: adjacency order is unspecified, so O(1) removal is free.
+  *it = lu.back();
+  lu.pop_back();
+  auto& lv = adjacency_[v];
+  const auto it2 = std::find(lv.begin(), lv.end(), u);
+  ONION_ENSURES(it2 != lv.end());
+  *it2 = lv.back();
+  lv.pop_back();
+  --num_edges_;
+  return true;
+}
+
+void Graph::remove_node(NodeId u) {
+  ONION_EXPECTS(alive(u));
+  for (const NodeId v : adjacency_[u]) {
+    auto& lv = adjacency_[v];
+    const auto it = std::find(lv.begin(), lv.end(), u);
+    ONION_ENSURES(it != lv.end());
+    *it = lv.back();
+    lv.pop_back();
+    --num_edges_;
+  }
+  adjacency_[u].clear();
+  adjacency_[u].shrink_to_fit();
+  alive_[u] = 0;
+  --num_alive_;
+}
+
+std::vector<NodeId> Graph::alive_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(num_alive_);
+  for (NodeId u = 0; u < alive_.size(); ++u)
+    if (alive_[u]) out.push_back(u);
+  return out;
+}
+
+double Graph::average_degree() const {
+  if (num_alive_ == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges_) /
+         static_cast<double>(num_alive_);
+}
+
+}  // namespace onion::graph

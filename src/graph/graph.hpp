@@ -1,0 +1,92 @@
+// Undirected graph with stable node identifiers and node deletion — the
+// substrate for every overlay experiment in the paper's Section V. Node
+// slots are never reused: deleting node 7 leaves a tombstone, so
+// "nodes deleted" sweeps (Figures 4–6) can index metrics by original ID.
+//
+// Representation: adjacency lists as unsorted vectors. Overlay degrees in
+// the paper are tiny (5–15 and pruned back down), so O(deg) membership
+// scans beat any set structure in both time and memory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace onion::graph {
+
+/// Node identifier: a stable index into the graph's slot table.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+constexpr NodeId kInvalidNode = ~NodeId{0};
+
+/// Mutable undirected simple graph (no self-loops, no parallel edges).
+class Graph {
+ public:
+  /// Creates `n` alive, isolated nodes with IDs 0..n-1.
+  explicit Graph(std::size_t n = 0);
+
+  /// Appends a fresh alive node and returns its ID (used by SOAP clone
+  /// injection and SuperOnion virtual-node resurrection).
+  NodeId add_node();
+
+  /// Number of node slots ever created (alive + deleted).
+  std::size_t capacity() const { return adjacency_.size(); }
+
+  /// Number of alive nodes.
+  std::size_t num_alive() const { return num_alive_; }
+
+  /// Number of edges between alive nodes.
+  std::size_t num_edges() const { return num_edges_; }
+
+  bool alive(NodeId u) const {
+    return u < alive_.size() && alive_[u] != 0;
+  }
+
+  /// Degree of an alive node.
+  std::size_t degree(NodeId u) const {
+    ONION_EXPECTS(alive(u));
+    return adjacency_[u].size();
+  }
+
+  /// Adjacency list of an alive node (unspecified order).
+  const std::vector<NodeId>& neighbors(NodeId u) const {
+    ONION_EXPECTS(alive(u));
+    return adjacency_[u];
+  }
+
+  /// True iff the edge {u,v} exists. Preconditions: both alive.
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Adds {u,v}; returns false (and changes nothing) if the edge exists or
+  /// u == v. Preconditions: both alive.
+  bool add_edge(NodeId u, NodeId v);
+
+  /// Adds {u,v} without the O(deg) duplicate scan. Preconditions: both
+  /// alive, u != v, and the edge is known absent (callers such as the
+  /// DDSR clique repair track membership externally; a duplicate here
+  /// would corrupt the edge counter and every degree-based metric).
+  void add_edge_unchecked(NodeId u, NodeId v);
+
+  /// Removes {u,v}; returns false if absent. Preconditions: both alive.
+  bool remove_edge(NodeId u, NodeId v);
+
+  /// Deletes a node: detaches all incident edges and tombstones the slot.
+  /// Precondition: alive(u).
+  void remove_node(NodeId u);
+
+  /// IDs of all alive nodes, ascending.
+  std::vector<NodeId> alive_nodes() const;
+
+  /// Sum of degrees / number of alive nodes (0 if empty).
+  double average_degree() const;
+
+ private:
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<std::uint8_t> alive_;
+  std::size_t num_alive_ = 0;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace onion::graph

@@ -1,0 +1,185 @@
+#include "graph/metrics.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace onion::graph {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
+  ONION_EXPECTS(g.alive(source));
+  std::vector<std::uint32_t> dist(g.capacity(), kUnreachable);
+  std::deque<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop_front();
+    for (const NodeId v : g.neighbors(u)) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+Components connected_components(const Graph& g) {
+  Components out;
+  out.label.assign(g.capacity(), kUnreachable);
+  std::deque<NodeId> queue;
+  for (NodeId start = 0; start < g.capacity(); ++start) {
+    if (!g.alive(start) || out.label[start] != kUnreachable) continue;
+    const auto comp = static_cast<std::uint32_t>(out.count++);
+    out.sizes.push_back(0);
+    out.label[start] = comp;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop_front();
+      ++out.sizes[comp];
+      for (const NodeId v : g.neighbors(u)) {
+        if (out.label[v] == kUnreachable) {
+          out.label[v] = comp;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t Components::largest() const {
+  if (sizes.empty()) return 0;
+  return *std::max_element(sizes.begin(), sizes.end());
+}
+
+bool is_connected(const Graph& g) {
+  return g.num_alive() <= 1 || connected_components(g).count == 1;
+}
+
+namespace {
+// Closeness of u given its BFS distances; see header for normalization.
+double closeness_from_distances(const std::vector<std::uint32_t>& dist,
+                                std::size_t alive_count) {
+  if (alive_count <= 1) return 0.0;
+  std::uint64_t total = 0;
+  std::size_t reachable = 0;  // nodes other than u itself
+  for (const std::uint32_t d : dist) {
+    if (d == kUnreachable || d == 0) continue;
+    total += d;
+    ++reachable;
+  }
+  if (reachable == 0 || total == 0) return 0.0;
+  const double r = static_cast<double>(reachable);
+  const double n_minus_1 = static_cast<double>(alive_count - 1);
+  return (r / n_minus_1) * (r / static_cast<double>(total));
+}
+}  // namespace
+
+double closeness_centrality(const Graph& g, NodeId u) {
+  return closeness_from_distances(bfs_distances(g, u), g.num_alive());
+}
+
+double average_closeness_exact(const Graph& g) {
+  const auto nodes = g.alive_nodes();
+  if (nodes.empty()) return 0.0;
+  double sum = 0.0;
+  for (const NodeId u : nodes) sum += closeness_centrality(g, u);
+  return sum / static_cast<double>(nodes.size());
+}
+
+double average_closeness_sampled(const Graph& g, std::size_t samples,
+                                 Rng& rng) {
+  const auto nodes = g.alive_nodes();
+  if (nodes.empty()) return 0.0;
+  if (samples >= nodes.size()) return average_closeness_exact(g);
+  const auto chosen = rng.sample(nodes, samples);
+  double sum = 0.0;
+  for (const NodeId u : chosen) sum += closeness_centrality(g, u);
+  return sum / static_cast<double>(chosen.size());
+}
+
+double degree_centrality(const Graph& g, NodeId u) {
+  const std::size_t n = g.num_alive();
+  if (n <= 1) return 0.0;
+  return static_cast<double>(g.degree(u)) / static_cast<double>(n - 1);
+}
+
+double average_degree_centrality(const Graph& g) {
+  const std::size_t n = g.num_alive();
+  if (n <= 1) return 0.0;
+  // Mean degree / (n-1); uses the edge counter instead of a node loop.
+  return g.average_degree() / static_cast<double>(n - 1);
+}
+
+namespace {
+// Farthest alive node and its distance from the given BFS result.
+std::pair<NodeId, std::uint32_t> farthest(
+    const std::vector<std::uint32_t>& dist) {
+  NodeId best = kInvalidNode;
+  std::uint32_t best_d = 0;
+  for (NodeId v = 0; v < dist.size(); ++v) {
+    if (dist[v] != kUnreachable && dist[v] >= best_d) {
+      best_d = dist[v];
+      best = v;
+    }
+  }
+  return {best, best_d};
+}
+}  // namespace
+
+std::size_t diameter_exact(const Graph& g) {
+  const auto nodes = g.alive_nodes();
+  if (nodes.size() <= 1) return 0;
+  // Restrict to the largest component.
+  const Components comps = connected_components(g);
+  std::uint32_t target = 0;
+  std::size_t best_size = 0;
+  for (std::uint32_t c = 0; c < comps.count; ++c) {
+    if (comps.sizes[c] > best_size) {
+      best_size = comps.sizes[c];
+      target = c;
+    }
+  }
+  std::uint32_t best = 0;
+  for (const NodeId u : nodes) {
+    if (comps.label[u] != target) continue;
+    const auto dist = bfs_distances(g, u);
+    best = std::max(best, farthest(dist).second);
+  }
+  return best;
+}
+
+std::size_t diameter_double_sweep(const Graph& g, std::size_t sweeps,
+                                  Rng& rng) {
+  if (g.num_alive() <= 1) return 0;
+  // Match diameter_exact semantics: measure the largest component.
+  const Components comps = connected_components(g);
+  std::uint32_t target = 0;
+  std::size_t best_size = 0;
+  for (std::uint32_t c = 0; c < comps.count; ++c) {
+    if (comps.sizes[c] > best_size) {
+      best_size = comps.sizes[c];
+      target = c;
+    }
+  }
+  std::vector<NodeId> nodes;
+  for (NodeId u = 0; u < g.capacity(); ++u)
+    if (g.alive(u) && comps.label[u] == target) nodes.push_back(u);
+  if (nodes.size() <= 1) return 0;
+  std::uint32_t best = 0;
+  for (std::size_t s = 0; s < sweeps; ++s) {
+    const NodeId start = rng.pick(nodes);
+    const auto first = bfs_distances(g, start);
+    const auto [far_node, d1] = farthest(first);
+    best = std::max(best, d1);
+    if (far_node != kInvalidNode && far_node != start) {
+      const auto second = bfs_distances(g, far_node);
+      best = std::max(best, farthest(second).second);
+    }
+  }
+  return best;
+}
+
+}  // namespace onion::graph

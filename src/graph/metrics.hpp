@@ -1,0 +1,71 @@
+// Graph metrics used in the paper's evaluation (Section V-B):
+// closeness centrality, degree centrality, diameter, connected
+// components. Exact variants serve tests and small graphs; sampled
+// variants make the 5000–15000-node sweeps of Figures 4–6 tractable and
+// are validated against the exact versions in the test suite.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace onion::graph {
+
+/// BFS distances from `source` to every node slot; kUnreachable for dead
+/// or unreachable slots.
+constexpr std::uint32_t kUnreachable = ~std::uint32_t{0};
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
+
+/// Connected-component labelling of alive nodes.
+struct Components {
+  /// Component index per slot (undefined for dead slots).
+  std::vector<std::uint32_t> label;
+  /// Number of components (0 for an empty graph).
+  std::size_t count = 0;
+  /// Size of each component.
+  std::vector<std::size_t> sizes;
+
+  std::size_t largest() const;
+};
+Components connected_components(const Graph& g);
+
+/// True iff all alive nodes are mutually reachable (vacuously true for
+/// 0 or 1 alive nodes).
+bool is_connected(const Graph& g);
+
+/// Closeness centrality of `u` in the paper's normalization,
+///   C(u) = (n-1) / sum_v d(u,v),
+/// generalized to disconnected graphs the way NetworkX does (the tool of
+/// the paper's era): restrict to u's component and scale by its relative
+/// size, C(u) = ((r-1)/(n-1)) * ((r-1)/sum_{v in comp} d(u,v)).
+double closeness_centrality(const Graph& g, NodeId u);
+
+/// Mean closeness over all alive nodes (exact; O(n·(n+m))).
+double average_closeness_exact(const Graph& g);
+
+/// Unbiased estimate of average closeness from `samples` uniformly chosen
+/// source nodes (each sampled node's closeness is computed exactly).
+/// Falls back to the exact mean when samples >= alive count.
+double average_closeness_sampled(const Graph& g, std::size_t samples,
+                                 Rng& rng);
+
+/// Degree centrality of u: deg(u)/(n-1), n = alive nodes.
+double degree_centrality(const Graph& g, NodeId u);
+
+/// Mean degree centrality over alive nodes.
+double average_degree_centrality(const Graph& g);
+
+/// Exact diameter of the largest component (0 for <=1 alive node).
+/// O(n·(n+m)) — use for tests and small graphs.
+std::size_t diameter_exact(const Graph& g);
+
+/// Diameter lower-bound estimate by repeated double sweeps: BFS from a
+/// random alive node, then BFS from the farthest node found; `sweeps`
+/// restarts, maximum taken. Exact on trees; empirically exact on the
+/// random regular graphs used here (validated in tests).
+std::size_t diameter_double_sweep(const Graph& g, std::size_t sweeps,
+                                  Rng& rng);
+
+}  // namespace onion::graph

@@ -1,0 +1,139 @@
+#include "graph/non_routing.hpp"
+
+#include <algorithm>
+
+namespace onion::graph {
+
+std::uint64_t ring_distance(RingId a, RingId b) {
+  const std::uint64_t forward = b - a;   // wraps mod 2^64
+  const std::uint64_t backward = a - b;  // wraps mod 2^64
+  return std::min(forward, backward);
+}
+
+namespace {
+
+/// The neighbor of `u` minimizing ring distance to `target_id`;
+/// kInvalidNode when `u` has no neighbors.
+NodeId best_neighbor(const Graph& g, const std::vector<RingId>& ids,
+                     NodeId u, RingId target_id) {
+  NodeId best = kInvalidNode;
+  std::uint64_t best_d = ~std::uint64_t{0};
+  for (const NodeId v : g.neighbors(u)) {
+    const std::uint64_t d = ring_distance(ids[v], target_id);
+    if (d < best_d) {
+      best_d = d;
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+RouteResult route_greedy(const Graph& g, const std::vector<RingId>& ids,
+                         NodeId source, NodeId target,
+                         std::size_t max_hops) {
+  ONION_EXPECTS(g.alive(source) && g.alive(target));
+  ONION_EXPECTS(ids.size() >= g.capacity());
+  RouteResult result;
+  NodeId at = source;
+  result.path.push_back(at);
+  while (result.hops < max_hops) {
+    if (at == target) {
+      result.delivered = true;
+      return result;
+    }
+    const NodeId next = best_neighbor(g, ids, at, ids[target]);
+    if (next == kInvalidNode) return result;
+    // Greedy stops at a local minimum: no neighbor strictly improves.
+    if (ring_distance(ids[next], ids[target]) >=
+        ring_distance(ids[at], ids[target]))
+      return result;
+    at = next;
+    ++result.hops;
+    result.path.push_back(at);
+  }
+  return result;
+}
+
+RouteResult route_non_greedy(const Graph& g,
+                             const std::vector<RingId>& ids,
+                             NodeId source, NodeId target,
+                             std::size_t max_hops) {
+  ONION_EXPECTS(g.alive(source) && g.alive(target));
+  ONION_EXPECTS(ids.size() >= g.capacity());
+  RouteResult result;
+  NodeId at = source;
+  result.path.push_back(at);
+  while (result.hops < max_hops) {
+    if (at == target) {
+      result.delivered = true;
+      return result;
+    }
+    // One-step lookahead: pick the neighbor v whose own best option
+    // (v itself, or any w in N(v)) gets closest to the target. The hop
+    // taken is still a single edge — lookahead uses only knowledge a
+    // DDSR bot already has (its NoN table).
+    NodeId best_v = kInvalidNode;
+    std::uint64_t best_score = ~std::uint64_t{0};
+    for (const NodeId v : g.neighbors(at)) {
+      if (v == target) {
+        best_v = v;
+        best_score = 0;
+        break;
+      }
+      std::uint64_t score = ring_distance(ids[v], ids[target]);
+      for (const NodeId w : g.neighbors(v))
+        score = std::min(score, ring_distance(ids[w], ids[target]));
+      if (score < best_score) {
+        best_score = score;
+        best_v = v;
+      }
+    }
+    if (best_v == kInvalidNode) return result;
+    // Progress rule: the lookahead score must beat the current node's
+    // own distance, else we are at a (lookahead) local minimum.
+    if (best_score >= ring_distance(ids[at], ids[target])) return result;
+    at = best_v;
+    ++result.hops;
+    result.path.push_back(at);
+  }
+  return result;
+}
+
+std::vector<RingId> assign_ring_ids(const Graph& g, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RingId> ids(g.capacity());
+  for (auto& id : ids) id = rng.next_u64();
+  return ids;
+}
+
+std::pair<double, double> mean_route_length(const Graph& g,
+                                            const std::vector<RingId>& ids,
+                                            std::size_t trials, bool non,
+                                            Rng& rng) {
+  const std::vector<NodeId> nodes = g.alive_nodes();
+  ONION_EXPECTS(nodes.size() >= 2);
+  std::size_t delivered = 0;
+  std::size_t hop_sum = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const NodeId s = rng.pick(nodes);
+    NodeId d = rng.pick(nodes);
+    while (d == s) d = rng.pick(nodes);
+    const RouteResult r = non ? route_non_greedy(g, ids, s, d)
+                              : route_greedy(g, ids, s, d);
+    if (r.delivered) {
+      ++delivered;
+      hop_sum += r.hops;
+    }
+  }
+  const double rate =
+      static_cast<double>(delivered) / static_cast<double>(trials);
+  const double mean =
+      delivered == 0 ? 0.0
+                     : static_cast<double>(hop_sum) /
+                           static_cast<double>(delivered);
+  return {mean, rate};
+}
+
+}  // namespace onion::graph

@@ -1,0 +1,69 @@
+// Neighbors-of-Neighbor greedy routing (Manku, Naor & Wieder, STOC'04 —
+// the paper's reference [51] and the intellectual basis of the DDSR
+// construction, Section IV-C). A node routing toward a target does not
+// hop to its best *neighbor*; it looks one step further and hops toward
+// the best *neighbor-of-neighbor*. The paper leans on the cited result
+// that this lookahead makes greedy routing asymptotically optimal; here
+// it matters because messages between bots traverse exactly the
+// knowledge each bot really has — its NoN table — so measured NoN path
+// lengths are the honest cost model for C&C propagation.
+//
+// Distances are measured in an identifier ring (as in the DHT setting
+// of the original result): each node carries a point on a 64-bit ring,
+// and greedy progress means shrinking ring distance to the target.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/graph.hpp"
+
+namespace onion::graph {
+
+/// Ring identifiers for NoN routing experiments.
+using RingId = std::uint64_t;
+
+/// Clockwise-or-counterclockwise distance between two ring points.
+std::uint64_t ring_distance(RingId a, RingId b);
+
+/// Outcome of one greedy route attempt.
+struct RouteResult {
+  bool delivered = false;
+  /// Hops actually taken (graph edges traversed).
+  std::size_t hops = 0;
+  /// Nodes visited, source first; target last iff delivered.
+  std::vector<NodeId> path;
+};
+
+/// Plain greedy routing: hop to the neighbor closest to the target;
+/// stop when no neighbor improves on the current node (local minimum)
+/// or the target is reached.
+RouteResult route_greedy(const Graph& g, const std::vector<RingId>& ids,
+                         NodeId source, NodeId target,
+                         std::size_t max_hops = 256);
+
+/// NoN (one-step lookahead) greedy routing: consider every
+/// neighbor-of-neighbor w reachable via neighbor v; hop to the v whose
+/// best w minimizes ring distance to the target. Falls back to plain
+/// neighbor progress when lookahead finds nothing better. This is the
+/// algorithm whose route lengths the paper's reference proves
+/// asymptotically optimal.
+RouteResult route_non_greedy(const Graph& g,
+                             const std::vector<RingId>& ids,
+                             NodeId source, NodeId target,
+                             std::size_t max_hops = 256);
+
+/// Assigns deterministic pseudo-random ring IDs to all node slots.
+std::vector<RingId> assign_ring_ids(const Graph& g, std::uint64_t seed);
+
+/// Mean delivered-path hop count over `trials` random (source, target)
+/// pairs; `non` selects lookahead vs plain greedy. Returns (mean hops,
+/// delivery rate).
+std::pair<double, double> mean_route_length(const Graph& g,
+                                            const std::vector<RingId>& ids,
+                                            std::size_t trials, bool non,
+                                            Rng& rng);
+
+}  // namespace onion::graph

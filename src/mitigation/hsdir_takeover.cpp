@@ -1,0 +1,42 @@
+#include "mitigation/hsdir_takeover.hpp"
+
+namespace onion::mitigation {
+
+std::vector<tor::Fingerprint> fingerprints_after(const tor::DescriptorId& id,
+                                                 std::size_t count) {
+  std::vector<tor::Fingerprint> out;
+  out.reserve(count);
+  tor::Fingerprint fp;
+  std::copy(id.begin(), id.end(), fp.begin());
+  for (std::size_t i = 0; i < count; ++i) {
+    // Increment the 20-byte big-endian integer by one (with carry).
+    for (int b = static_cast<int>(fp.size()) - 1; b >= 0; --b) {
+      if (++fp[static_cast<std::size_t>(b)] != 0) break;
+    }
+    out.push_back(fp);
+  }
+  return out;
+}
+
+TakeoverReport takeover_hsdirs(tor::TorNetwork& tor,
+                               const tor::OnionAddress& address,
+                               SimTime when) {
+  TakeoverReport report;
+  const std::uint64_t period =
+      tor::time_period(to_seconds(when), address.identifier()[0]);
+  for (int replica = 0; replica < tor::kReplicas; ++replica) {
+    const tor::DescriptorId id = tor::descriptor_id(
+        address, period, /*descriptor_cookie=*/{},
+        static_cast<std::uint8_t>(replica));
+    report.target_ids.push_back(id);
+    for (const tor::Fingerprint& fp :
+         fingerprints_after(id, tor::kHsdirsPerReplica)) {
+      const tor::RelayId relay = tor.inject_relay(fp);
+      tor.set_relay_denying(relay, true);
+      report.injected.push_back(relay);
+    }
+  }
+  return report;
+}
+
+}  // namespace onion::mitigation

@@ -1,0 +1,38 @@
+// Generic Tor-level mitigation (paper Section VI-A): deny access to a
+// hidden service by becoming its responsible HSDirs. Because the HSDirs
+// for a descriptor ID are the next relays clockwise on the fingerprint
+// ring, an adversary who can choose fingerprints positions relays
+// immediately after the descriptor ID ([8] in the paper). Two costs make
+// this weak against OnionBots: the 25-hour HSDir-flag delay, and —
+// decisively — address rotation: the next period's descriptor IDs derive
+// from the secret K_B, so they cannot be predicted from outside.
+#pragma once
+
+#include <vector>
+
+#include "tor/tor_network.hpp"
+
+namespace onion::mitigation {
+
+/// Fingerprints that sort immediately after `id` on the ring (id+1 ...
+/// id+count), claiming the responsible-HSDir slots for that descriptor.
+std::vector<tor::Fingerprint> fingerprints_after(const tor::DescriptorId& id,
+                                                 std::size_t count);
+
+/// Outcome of a takeover attempt against one address-period.
+struct TakeoverReport {
+  /// Relays the adversary injected.
+  std::vector<tor::RelayId> injected;
+  /// Descriptor IDs targeted (one per replica).
+  std::vector<tor::DescriptorId> target_ids;
+};
+
+/// Executes the HSDir takeover against `address` for the descriptor
+/// period active at `when` (virtual seconds): injects denying relays at
+/// crafted fingerprints. The relays still need 25 h of uptime and a
+/// consensus refresh before they serve — the attack cannot be instant.
+TakeoverReport takeover_hsdirs(tor::TorNetwork& tor,
+                               const tor::OnionAddress& address,
+                               SimTime when);
+
+}  // namespace onion::mitigation

@@ -1,0 +1,149 @@
+#include "mitigation/live_soap.hpp"
+
+#include <algorithm>
+
+namespace onion::mitigation {
+
+using core::MessageKind;
+using core::PeerReplyMsg;
+using tor::OnionAddress;
+
+LiveSoapCampaign::LiveSoapCampaign(core::Botnet& net, LiveSoapConfig config)
+    : net_(net), config_(config), rng_(config.seed) {
+  endpoint_ = net_.tor().create_endpoint();
+}
+
+void LiveSoapCampaign::capture(std::size_t bot_index) {
+  const core::Bot& bot = net_.bot(bot_index);
+  discovered_.insert(bot.address());
+  for (const auto& [addr, info] : bot.peers()) {
+    discovered_.insert(addr);
+    for (const auto& nn : info.neighbors) discovered_.insert(nn);
+  }
+}
+
+std::size_t LiveSoapCampaign::declared_lie() {
+  return static_cast<std::size_t>(rng_.uniform_in(
+      config_.clone_declared_min, config_.clone_declared_max));
+}
+
+void LiveSoapCampaign::harvest(
+    const std::vector<OnionAddress>& addresses) {
+  for (const auto& a : addresses)
+    if (clones_.count(a) == 0) discovered_.insert(a);
+}
+
+Bytes LiveSoapCampaign::handle(BytesView request,
+                               const OnionAddress& self) {
+  try {
+    switch (core::peek_kind(request)) {
+      case MessageKind::PeerRequest: {
+        const auto m = core::parse_peer_request(request);
+        // A bot refilling toward a clone reveals itself.
+        if (clones_.count(m.from) == 0) discovered_.insert(m.from);
+        PeerReplyMsg reply;
+        reply.accepted = true;
+        reply.declared_degree = static_cast<std::uint16_t>(declared_lie());
+        // Fake neighbor list: other clones, steering honest NoN refill
+        // deeper into the clone cloud.
+        for (const auto& c : clones_) {
+          if (reply.neighbors.size() >= config_.clone_fake_neighbors)
+            break;
+          if (c != self) reply.neighbors.push_back(c);
+        }
+        return core::encode_peer_reply(reply);
+      }
+      case MessageKind::NoNShare: {
+        const auto m = core::parse_non_share(request);
+        if (clones_.count(m.from) == 0) discovered_.insert(m.from);
+        harvest(m.neighbors);
+        return core::encode_ping();
+      }
+      case MessageKind::AddressChange: {
+        const auto m = core::parse_address_change(request);
+        discovered_.erase(m.old_address);
+        discovered_.insert(m.new_address);
+        return core::encode_ping();
+      }
+      case MessageKind::Broadcast:
+        // Swallowed, never relayed: the authorities cannot participate
+        // in botnet traffic (paper §VII-B's legal-liability rule).
+        return core::encode_ping();
+      case MessageKind::ProbeChallenge:
+        // Unanswerable for the same reason — and this is exactly how
+        // the §VII-A probing defense unmasks clones.
+        return core::encode_ping();
+      default:
+        return core::encode_ping();
+    }
+  } catch (const core::WireError&) {
+    return core::encode_ping();
+  }
+}
+
+OnionAddress LiveSoapCampaign::spawn_clone() {
+  const crypto::RsaKeyPair key = crypto::rsa_generate(rng_, 1024);
+  const OnionAddress address = net_.tor().publish_service(
+      endpoint_, key,
+      [this](BytesView request, const OnionAddress& self) {
+        return handle(request, self);
+      });
+  clones_.insert(address);
+  return address;
+}
+
+std::size_t LiveSoapCampaign::step() {
+  std::size_t sent = 0;
+  // Snapshot: discovery grows as replies arrive.
+  const std::vector<OnionAddress> targets(discovered_.begin(),
+                                          discovered_.end());
+  for (const OnionAddress& target : targets) {
+    if (clones_.count(target) > 0) continue;
+    // Skip addresses we can already see are fully clone-ringed (saves
+    // clones; a real defender knows which addresses its own clones hold
+    // links to — this uses only clone-side bookkeeping via ground truth
+    // introspection kept equivalent for determinism).
+    const auto bot_id = net_.bot_by_address(target);
+    if (bot_id && bot_contained(*bot_id)) continue;
+    for (std::size_t r = 0; r < config_.requests_per_target_per_round;
+         ++r) {
+      const OnionAddress clone = spawn_clone();
+      core::PeerRequestMsg req;
+      req.from = clone;
+      req.declared_degree = static_cast<std::uint16_t>(declared_lie());
+      net_.tor().connect_and_send(
+          endpoint_, target, core::encode_peer_request(req),
+          [this](const tor::ConnectResult& result) {
+            if (!result.ok) return;
+            try {
+              const PeerReplyMsg reply =
+                  core::parse_peer_reply(result.reply);
+              if (!reply.accepted) return;
+              ++acceptances_;
+              harvest(reply.neighbors);
+            } catch (const core::WireError&) {
+            }
+          });
+      ++sent;
+    }
+  }
+  return sent;
+}
+
+bool LiveSoapCampaign::bot_contained(std::size_t bot_index) const {
+  const core::Bot& bot = net_.bot(bot_index);
+  if (!bot.alive()) return false;
+  if (bot.peers().empty()) return true;  // isolated
+  for (const auto& [addr, info] : bot.peers())
+    if (clones_.count(addr) == 0) return false;
+  return true;
+}
+
+std::size_t LiveSoapCampaign::contained_count() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < net_.num_bots(); ++i)
+    if (bot_contained(i)) ++n;
+  return n;
+}
+
+}  // namespace onion::mitigation

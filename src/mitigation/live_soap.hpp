@@ -1,0 +1,85 @@
+// SOAP over the full stack (paper Section VI-B, run end to end): the
+// defender's clones are real hidden services on the simulated Tor
+// network, attacking a live botnet of message-passing bots. Nothing
+// here touches bot internals — the campaign only does what a real
+// defender could do:
+//
+//   * read one captured bot's memory (peer table + NoN knowledge),
+//   * run many clone .onion services on one machine (the IP/.onion
+//     decoupling the paper turns against the botnet),
+//   * send peering requests declaring tiny degrees, so the DDSR
+//     acceptance rule evicts benign peers in the clones' favor,
+//   * harvest every neighbor list returned along the way,
+//   * and never relay botnet traffic (the legal-liability constraint:
+//     broadcasts are swallowed, probe challenges go unanswered).
+//
+// Containment is scored from outside via Botnet introspection: a bot is
+// contained when every peer-table entry is a clone address.
+#pragma once
+
+#include <set>
+
+#include "core/botnet.hpp"
+
+namespace onion::mitigation {
+
+struct LiveSoapConfig {
+  /// The degree clones declare (Figure 7 step 3's "small random
+  /// number"); re-rolled per request.
+  std::size_t clone_declared_min = 1;
+  std::size_t clone_declared_max = 2;
+  /// Clone peering requests aimed at each discovered address per round.
+  std::size_t requests_per_target_per_round = 2;
+  /// Fake neighbors a clone names in its peering replies / NoN shares —
+  /// other clones, so honest refill walks deeper into the clone cloud.
+  std::size_t clone_fake_neighbors = 3;
+  std::uint64_t seed = 0x50a9;
+};
+
+/// Drives a live soaping campaign. The campaign only *sends* messages;
+/// the caller advances virtual time (net.run_for) between rounds so the
+/// requests, replies, and the bots' own maintenance all play out.
+class LiveSoapCampaign {
+ public:
+  LiveSoapCampaign(core::Botnet& net, LiveSoapConfig config);
+
+  /// Seeds discovery from a captured bot: its address, peer table, and
+  /// NoN knowledge (paper §VI-B: reverse engineering / honeypots).
+  void capture(std::size_t bot_index);
+
+  /// One campaign round: clone peering requests at every discovered,
+  /// not-yet-contained address. Returns the number of requests sent.
+  std::size_t step();
+
+  /// --- introspection ---------------------------------------------------
+  const std::set<tor::OnionAddress>& discovered() const {
+    return discovered_;
+  }
+  std::size_t clones_created() const { return clones_.size(); }
+  bool is_clone(const tor::OnionAddress& address) const {
+    return clones_.count(address) > 0;
+  }
+  /// Peering requests accepted by targets so far.
+  std::size_t acceptances() const { return acceptances_; }
+
+  /// Ground truth (omniscient test view): is bot `i` contained — alive
+  /// with every peer a clone?
+  bool bot_contained(std::size_t bot_index) const;
+  std::size_t contained_count() const;
+
+ private:
+  Bytes handle(BytesView request, const tor::OnionAddress& self);
+  tor::OnionAddress spawn_clone();
+  void harvest(const std::vector<tor::OnionAddress>& addresses);
+  std::size_t declared_lie();
+
+  core::Botnet& net_;
+  LiveSoapConfig config_;
+  Rng rng_;
+  tor::EndpointId endpoint_ = tor::kInvalidEndpoint;  // one machine
+  std::set<tor::OnionAddress> discovered_;
+  std::set<tor::OnionAddress> clones_;
+  std::size_t acceptances_ = 0;
+};
+
+}  // namespace onion::mitigation

@@ -1,0 +1,114 @@
+#include "mitigation/soap.hpp"
+
+#include <algorithm>
+
+namespace onion::mitigation {
+
+using core::OverlayNetwork;
+using core::PeerDecision;
+
+void SoapCampaign::capture(NodeId bot) {
+  ONION_EXPECTS(net_.alive(bot) && net_.honest(bot));
+  discovered_.insert(bot);
+  // The captured bot's peer table and NoN knowledge are in the
+  // defender's hands.
+  for (const NodeId n : net_.neighbors(bot)) {
+    if (!net_.honest(n)) continue;
+    discovered_.insert(n);
+    for (const NodeId nn : net_.neighbors(n))
+      if (net_.honest(nn)) discovered_.insert(nn);
+  }
+}
+
+void SoapCampaign::learn_neighbors_of(NodeId target) {
+  // A clone accepted by `target` receives its neighbor list (the NoN
+  // exchange every new peer gets).
+  for (const NodeId n : net_.neighbors(target))
+    if (net_.honest(n)) discovered_.insert(n);
+}
+
+std::size_t SoapCampaign::contained_count() const {
+  std::size_t count = 0;
+  for (const NodeId t : discovered_)
+    if (net_.alive(t) && net_.contained(t)) ++count;
+  return count;
+}
+
+bool SoapCampaign::fully_contained() const {
+  for (const NodeId t : discovered_)
+    if (net_.alive(t) && !net_.contained(t)) return false;
+  return !discovered_.empty();
+}
+
+SoapRoundStats SoapCampaign::snapshot() const {
+  SoapRoundStats s;
+  s.round = round_;
+  s.discovered = discovered_.size();
+  s.contained = contained_count();
+  s.clones = clones_.size();
+  s.honest_edges = net_.honest_edges();
+  s.honest_components = net_.honest_components();
+  s.work_spent = net_.sybil_work_spent();
+  return s;
+}
+
+bool SoapCampaign::step() {
+  if (discovered_.empty()) return false;
+  if (net_.sybil_work_spent() >= config_.work_budget) return false;
+  if (fully_contained()) return false;
+
+  ++round_;
+  net_.begin_round();
+
+  // Snapshot targets: discovery grows during the round.
+  std::vector<NodeId> targets(discovered_.begin(), discovered_.end());
+  bool progress = false;
+  for (const NodeId target : targets) {
+    if (!net_.alive(target) || net_.contained(target)) continue;
+    for (std::size_t r = 0; r < config_.requests_per_target_per_round;
+         ++r) {
+      if (net_.sybil_work_spent() >= config_.work_budget) break;
+      const std::size_t lie = rng_.uniform_in(config_.clone_declared_min,
+                                              config_.clone_declared_max);
+      const NodeId clone = net_.add_node(/*honest=*/false, lie);
+      clones_.push_back(clone);
+      const PeerDecision decision = net_.request_peering(clone, target);
+      if (decision == PeerDecision::AcceptedWithCapacity ||
+          decision == PeerDecision::AcceptedEvicted) {
+        progress = true;
+        learn_neighbors_of(target);
+      }
+    }
+  }
+
+  // Honest-side maintenance: bots that lost edges refill from their NoN —
+  // the self-healing that makes containment a fight, not a walkover.
+  for (const NodeId v : net_.honest_nodes()) net_.refill(v);
+
+  return progress || !fully_contained();
+}
+
+std::vector<SoapRoundStats> SoapCampaign::run() {
+  std::vector<SoapRoundStats> timeline;
+  timeline.push_back(snapshot());
+  while (round_ < config_.max_rounds) {
+    const std::size_t before_contained = contained_count();
+    const std::size_t before_discovered = discovered_.size();
+    if (!step()) break;
+    timeline.push_back(snapshot());
+    if (fully_contained()) break;
+    if (net_.sybil_work_spent() >= config_.work_budget) break;
+    // Stall detection: no containment or discovery progress for a while
+    // (e.g. the PoW defense priced us out of evictions).
+    if (contained_count() == before_contained &&
+        discovered_.size() == before_discovered) {
+      if (++stall_rounds_ >= 50) break;
+    } else {
+      stall_rounds_ = 0;
+    }
+  }
+  timeline.push_back(snapshot());
+  return timeline;
+}
+
+}  // namespace onion::mitigation

@@ -1,0 +1,102 @@
+// SOAP — Sybil Onion Attack Protocol (paper Section VI-B, Figure 7).
+//
+// The defender's twist: use the botnet's own stealth against it. Because
+// OnionBot peers know each other only as .onion addresses, nothing stops
+// one machine from running hundreds of "bots" (clones). Starting from one
+// captured bot, the defender:
+//
+//   1. learns the captured bot's peers and neighbors-of-neighbors,
+//   2. spawns clones that request peering while declaring a tiny degree
+//      (so the DDSR acceptance rule always prefers them),
+//   3. lets the target's own pruning evict its benign peers one by one,
+//   4. repeats until every peer of the target is a clone — contained —
+//      and every neighbor list harvested along the way feeds discovery.
+//
+// Run to completion, the campaign partitions the botnet into isolated,
+// clone-ringed nodes and the botnet is neutralized.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/overlay.hpp"
+
+namespace onion::mitigation {
+
+/// Campaign tuning.
+struct SoapConfig {
+  /// The degree clones declare ("a small random number, which changes to
+  /// avoid detection (e.g., d=2)" — Figure 7 step 3). Clones declare a
+  /// fresh value in [min, max] each time.
+  std::size_t clone_declared_min = 1;
+  std::size_t clone_declared_max = 3;
+
+  /// Clone peering attempts aimed at each discovered target per round.
+  std::size_t requests_per_target_per_round = 1;
+
+  /// Proof-of-work budget; the campaign halts when spent (defense
+  /// evaluation). Unlimited by default.
+  double work_budget = std::numeric_limits<double>::infinity();
+
+  /// Hard stop.
+  std::size_t max_rounds = 10000;
+};
+
+/// Per-round campaign telemetry (the Figure 7 bench's series).
+struct SoapRoundStats {
+  std::size_t round = 0;
+  std::size_t discovered = 0;        // honest bots known to the defender
+  std::size_t contained = 0;         // honest bots fully clone-ringed
+  std::size_t clones = 0;            // sybil nodes created so far
+  std::size_t honest_edges = 0;      // surviving bot-to-bot links
+  std::size_t honest_components = 0; // fragmentation of the botnet
+  double work_spent = 0.0;           // PoW paid by the defender so far
+};
+
+/// Drives a soaping campaign against an overlay.
+class SoapCampaign {
+ public:
+  using NodeId = core::OverlayNetwork::NodeId;
+
+  SoapCampaign(core::OverlayNetwork& net, SoapConfig config, Rng& rng)
+      : net_(net), config_(config), rng_(rng) {}
+
+  /// Seeds discovery from a captured bot (reverse engineering or a
+  /// honeypot — paper §VI-B): the defender reads its peer table and NoN
+  /// knowledge.
+  void capture(NodeId bot);
+
+  /// Executes one round: a clone peering attempt per discovered
+  /// uncontained target, then honest-side refill maintenance. Returns
+  /// false when no further progress is possible (done or out of budget).
+  bool step();
+
+  /// Runs rounds until the botnet is neutralized, the budget is gone, or
+  /// max_rounds elapse. Returns the per-round telemetry.
+  std::vector<SoapRoundStats> run();
+
+  /// --- introspection -------------------------------------------------
+  const std::set<NodeId>& discovered() const { return discovered_; }
+  std::size_t clones_created() const { return clones_.size(); }
+  std::size_t contained_count() const;
+  /// True when every discovered honest bot is contained.
+  bool fully_contained() const;
+  std::size_t rounds_run() const { return round_; }
+
+ private:
+  void learn_neighbors_of(NodeId target);
+  SoapRoundStats snapshot() const;
+
+  core::OverlayNetwork& net_;
+  SoapConfig config_;
+  Rng& rng_;
+  std::set<NodeId> discovered_;
+  std::vector<NodeId> clones_;
+  std::size_t round_ = 0;
+  std::size_t stall_rounds_ = 0;
+};
+
+}  // namespace onion::mitigation

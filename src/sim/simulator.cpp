@@ -1,0 +1,50 @@
+#include "sim/simulator.hpp"
+
+#include "common/check.hpp"
+
+namespace onion::sim {
+
+void Simulator::schedule_at(SimTime t, EventFn fn) {
+  ONION_EXPECTS(t >= now_);
+  ONION_EXPECTS(fn != nullptr);
+  queue_.push(Event{t, next_seq_++, std::move(fn), /*daemon=*/false});
+  ++live_pending_;
+}
+
+void Simulator::schedule_daemon_at(SimTime t, EventFn fn) {
+  ONION_EXPECTS(t >= now_);
+  ONION_EXPECTS(fn != nullptr);
+  queue_.push(Event{t, next_seq_++, std::move(fn), /*daemon=*/true});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the handler is moved out via const_cast,
+  // which is safe because pop() immediately discards the slot.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  if (!event.daemon) --live_pending_;
+  now_ = event.time;
+  event.fn();
+  return true;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && live_pending_ > 0 && step()) ++executed;
+  ONION_ENSURES(live_pending_ == 0 || executed == max_events);
+  return executed;
+}
+
+std::size_t Simulator::run_until(SimTime deadline, std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && !queue_.empty() &&
+         queue_.top().time <= deadline) {
+    step();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+}  // namespace onion::sim

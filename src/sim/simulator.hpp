@@ -1,0 +1,98 @@
+// Discrete-event simulation engine. Single-threaded, deterministic:
+// events at equal timestamps fire in scheduling order (a monotone sequence
+// number breaks ties), so a given seed always reproduces the same run —
+// the property every experiment in this repository leans on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+
+namespace onion::sim {
+
+/// Virtual-time event scheduler and dispatcher.
+class Simulator {
+ public:
+  using EventFn = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t`. Precondition: t >= now().
+  void schedule_at(SimTime t, EventFn fn);
+
+  /// Schedules `fn` after `delay`.
+  void schedule_in(SimDuration delay, EventFn fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules a *daemon* event at absolute time `t`: housekeeping (e.g.
+  /// an hourly consensus tick) that should run while real work is pending
+  /// but must not keep run() alive on its own — mirroring daemon threads.
+  void schedule_daemon_at(SimTime t, EventFn fn);
+
+  /// Schedules a daemon event after `delay`.
+  void schedule_daemon_in(SimDuration delay, EventFn fn) {
+    schedule_daemon_at(now_ + delay, std::move(fn));
+  }
+
+  /// Runs until no *non-daemon* events remain; returns the number
+  /// executed. Daemon events fire while they precede live work, but a
+  /// queue holding only daemons terminates the run. Guards against
+  /// runaway event storms via `max_events`.
+  std::size_t run(std::size_t max_events = 100'000'000);
+
+  /// Runs all events with time <= deadline, then advances the clock to
+  /// exactly `deadline`. Returns the number executed.
+  std::size_t run_until(SimTime deadline,
+                        std::size_t max_events = 100'000'000);
+
+  /// Executes the single earliest event; false if none pending.
+  bool step();
+
+  /// Events currently queued (daemons included).
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Non-daemon events currently queued; run() exits when this hits 0.
+  std::size_t pending_live() const { return live_pending_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    EventFn fn;
+    bool daemon = false;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_pending_ = 0;
+};
+
+/// Link-latency model: base plus uniform jitter, sampled per message.
+/// Defaults approximate a Tor circuit hop (hundreds of milliseconds).
+struct LatencyModel {
+  SimDuration base = 200 * kMillisecond;
+  SimDuration jitter = 100 * kMillisecond;
+
+  SimDuration sample(Rng& rng) const {
+    return base + (jitter > 0 ? rng.uniform(jitter + 1) : 0);
+  }
+};
+
+}  // namespace onion::sim

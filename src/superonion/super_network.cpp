@@ -1,0 +1,196 @@
+#include "superonion/super_network.hpp"
+
+#include <algorithm>
+
+namespace onion::super {
+
+using core::OverlayNetwork;
+using core::PeerDecision;
+using NodeId = OverlayNetwork::NodeId;
+
+SuperOnionNetwork::SuperOnionNetwork(SuperConfig config, Rng& rng)
+    : config_(config), rng_(rng), net_([&] {
+        // Virtual nodes keep i peers, with a little slack so
+        // resurrection peering is not permanently wedged. The hardened
+        // acceptance rate (§VII-A) applies to every vnode.
+        core::OverlayConfig overlay = config.overlay;
+        overlay.dmin = config.peers_per_vnode;
+        overlay.dmax = config.peers_per_vnode + 2;
+        overlay.rate_limit_per_round = config.rate_limit_per_round;
+        return overlay;
+      }(), rng) {
+  ONION_EXPECTS(config_.hosts >= 2 && config_.vnodes_per_host >= 1);
+  hosts_.resize(config_.hosts);
+  lead_cache_.resize(config_.hosts);
+  for (std::size_t h = 0; h < config_.hosts; ++h) {
+    for (std::size_t v = 0; v < config_.vnodes_per_host; ++v) {
+      hosts_[h].push_back(net_.add_node(/*honest=*/true));
+      ++vnodes_created_;
+    }
+  }
+  // Wire each virtual node to i virtual nodes of *other* hosts (siblings
+  // must communicate through the overlay for probes to mean anything).
+  // Wiring proceeds in passes with the per-round acceptance counters
+  // reset between them, since formation spans many protocol rounds.
+  std::vector<std::pair<NodeId, std::size_t>> all;  // (vnode, host)
+  for (std::size_t h = 0; h < hosts_.size(); ++h)
+    for (const NodeId v : hosts_[h]) all.emplace_back(v, h);
+
+  for (int pass = 0; pass < 200; ++pass) {
+    net_.begin_round();
+    bool all_wired = true;
+    for (std::size_t h = 0; h < hosts_.size(); ++h) {
+      for (const NodeId v : hosts_[h]) {
+        if (net_.graph().degree(v) >= config_.peers_per_vnode) continue;
+        all_wired = false;
+        const auto& [w, wh] =
+            all[static_cast<std::size_t>(rng_.uniform(all.size()))];
+        if (wh == h || w == v) continue;
+        net_.request_peering(v, w);
+      }
+    }
+    if (all_wired) break;
+  }
+}
+
+bool SuperOnionNetwork::host_contained(std::size_t host) const {
+  for (const NodeId v : hosts_.at(host))
+    if (net_.alive(v) && !net_.contained(v)) return false;
+  return true;
+}
+
+std::size_t SuperOnionNetwork::hosts_alive() const {
+  std::size_t n = 0;
+  for (std::size_t h = 0; h < hosts_.size(); ++h)
+    if (!host_contained(h)) ++n;
+  return n;
+}
+
+NodeId SuperOnionNetwork::bootstrap_vnode(std::size_t host) {
+  const NodeId fresh = net_.add_node(/*honest=*/true);
+  ++vnodes_created_;
+  // Leads: the NoN knowledge of the host's still-connected vnodes plus
+  // the host's probe-verified lead cache. The host cannot tell bots from
+  // clones in the NoN part, so leads may include Sybils.
+  std::vector<NodeId> leads;
+  for (const NodeId sibling : hosts_[host]) {
+    if (!net_.alive(sibling) || net_.contained(sibling)) continue;
+    for (const NodeId n : net_.neighbors(sibling)) {
+      for (const NodeId nn : net_.neighbors(n)) {
+        if (nn == fresh || nn == sibling) continue;
+        if (std::find(leads.begin(), leads.end(), nn) == leads.end())
+          leads.push_back(nn);
+      }
+      if (std::find(leads.begin(), leads.end(), n) == leads.end())
+        leads.push_back(n);
+    }
+  }
+  for (const NodeId cached : lead_cache_[host]) {
+    if (cached == fresh || !net_.alive(cached)) continue;
+    if (std::find(leads.begin(), leads.end(), cached) == leads.end())
+      leads.push_back(cached);
+  }
+  rng_.shuffle(leads);
+  // Probe-before-adopt (paper §VII-A): right after peering with a
+  // candidate, the host hands it a connectivity probe. A candidate that
+  // never answers is unmasked as a Sybil (clones cannot decrypt the
+  // probe envelope, and answering would mean participating in botnet
+  // traffic) and the link is dropped before the fresh vnode commits to
+  // it. Without this check a resurrected vnode bootstraps straight back
+  // into the clone cloud.
+  //
+  // A resurrected identity peers up to the overlay's dmax rather than
+  // the construction's steady-state i: every verified-honest peer it
+  // starts with is one more eviction SOAP must pay for before the next
+  // probe cycle, which is what keeps resurrection ahead of containment.
+  const std::size_t target_degree = config_.peers_per_vnode + 2;
+  std::size_t adopted = 0;
+  for (const NodeId lead : leads) {
+    if (adopted >= target_degree) break;
+    if (!net_.alive(lead) || net_.graph().has_edge(fresh, lead)) continue;
+    const PeerDecision decision = net_.request_peering(fresh, lead);
+    if (decision == PeerDecision::Rejected ||
+        decision == PeerDecision::RateLimited)
+      continue;
+    if (probe_delivered_via(lead)) {
+      ++adopted;
+      lead_cache_[host].insert(lead);
+    } else {
+      net_.drop_edge(fresh, lead);
+    }
+  }
+  return fresh;
+}
+
+bool SuperOnionNetwork::probe_delivered_via(NodeId first_hop) const {
+  // A clone first hop silently drops the probe; an honest bot answers.
+  // (This is the DES exchange's outcome computed in closed form; honesty
+  // is not visible to the host, only the pong or its absence is.)
+  return net_.honest(first_hop);
+}
+
+ProbeReport SuperOnionNetwork::probe_and_recover() {
+  ProbeReport report;
+  const std::vector<std::uint32_t> label = net_.honest_component_labels();
+  constexpr std::uint32_t kNone = ~std::uint32_t{0};
+
+  // Gossip cost: each live honest vnode floods one probe; a flood costs
+  // roughly two messages per honest edge of its component.
+  std::vector<std::size_t> comp_edges;
+  for (NodeId u = 0; u < net_.graph().capacity(); ++u) {
+    if (!net_.alive(u) || !net_.honest(u) || label[u] == kNone) continue;
+    if (label[u] >= comp_edges.size()) comp_edges.resize(label[u] + 1, 0);
+    for (const NodeId v : net_.neighbors(u))
+      if (net_.honest(v) && v > u) ++comp_edges[label[u]];
+  }
+  for (std::size_t h = 0; h < hosts_.size(); ++h)
+    for (const NodeId v : hosts_[h])
+      if (net_.alive(v) && label[v] != kNone)
+        report.gossip_messages += 2 * comp_edges[label[v]];
+
+  // Detection + resurrection, host by host. A vnode is soaped exactly
+  // when its probe draws no answer from any honest bot — i.e. it is
+  // contained (every peer a clone, or isolated). Vnodes that still reach
+  // some honest bot are kept even if currently partitioned from their
+  // siblings; overlay NoN maintenance re-merges fragments over time.
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    std::vector<NodeId>& vnodes = hosts_[h];
+
+    // Probe pongs reveal which current peers are honest; the host banks
+    // those identities before deciding anything.
+    std::set<NodeId>& cache = lead_cache_[h];
+    for (const NodeId v : vnodes) {
+      if (!net_.alive(v)) continue;
+      for (const NodeId p : net_.neighbors(v))
+        if (probe_delivered_via(p)) cache.insert(p);
+    }
+    for (auto it = cache.begin(); it != cache.end();)
+      it = net_.alive(*it) ? std::next(it) : cache.erase(it);
+
+    std::vector<NodeId> soaped;
+    std::vector<NodeId> healthy;
+    for (const NodeId v : vnodes) {
+      if (!net_.alive(v)) continue;
+      (net_.contained(v) ? soaped : healthy).push_back(v);
+    }
+    report.soaped_detected += soaped.size();
+    // A fully soaped host with no banked lead has no way back into the
+    // overlay: it stays dormant (the paper's loss condition). With at
+    // least one healthy vnode or cached honest lead, recovery proceeds.
+    if (healthy.empty() && cache.empty()) continue;
+    // Each host's recovery is an independent exchange spanning its own
+    // protocol rounds; acceptance budgets reset per host. The Sybil side
+    // is not requesting during this phase.
+    net_.begin_round();
+    for (const NodeId v : soaped) {
+      net_.retire(v);
+      vnodes.erase(std::find(vnodes.begin(), vnodes.end(), v));
+      vnodes.push_back(bootstrap_vnode(h));
+      ++report.resurrected;
+    }
+  }
+  report.hosts_alive = hosts_alive();
+  return report;
+}
+
+}  // namespace onion::super

@@ -1,0 +1,110 @@
+// SuperOnionBots (paper Section VII, Figure 8): the next escalation. One
+// physical host runs m virtual bots (free, thanks to the IP/.onion
+// decoupling), each with i peers. A SOAP campaign can still surround any
+// single virtual node, but the host notices — its periodic connectivity
+// probes stop coming back — and simply abandons the contained identity,
+// bootstrapping a fresh virtual node through its surviving ones. The
+// host is only lost if all m virtual nodes are soaped in the same window.
+//
+// Key modeling assumption from the paper: the authorities are legally
+// liable and cannot relay botnet traffic, so Sybil clones accept peers
+// but never forward or answer messages. Probe semantics follow from
+// that: probes are uniform-looking envelopes under the group key, so a
+// clone can neither recognize nor answer one, while any honest bot
+// receiving it gossips it onward / answers it (paper §VII-B: the
+// authorities "are not able to drop certain message and only allow the
+// connectivity probe messages to pass through"). A vnode whose probes
+// draw no response at all therefore has no honest peer left — it is
+// exactly *contained*. A vnode that still reaches some honest bot is
+// left alone even if the overlay is temporarily partitioned from its
+// siblings; retiring those healthy identities would shred the honest
+// web faster than SOAP itself (§VII-A calls this probing the attacker's
+// counter-evolution to SOAP).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/overlay.hpp"
+
+namespace onion::super {
+
+/// Construction parameters (paper Figure 8 uses n=5, m=3, i=2).
+struct SuperConfig {
+  std::size_t hosts = 5;            // n physical hosts
+  std::size_t vnodes_per_host = 3;  // m virtual nodes each
+  std::size_t peers_per_vnode = 2;  // i overlay peers per virtual node
+  core::OverlayConfig overlay;      // peering rules (dmin/dmax default to i)
+
+  /// Peering acceptances per vnode per round (paper §VII-A rate-limiting
+  /// defense: "the delay of accepting new nodes is increased proportional
+  /// to the size of peer list"). SuperOnions ship hardened; set to
+  /// SIZE_MAX to study the undefended construction.
+  std::size_t rate_limit_per_round = 1;
+};
+
+/// Result of one probe-and-recover cycle across all hosts.
+struct ProbeReport {
+  std::size_t soaped_detected = 0;   // virtual nodes found contained
+  std::size_t resurrected = 0;       // fresh virtual nodes bootstrapped
+  std::size_t gossip_messages = 0;   // flood cost of this cycle
+  std::size_t hosts_alive = 0;       // hosts with >=1 connected vnode
+};
+
+/// A SuperOnion botnet over the shared overlay substrate. Virtual nodes
+/// live in the OverlayNetwork (so SOAP attacks them identically); this
+/// class adds the host bookkeeping, probes, and resurrection.
+class SuperOnionNetwork {
+ public:
+  using NodeId = core::OverlayNetwork::NodeId;
+
+  SuperOnionNetwork(SuperConfig config, Rng& rng);
+
+  core::OverlayNetwork& overlay() { return net_; }
+  const core::OverlayNetwork& overlay() const { return net_; }
+
+  /// One probe cycle (paper §VII-B): every host floods a probe from each
+  /// live virtual node. A vnode whose probe draws no answer from any
+  /// honest bot is contained (soaped); it is abandoned and replaced by a
+  /// fresh identity bootstrapped from the surviving siblings' NoN
+  /// knowledge, with each candidate lead probe-verified before adoption.
+  ProbeReport probe_and_recover();
+
+  /// --- introspection -------------------------------------------------
+  std::size_t num_hosts() const { return hosts_.size(); }
+  const std::vector<NodeId>& vnodes_of(std::size_t host) const {
+    return hosts_.at(host);
+  }
+  /// A host is lost only when every virtual node is contained.
+  bool host_contained(std::size_t host) const;
+  std::size_t hosts_alive() const;
+  /// Total virtual nodes ever created (original + resurrected).
+  std::size_t vnodes_created() const { return vnodes_created_; }
+
+ private:
+  NodeId bootstrap_vnode(std::size_t host);
+
+  /// Would a probe handed to `first_hop` draw an answer? Clones neither
+  /// recognize nor answer probes (they cannot decrypt the envelope and
+  /// cannot participate in botnet traffic), while an honest bot does; so
+  /// delivery is equivalent to the first hop being honest. The host
+  /// observes only the pong or its absence.
+  bool probe_delivered_via(NodeId first_hop) const;
+
+  SuperConfig config_;
+  Rng& rng_;
+  core::OverlayNetwork net_;
+  std::vector<std::vector<NodeId>> hosts_;  // live vnodes per host
+
+  /// Per-host cache of peers that have answered a probe (so: honest at
+  /// the time). The host owns all m vnodes' peer tables and the probe
+  /// pongs, so retaining these identities across vnode retirement is
+  /// free — and it is what lets a host whose vnodes were all contained
+  /// in one synchronized sweep still bootstrap replacements.
+  std::vector<std::set<NodeId>> lead_cache_;
+  std::size_t vnodes_created_ = 0;
+};
+
+}  // namespace onion::super

@@ -1,0 +1,42 @@
+#include "tor/address_cost.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace onion::tor {
+
+namespace {
+constexpr double kSecondsPerDay = 86'400.0;
+constexpr double kSecondsPerYear = 365.25 * kSecondsPerDay;
+
+double pow32(double chars) { return std::exp2(5.0 * chars); }
+}  // namespace
+
+double implied_keygen_rate_per_second() {
+  return pow32(kShallotPrefixChars) /
+         (kShallotPrefixDays * kSecondsPerDay);
+}
+
+double expected_probes_to_find_bot(double population) {
+  ONION_EXPECTS(population > 0.0);
+  return pow32(kOnionAddressChars) / population;
+}
+
+double expected_years_to_find_bot(double population,
+                                  double probes_per_second) {
+  ONION_EXPECTS(probes_per_second > 0.0);
+  return expected_probes_to_find_bot(population) /
+         (probes_per_second * kSecondsPerYear);
+}
+
+double vanity_prefix_days(int prefix_chars, double keys_per_second) {
+  ONION_EXPECTS(prefix_chars >= 0 && prefix_chars <= kOnionAddressChars);
+  const double rate = keys_per_second > 0.0
+                          ? keys_per_second
+                          : implied_keygen_rate_per_second();
+  return pow32(static_cast<double>(prefix_chars)) /
+         (rate * kSecondsPerDay);
+}
+
+}  // namespace onion::tor

@@ -1,0 +1,44 @@
+// Cost models for the .onion address space (paper §IV-B, "Random
+// probing"): 16 base-32 characters give 32^16 = 2^80 possible names, so
+// scanning for listeners — routine in IPv4 — is arithmetic nonsense
+// here, and even crafting a *prefix* is expensive (the paper cites
+// Shallot: ~25 days for 8 chosen leading characters).
+//
+// These are closed-form models, not measurements: they exist so benches
+// and tests can print the paper's infeasibility argument with real
+// numbers attached.
+#pragma once
+
+#include <cstdint>
+
+namespace onion::tor {
+
+/// Characters in a (v2-era) .onion label.
+constexpr int kOnionAddressChars = 16;
+
+/// log2 of the address-space size (32^16 = 2^80).
+constexpr double kOnionAddressSpaceBits = 80.0;
+
+/// The paper's Shallot calibration: 8 chosen leading characters take
+/// about 25 days, fixing the implied key-generation rate.
+constexpr double kShallotPrefixChars = 8.0;
+constexpr double kShallotPrefixDays = 25.0;
+
+/// Keys/second implied by the Shallot data point (32^8 keys / 25 days).
+double implied_keygen_rate_per_second();
+
+/// Expected random probes before hitting *any* of `population` listening
+/// addresses (geometric distribution mean: 32^16 / population).
+double expected_probes_to_find_bot(double population);
+
+/// Expected years of scanning at `probes_per_second` before the first
+/// hit among `population` bots.
+double expected_years_to_find_bot(double population,
+                                  double probes_per_second);
+
+/// Expected days to brute-force a vanity prefix of `prefix_chars`
+/// base-32 characters at `keys_per_second` (defaults to the Shallot
+/// rate, so vanity_prefix_days(8) ~= 25).
+double vanity_prefix_days(int prefix_chars, double keys_per_second = 0.0);
+
+}  // namespace onion::tor

@@ -1,0 +1,49 @@
+#include "tor/cell.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/rc4.hpp"
+
+namespace onion::tor {
+
+Cell make_cell(BytesView payload) {
+  ONION_EXPECTS(payload.size() <= kCellSize);
+  Cell cell;
+  std::copy(payload.begin(), payload.end(), cell.bytes.begin());
+  return cell;
+}
+
+Cell crypt_layer(BytesView hop_key, std::uint64_t seq, const Cell& cell) {
+  // Per-cell keystream: RC4(HMAC(hop_key, seq)). Fresh key per sequence
+  // number, so replayed positions never reuse keystream.
+  const crypto::Sha256Digest cell_key = crypto::hmac_sha256(hop_key, be64(seq));
+  crypto::Rc4 stream(BytesView(cell_key.data(), cell_key.size()));
+  Cell out;
+  for (std::size_t i = 0; i < kCellSize; ++i)
+    out.bytes[i] = cell.bytes[i] ^ stream.next_byte();
+  return out;
+}
+
+Cell onion_wrap(const std::vector<Bytes>& hop_keys, std::uint64_t seq,
+                const Cell& cell) {
+  Cell out = cell;
+  for (auto it = hop_keys.rbegin(); it != hop_keys.rend(); ++it)
+    out = crypt_layer(*it, seq, out);
+  return out;
+}
+
+double cell_entropy(const Cell& cell) {
+  std::array<std::size_t, 256> counts{};
+  for (const std::uint8_t b : cell.bytes) ++counts[b];
+  double entropy = 0.0;
+  for (const std::size_t c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / kCellSize;
+    entropy -= p * std::log2(p);
+  }
+  return entropy;
+}
+
+}  // namespace onion::tor

@@ -1,0 +1,46 @@
+// Fixed-size cells and layered (onion) encryption. Tor moves all data in
+// 512-byte cells encrypted in as many layers as the circuit has hops; each
+// relay peels exactly one layer, so no relay sees both plaintext and the
+// full path (paper Section III). The per-layer cipher is simulation-grade
+// (RC4 keyed per cell by HMAC of the hop key and cell sequence) — the
+// tests verify the structural property: intermediate hops observe only
+// high-entropy bytes, and peeling in path order restores the plaintext.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace onion::tor {
+
+/// Tor's fixed cell size in bytes.
+constexpr std::size_t kCellSize = 512;
+
+/// One fixed-size cell.
+struct Cell {
+  std::array<std::uint8_t, kCellSize> bytes{};
+
+  bool operator==(const Cell&) const = default;
+};
+
+/// Builds a cell from at most kCellSize payload bytes; the remainder is
+/// zero-filled (callers that need full indistinguishability pass
+/// uniform-encoded payloads, which are exactly kCellSize).
+Cell make_cell(BytesView payload);
+
+/// Applies one encryption layer under `hop_key` for cell sequence number
+/// `seq`. The cipher is an XOR stream, so the same call removes the layer:
+/// crypt_layer(k, s, crypt_layer(k, s, c)) == c.
+Cell crypt_layer(BytesView hop_key, std::uint64_t seq, const Cell& cell);
+
+/// Onion-encrypts: applies layers for hops last..first so that the first
+/// relay peels the outermost layer.
+Cell onion_wrap(const std::vector<Bytes>& hop_keys, std::uint64_t seq,
+                const Cell& cell);
+
+/// Shannon entropy (bits/byte) of a cell — used by tests to confirm
+/// relayed cells look uniform (close to 8 bits/byte).
+double cell_entropy(const Cell& cell);
+
+}  // namespace onion::tor

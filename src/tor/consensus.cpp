@@ -1,0 +1,49 @@
+#include "tor/consensus.hpp"
+
+#include <algorithm>
+
+namespace onion::tor {
+
+Consensus::Consensus(std::vector<Entry> entries, SimTime published_at)
+    : entries_(std::move(entries)), published_at_(published_at) {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              return fingerprint_less(a.fingerprint, b.fingerprint);
+            });
+  for (const Entry& e : entries_)
+    if (e.hsdir) hsdirs_.push_back(e);
+}
+
+std::vector<RelayId> Consensus::responsible_hsdirs(
+    const DescriptorId& id) const {
+  std::vector<RelayId> out;
+  if (hsdirs_.empty()) return out;
+
+  // Descriptor IDs and fingerprints share the 160-bit ring; compare the
+  // raw 20-byte strings. First HSDir strictly after `id`, wrapping.
+  Fingerprint point;
+  std::copy(id.begin(), id.end(), point.begin());
+  auto it = std::upper_bound(
+      hsdirs_.begin(), hsdirs_.end(), point,
+      [](const Fingerprint& p, const Entry& e) {
+        return fingerprint_less(p, e.fingerprint);
+      });
+
+  const std::size_t want = std::min(kHsdirsPerReplica, hsdirs_.size());
+  out.reserve(want);
+  for (std::size_t i = 0; i < want; ++i) {
+    if (it == hsdirs_.end()) it = hsdirs_.begin();
+    out.push_back(it->relay);
+    ++it;
+  }
+  return out;
+}
+
+std::vector<RelayId> Consensus::relay_ids() const {
+  std::vector<RelayId> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.relay);
+  return out;
+}
+
+}  // namespace onion::tor

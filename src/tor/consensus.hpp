@@ -1,0 +1,57 @@
+// The consensus document: the hourly-published list of relays and the
+// HSDir fingerprint ring (paper Figure 2). A descriptor with ID d is
+// stored on the first kHsdirsPerReplica HSDirs whose fingerprints follow d
+// clockwise around the ring.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "tor/descriptor.hpp"
+#include "tor/types.hpp"
+
+namespace onion::tor {
+
+/// Consensus entries are published hourly by the directory authorities.
+constexpr SimDuration kConsensusInterval = 1 * kHour;
+
+/// Immutable snapshot of the network directory at publication time.
+class Consensus {
+ public:
+  struct Entry {
+    Fingerprint fingerprint;
+    RelayId relay = kInvalidRelay;
+    bool hsdir = false;
+  };
+
+  Consensus() = default;
+
+  /// Builds a snapshot: `entries` need not be sorted; publication sorts
+  /// them into ring order.
+  Consensus(std::vector<Entry> entries, SimTime published_at);
+
+  SimTime published_at() const { return published_at_; }
+
+  /// All relays in the consensus, ring order.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Relays carrying the HSDir flag, ring order.
+  const std::vector<Entry>& hsdirs() const { return hsdirs_; }
+
+  /// The kHsdirsPerReplica relays responsible for descriptor ID `id`:
+  /// the first HSDirs whose fingerprints are strictly greater than `id`,
+  /// wrapping around the ring. Fewer are returned only if the network has
+  /// fewer HSDirs than kHsdirsPerReplica.
+  std::vector<RelayId> responsible_hsdirs(const DescriptorId& id) const;
+
+  /// All relays eligible to appear in circuits.
+  std::vector<RelayId> relay_ids() const;
+
+ private:
+  std::vector<Entry> entries_;
+  std::vector<Entry> hsdirs_;
+  SimTime published_at_ = 0;
+};
+
+}  // namespace onion::tor

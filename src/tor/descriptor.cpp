@@ -1,0 +1,75 @@
+#include "tor/descriptor.hpp"
+
+namespace onion::tor {
+
+std::uint64_t time_period(std::uint64_t now_seconds,
+                          std::uint8_t permanent_id_byte) {
+  // (current-time + permanent-id-byte * 86400 / 256) / 86400
+  return (now_seconds +
+          static_cast<std::uint64_t>(permanent_id_byte) * 86400 / 256) /
+         86400;
+}
+
+crypto::Sha1Digest secret_id_part(std::uint64_t period,
+                                  BytesView descriptor_cookie,
+                                  std::uint8_t replica) {
+  Bytes input = be64(period);
+  append(input, descriptor_cookie);
+  input.push_back(replica);
+  return crypto::Sha1::hash(input);
+}
+
+DescriptorId descriptor_id(const OnionAddress& address, std::uint64_t period,
+                           BytesView descriptor_cookie,
+                           std::uint8_t replica) {
+  const crypto::Sha1Digest secret =
+      secret_id_part(period, descriptor_cookie, replica);
+  const Bytes input =
+      concat(address.identifier_bytes(), crypto::digest_bytes(secret));
+  return crypto::Sha1::hash(input);
+}
+
+std::vector<DescriptorId> descriptor_ids_at(const OnionAddress& address,
+                                            SimTime now,
+                                            BytesView descriptor_cookie) {
+  const std::uint64_t period =
+      time_period(to_seconds(now), address.identifier()[0]);
+  std::vector<DescriptorId> ids;
+  ids.reserve(kReplicas);
+  for (int replica = 0; replica < kReplicas; ++replica) {
+    ids.push_back(descriptor_id(address, period, descriptor_cookie,
+                                static_cast<std::uint8_t>(replica)));
+  }
+  return ids;
+}
+
+std::vector<DescriptorId> descriptor_ids_for_upload(
+    const OnionAddress& address, SimTime now, BytesView descriptor_cookie) {
+  const std::uint64_t period =
+      time_period(to_seconds(now), address.identifier()[0]);
+  std::vector<DescriptorId> ids;
+  ids.reserve(2 * kReplicas);
+  for (const std::uint64_t p : {period, period + 1}) {
+    for (int replica = 0; replica < kReplicas; ++replica) {
+      ids.push_back(descriptor_id(address, p, descriptor_cookie,
+                                  static_cast<std::uint8_t>(replica)));
+    }
+  }
+  return ids;
+}
+
+Bytes HiddenServiceDescriptor::signed_body() const {
+  Bytes body = address.identifier_bytes();
+  append(body, service_key.serialize());
+  for (const RelayId ip : introduction_points)
+    append(body, be64(static_cast<std::uint64_t>(ip)));
+  append(body, be64(published_at));
+  return body;
+}
+
+bool HiddenServiceDescriptor::verify() const {
+  if (OnionAddress::from_public_key(service_key) != address) return false;
+  return crypto::rsa_verify(service_key, signed_body(), signature);
+}
+
+}  // namespace onion::tor

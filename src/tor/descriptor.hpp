@@ -1,0 +1,87 @@
+// Hidden-service descriptors and the descriptor-ID schedule, implementing
+// the paper's formulas (Section III) verbatim:
+//
+//   descriptor-id  = H(Identifier || secret-id-part)
+//   secret-id-part = H(time-period || descriptor-cookie || replica)
+//   time-period    = (current-time + permanent-id-byte * 86400 / 256)
+//                    / 86400
+//
+// H is SHA-1; Identifier is the 80-bit service identifier;
+// permanent-id-byte is the identifier's first byte (staggers rollover
+// moments across services); replica is 0 or 1, giving two descriptor IDs
+// per service per period.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "crypto/sha1.hpp"
+#include "tor/onion_address.hpp"
+#include "tor/types.hpp"
+
+namespace onion::tor {
+
+/// Descriptor ID: a point on the HSDir fingerprint ring.
+using DescriptorId = crypto::Sha1Digest;
+
+/// Number of descriptor replicas (real Tor uses 2).
+constexpr int kReplicas = 2;
+
+/// HSDirs responsible per replica (real Tor uses 3).
+constexpr std::size_t kHsdirsPerReplica = 3;
+
+/// time-period per the paper's formula. `now_seconds` is virtual UNIX-ish
+/// time in seconds; `permanent_id_byte` is identifier[0].
+std::uint64_t time_period(std::uint64_t now_seconds,
+                          std::uint8_t permanent_id_byte);
+
+/// secret-id-part = SHA-1(time-period(8B, BE) ‖ cookie ‖ replica(1B)).
+/// The optional descriptor cookie is the paper's client-authorization
+/// field; OnionBots leave it unset so any bot can resolve peers.
+crypto::Sha1Digest secret_id_part(std::uint64_t period,
+                                  BytesView descriptor_cookie,
+                                  std::uint8_t replica);
+
+/// descriptor-id = SHA-1(identifier ‖ secret-id-part).
+DescriptorId descriptor_id(const OnionAddress& address, std::uint64_t period,
+                           BytesView descriptor_cookie, std::uint8_t replica);
+
+/// Convenience: both replica IDs for an address at virtual time `now`.
+/// This is the *client* view — lookups use the current time-period only.
+std::vector<DescriptorId> descriptor_ids_at(const OnionAddress& address,
+                                            SimTime now,
+                                            BytesView descriptor_cookie = {});
+
+/// The IDs a service *uploads*: both replicas for the current time-period
+/// plus both for the next. The period rolls over at a service-specific
+/// second (now + permanent-id-byte * 337.5 s crossing a day boundary); a
+/// service that only re-published on the hourly tick would be unresolvable
+/// from the rollover until that tick. Real Tor OPs publish the upcoming
+/// period's descriptor in advance; so do we.
+std::vector<DescriptorId> descriptor_ids_for_upload(
+    const OnionAddress& address, SimTime now,
+    BytesView descriptor_cookie = {});
+
+/// The published descriptor: what a hidden service uploads to its
+/// responsible HSDirs and what clients fetch to find introduction points.
+struct HiddenServiceDescriptor {
+  OnionAddress address;
+  crypto::RsaPublicKey service_key;
+  std::vector<RelayId> introduction_points;
+  /// Virtual publication time; HSDirs expire descriptors after 24 h.
+  SimTime published_at = 0;
+  /// Signature by the service key over the descriptor body.
+  crypto::RsaSignature signature = 0;
+
+  /// Canonical byte serialization of the signed body.
+  Bytes signed_body() const;
+  /// True iff `signature` verifies under `service_key` and the key matches
+  /// `address` (hash-of-key check — the self-authenticating property of
+  /// .onion names).
+  bool verify() const;
+};
+
+}  // namespace onion::tor

@@ -1,0 +1,39 @@
+#include "tor/onion_address.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/sha1.hpp"
+
+namespace onion::tor {
+
+OnionAddress OnionAddress::from_public_key(const crypto::RsaPublicKey& pub) {
+  const crypto::Sha1Digest digest = crypto::Sha1::hash(pub.serialize());
+  OnionAddress addr;
+  std::copy_n(digest.begin(), addr.id_.size(), addr.id_.begin());
+  return addr;
+}
+
+OnionAddress OnionAddress::from_hostname(const std::string& hostname) {
+  std::string name = hostname;
+  constexpr std::string_view kSuffix = ".onion";
+  if (name.size() >= kSuffix.size() &&
+      name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) ==
+          0) {
+    name.resize(name.size() - kSuffix.size());
+  }
+  if (name.size() != 16)
+    throw std::invalid_argument("OnionAddress: hostname must be 16 chars");
+  const Bytes raw = base32_decode(name);
+  if (raw.size() != 10)
+    throw std::invalid_argument("OnionAddress: bad identifier length");
+  OnionAddress addr;
+  std::copy_n(raw.begin(), addr.id_.size(), addr.id_.begin());
+  return addr;
+}
+
+std::string OnionAddress::hostname() const {
+  return base32_encode(BytesView(id_.data(), id_.size())) + ".onion";
+}
+
+}  // namespace onion::tor

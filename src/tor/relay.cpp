@@ -1,0 +1,32 @@
+#include "tor/relay.hpp"
+
+namespace onion::tor {
+
+void Relay::store_descriptor(const DescriptorId& id,
+                             const HiddenServiceDescriptor& desc) {
+  if (!alive_) return;  // a retired relay accepts nothing
+  store_[id] = desc;
+}
+
+std::optional<HiddenServiceDescriptor> Relay::fetch_descriptor(
+    const DescriptorId& id, SimTime now) const {
+  if (!alive_) return std::nullopt;  // connection refused
+  if (denying_) return std::nullopt;
+  const auto it = store_.find(id);
+  if (it == store_.end()) return std::nullopt;
+  if (now >= it->second.published_at + kDescriptorLifetime)
+    return std::nullopt;
+  return it->second;
+}
+
+void Relay::expire_descriptors(SimTime now) {
+  for (auto it = store_.begin(); it != store_.end();) {
+    if (now >= it->second.published_at + kDescriptorLifetime) {
+      it = store_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace onion::tor

@@ -1,0 +1,85 @@
+// Onion routers. Each relay has an identity fingerprint, an uptime record
+// (the HSDir flag requires 25 hours — the delay the paper leans on when
+// arguing HSDir-takeover mitigations are slow), a descriptor store, and
+// adversarial state for the mitigation experiments.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "common/clock.hpp"
+#include "tor/descriptor.hpp"
+#include "tor/types.hpp"
+
+namespace onion::tor {
+
+/// Uptime a relay needs before directory authorities grant the HSDir flag.
+constexpr SimDuration kHsdirFlagUptime = 25 * kHour;
+
+/// Stored descriptors expire after 24 hours (descriptor lifetime).
+constexpr SimDuration kDescriptorLifetime = 24 * kHour;
+
+/// One onion router.
+class Relay {
+ public:
+  /// `hsdir_flag_at` is the virtual time the directory authorities grant
+  /// the HSDir flag: 0 for founding relays (uptime already earned),
+  /// creation time + kHsdirFlagUptime for freshly injected ones.
+  Relay(RelayId id, Fingerprint fp, Bytes link_secret, SimTime hsdir_flag_at)
+      : id_(id),
+        fingerprint_(fp),
+        link_secret_(std::move(link_secret)),
+        hsdir_flag_at_(hsdir_flag_at) {}
+
+  RelayId id() const { return id_; }
+  const Fingerprint& fingerprint() const { return fingerprint_; }
+
+  /// Long-term secret from which per-circuit hop keys are derived (the
+  /// simulated handshake; see TorNetwork::build_circuit).
+  const Bytes& link_secret() const { return link_secret_; }
+
+  /// True iff the relay holds the HSDir flag at time `now`.
+  bool has_hsdir_flag(SimTime now) const { return now >= hsdir_flag_at_; }
+
+  /// --- HSDir store -------------------------------------------------
+  /// Stores a descriptor (overwrites an existing one for the same ID).
+  void store_descriptor(const DescriptorId& id,
+                        const HiddenServiceDescriptor& desc);
+
+  /// Fetches an unexpired descriptor. Returns std::nullopt if absent,
+  /// expired, or this relay is compromised and denying service (the
+  /// HSDir-takeover mitigation from paper Section VI-A).
+  std::optional<HiddenServiceDescriptor> fetch_descriptor(
+      const DescriptorId& id, SimTime now) const;
+
+  /// Drops expired descriptors (housekeeping; fetch also checks expiry).
+  void expire_descriptors(SimTime now);
+
+  /// --- churn ---------------------------------------------------------
+  /// Operator shutdown: the relay stops serving (descriptor fetches and
+  /// stores fail); it drops out of the next consensus.
+  void retire() { alive_ = false; }
+  bool alive() const { return alive_; }
+
+  /// --- adversary / accounting --------------------------------------
+  /// A compromised HSDir accepts publications but denies every fetch.
+  void set_denying(bool deny) { denying_ = deny; }
+  bool denying() const { return denying_; }
+
+  void count_cell() { ++cells_relayed_; }
+  std::uint64_t cells_relayed() const { return cells_relayed_; }
+
+  std::size_t stored_descriptor_count() const { return store_.size(); }
+
+ private:
+  RelayId id_;
+  Fingerprint fingerprint_;
+  Bytes link_secret_;
+  SimTime hsdir_flag_at_;
+  bool alive_ = true;
+  bool denying_ = false;
+  std::uint64_t cells_relayed_ = 0;
+  std::map<DescriptorId, HiddenServiceDescriptor> store_;
+};
+
+}  // namespace onion::tor

@@ -1,0 +1,598 @@
+#include "tor/tor_network.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "crypto/hmac.hpp"
+
+namespace onion::tor {
+
+namespace {
+constexpr std::size_t kMaxPayload = 64 * 1024;
+// Reply-direction cells use a disjoint sequence range so hop keystreams
+// are never reused across directions.
+constexpr std::uint64_t kReplySeqBase = 1ULL << 32;
+
+// Payload framing: 4-byte big-endian length, then the bytes, chunked into
+// cells (zero padding in the last cell).
+std::vector<Cell> frame_into_cells(BytesView payload) {
+  Bytes framed;
+  framed.reserve(4 + payload.size());
+  framed.push_back(static_cast<std::uint8_t>(payload.size() >> 24));
+  framed.push_back(static_cast<std::uint8_t>(payload.size() >> 16));
+  framed.push_back(static_cast<std::uint8_t>(payload.size() >> 8));
+  framed.push_back(static_cast<std::uint8_t>(payload.size()));
+  append(framed, payload);
+  std::vector<Cell> cells;
+  for (std::size_t off = 0; off < framed.size(); off += kCellSize) {
+    const std::size_t take = std::min(kCellSize, framed.size() - off);
+    cells.push_back(make_cell(BytesView(framed.data() + off, take)));
+  }
+  if (cells.empty()) cells.push_back(Cell{});
+  return cells;
+}
+
+// Inverse of frame_into_cells.
+Bytes unframe_cells(const std::vector<Cell>& cells) {
+  Bytes framed;
+  framed.reserve(cells.size() * kCellSize);
+  for (const Cell& c : cells)
+    framed.insert(framed.end(), c.bytes.begin(), c.bytes.end());
+  ONION_ENSURES(framed.size() >= 4);
+  const std::size_t len = static_cast<std::size_t>(framed[0]) << 24 |
+                          static_cast<std::size_t>(framed[1]) << 16 |
+                          static_cast<std::size_t>(framed[2]) << 8 |
+                          static_cast<std::size_t>(framed[3]);
+  ONION_ENSURES(4 + len <= framed.size());
+  return Bytes(framed.begin() + 4,
+               framed.begin() + 4 + static_cast<std::ptrdiff_t>(len));
+}
+
+std::size_t cells_for(std::size_t payload_size) {
+  return (4 + payload_size + kCellSize - 1) / kCellSize;
+}
+}  // namespace
+
+const char* to_string(ConnectError error) {
+  switch (error) {
+    case ConnectError::DescriptorNotFound:
+      return "descriptor-not-found";
+    case ConnectError::ServiceUnreachable:
+      return "service-unreachable";
+    case ConnectError::DescriptorInvalid:
+      return "descriptor-invalid";
+  }
+  return "unknown";
+}
+
+SimDuration TorNetwork::Circuit::total_latency() const {
+  SimDuration total = 0;
+  for (const SimDuration l : latencies) total += l;
+  return total;
+}
+
+TorNetwork::TorNetwork(sim::Simulator& simulator, TorConfig config,
+                       std::uint64_t seed)
+    : sim_(simulator), config_(config), rng_(seed) {
+  ONION_EXPECTS(config_.num_relays > config_.circuit_hops);
+  ONION_EXPECTS(config_.circuit_hops >= 1);
+  for (std::size_t i = 0; i < config_.num_relays; ++i) {
+    Fingerprint fp;
+    for (auto& b : fp) b = static_cast<std::uint8_t>(rng_.next_u64());
+    Bytes secret(32);
+    for (auto& b : secret) b = static_cast<std::uint8_t>(rng_.next_u64());
+    relays_.push_back(std::make_unique<Relay>(
+        static_cast<RelayId>(relays_.size()), fp, std::move(secret),
+        /*hsdir_flag_at=*/SimTime{0}));
+  }
+  publish_consensus();
+  sim_.schedule_daemon_in(kConsensusInterval, [this] { hourly_maintenance(); });
+}
+
+void TorNetwork::publish_consensus() {
+  std::vector<Consensus::Entry> entries;
+  entries.reserve(relays_.size());
+  for (const auto& relay : relays_) {
+    if (!relay->alive()) continue;  // retired relays drop out
+    entries.push_back(Consensus::Entry{relay->fingerprint(), relay->id(),
+                                       relay->has_hsdir_flag(sim_.now())});
+  }
+  consensus_ = Consensus(std::move(entries), sim_.now());
+}
+
+void TorNetwork::hourly_maintenance() {
+  publish_consensus();
+  for (const auto& relay : relays_) relay->expire_descriptors(sim_.now());
+  for (auto& [address, service] : services_) {
+    repair_intro_points(service);
+    upload_descriptors(service);
+  }
+  sim_.schedule_daemon_in(kConsensusInterval, [this] { hourly_maintenance(); });
+}
+
+void TorNetwork::repair_intro_points(Service& service) {
+  // Replace introduction points that left the network; real onion
+  // proxies notice the dead circuit and re-select.
+  for (std::size_t i = 0; i < service.intro_points.size(); ++i) {
+    if (relays_.at(service.intro_points[i])->alive()) continue;
+    const std::vector<RelayId> pool = consensus_.relay_ids();
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const RelayId candidate = rng_.pick(pool);
+      if (!relays_.at(candidate)->alive()) continue;
+      if (std::find(service.intro_points.begin(),
+                    service.intro_points.end(),
+                    candidate) != service.intro_points.end())
+        continue;
+      service.intro_points[i] = candidate;
+      service.intro_circuits[i] =
+          build_circuit(service.host, candidate).hops;
+      break;
+    }
+  }
+}
+
+EndpointId TorNetwork::create_endpoint() {
+  return static_cast<EndpointId>(num_endpoints_++);
+}
+
+RelayId TorNetwork::add_relay() {
+  Fingerprint fp;
+  for (auto& b : fp) b = static_cast<std::uint8_t>(rng_.next_u64());
+  Bytes secret(32);
+  for (auto& b : secret) b = static_cast<std::uint8_t>(rng_.next_u64());
+  const RelayId id = static_cast<RelayId>(relays_.size());
+  relays_.push_back(std::make_unique<Relay>(
+      id, fp, std::move(secret),
+      /*hsdir_flag_at=*/sim_.now() + kHsdirFlagUptime));
+  return id;
+}
+
+void TorNetwork::retire_relay(RelayId relay) {
+  relays_.at(relay)->retire();
+}
+
+Bytes TorNetwork::hop_key_for(RelayId relay,
+                              std::uint64_t circuit_nonce) const {
+  // Simulated circuit handshake: both ends derive the hop key from the
+  // relay's long-term secret and the fresh per-circuit nonce (stand-in
+  // for the ntor DH exchange).
+  const crypto::Sha256Digest key =
+      crypto::hmac_sha256(relays_.at(relay)->link_secret(),
+                          be64(circuit_nonce));
+  return Bytes(key.begin(), key.end());
+}
+
+RelayId TorNetwork::guard_for(EndpointId owner,
+                              std::optional<RelayId> avoid) {
+  std::vector<RelayId>& guards = guards_[owner];
+  // Drop guards that left the network; real clients rotate on failure.
+  std::erase_if(guards,
+                [this](RelayId g) { return !relays_.at(g)->alive(); });
+  const std::vector<RelayId> pool = consensus_.relay_ids();
+  int attempts = 0;
+  while (guards.size() < config_.guards_per_endpoint && attempts++ < 256) {
+    const RelayId candidate = rng_.pick(pool);
+    if (!relays_.at(candidate)->alive()) continue;
+    if (std::find(guards.begin(), guards.end(), candidate) != guards.end())
+      continue;
+    guards.push_back(candidate);
+  }
+  std::vector<RelayId> usable;
+  for (const RelayId g : guards)
+    if (!avoid || g != *avoid) usable.push_back(g);
+  if (!usable.empty()) return rng_.pick(usable);
+  // Degenerate fallback (tiny network): any live relay other than avoid.
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    const RelayId candidate = rng_.pick(pool);
+    if (relays_.at(candidate)->alive() &&
+        (!avoid || candidate != *avoid))
+      return candidate;
+  }
+  return pool.front();
+}
+
+std::vector<RelayId> TorNetwork::guards_of(EndpointId endpoint) const {
+  const auto it = guards_.find(endpoint);
+  return it == guards_.end() ? std::vector<RelayId>{} : it->second;
+}
+
+TorNetwork::Circuit TorNetwork::build_circuit(
+    EndpointId owner, std::optional<RelayId> final_hop) {
+  std::vector<RelayId> pool;
+  for (const RelayId id : consensus_.relay_ids())
+    if (relays_.at(id)->alive()) pool.push_back(id);
+  ONION_EXPECTS(pool.size() > config_.circuit_hops);
+  Circuit circuit;
+  const std::uint64_t nonce = rng_.next_u64();
+  if (config_.use_entry_guards && config_.circuit_hops >= 2)
+    circuit.hops.push_back(guard_for(owner, final_hop));
+  while (circuit.hops.size() + 1 < config_.circuit_hops) {
+    const RelayId candidate = rng_.pick(pool);
+    if (final_hop && candidate == *final_hop) continue;
+    if (std::find(circuit.hops.begin(), circuit.hops.end(), candidate) !=
+        circuit.hops.end())
+      continue;
+    circuit.hops.push_back(candidate);
+  }
+  if (final_hop) {
+    circuit.hops.push_back(*final_hop);
+  } else {
+    for (;;) {
+      const RelayId candidate = rng_.pick(pool);
+      if (std::find(circuit.hops.begin(), circuit.hops.end(), candidate) ==
+          circuit.hops.end()) {
+        circuit.hops.push_back(candidate);
+        break;
+      }
+    }
+  }
+  for (const RelayId hop : circuit.hops) {
+    circuit.keys.push_back(hop_key_for(hop, nonce));
+    circuit.latencies.push_back(config_.hop_latency.sample(rng_));
+    // CREATE/CREATED cell pair per hop.
+    relays_.at(hop)->count_cell();
+    relays_.at(hop)->count_cell();
+    stats_.cells_forwarded += 2;
+  }
+  ++stats_.circuits_built;
+  return circuit;
+}
+
+OnionAddress TorNetwork::publish_service(EndpointId host,
+                                         const crypto::RsaKeyPair& key,
+                                         ServiceHandler handler,
+                                         Bytes descriptor_cookie) {
+  ONION_EXPECTS(host < num_endpoints_);
+  ONION_EXPECTS(handler != nullptr);
+  Service service;
+  service.key = key;
+  service.address = OnionAddress::from_public_key(key.pub);
+  service.host = host;
+  service.handler = std::move(handler);
+  service.cookie = std::move(descriptor_cookie);
+
+  // Step 1 (Figure 1): choose introduction points, build standing
+  // circuits to them.
+  const std::vector<RelayId> pool = consensus_.relay_ids();
+  const std::size_t want = std::min(config_.intro_points, pool.size());
+  int attempts = 0;
+  while (service.intro_points.size() < want && attempts++ < 1024) {
+    const RelayId candidate = rng_.pick(pool);
+    if (!relays_.at(candidate)->alive()) continue;
+    if (std::find(service.intro_points.begin(), service.intro_points.end(),
+                  candidate) != service.intro_points.end())
+      continue;
+    service.intro_points.push_back(candidate);
+    service.intro_circuits.push_back(
+        build_circuit(host, candidate).hops);
+  }
+
+  const OnionAddress address = service.address;
+  services_[address] = std::move(service);
+  // Step 2: compute descriptors and upload to responsible HSDirs.
+  upload_descriptors(services_[address]);
+  return address;
+}
+
+void TorNetwork::upload_descriptors(Service& service) {
+  HiddenServiceDescriptor desc;
+  desc.address = service.address;
+  desc.service_key = service.key.pub;
+  desc.introduction_points = service.intro_points;
+  desc.published_at = sim_.now();
+  desc.signature = crypto::rsa_sign(service.key, desc.signed_body());
+
+  for (const DescriptorId& id : descriptor_ids_for_upload(
+           service.address, sim_.now(), service.cookie)) {
+    for (const RelayId hsdir : consensus_.responsible_hsdirs(id)) {
+      relays_.at(hsdir)->store_descriptor(id, desc);
+      relays_.at(hsdir)->count_cell();
+      ++stats_.cells_forwarded;
+      ++stats_.descriptors_published;
+    }
+  }
+}
+
+bool TorNetwork::unpublish_service(EndpointId host,
+                                   const OnionAddress& address) {
+  const auto it = services_.find(address);
+  if (it == services_.end() || it->second.host != host) return false;
+  services_.erase(it);
+  return true;
+}
+
+bool TorNetwork::service_online(const OnionAddress& address) const {
+  return services_.count(address) > 0;
+}
+
+RelayId TorNetwork::inject_relay(const Fingerprint& fingerprint) {
+  Bytes secret(32);
+  for (auto& b : secret) b = static_cast<std::uint8_t>(rng_.next_u64());
+  const RelayId id = static_cast<RelayId>(relays_.size());
+  relays_.push_back(std::make_unique<Relay>(
+      id, fingerprint, std::move(secret),
+      /*hsdir_flag_at=*/sim_.now() + kHsdirFlagUptime));
+  return id;
+}
+
+void TorNetwork::set_relay_denying(RelayId relay, bool denying) {
+  relays_.at(relay)->set_denying(denying);
+}
+
+std::vector<std::vector<RelayId>> TorNetwork::responsible_hsdirs_now(
+    const OnionAddress& address, BytesView descriptor_cookie) const {
+  std::vector<std::vector<RelayId>> out;
+  for (const DescriptorId& id :
+       descriptor_ids_at(address, sim_.now(), descriptor_cookie))
+    out.push_back(consensus_.responsible_hsdirs(id));
+  return out;
+}
+
+double TorNetwork::mean_relayed_cell_entropy() const {
+  if (entropy_samples_ == 0) return 0.0;
+  return entropy_sum_ / static_cast<double>(entropy_samples_);
+}
+
+/// Per-connection state machine.
+struct TorNetwork::Pending {
+  EndpointId client = kInvalidEndpoint;
+  OnionAddress destination;
+  Bytes payload;
+  ConnectCallback callback;
+  Bytes cookie;
+  bool done = false;
+
+  /// Descriptor search: (hsdir relay, descriptor id) candidates in try
+  /// order (replica 0's HSDirs first, then replica 1's).
+  std::vector<std::pair<RelayId, DescriptorId>> candidates;
+  std::size_t next_candidate = 0;
+
+  HiddenServiceDescriptor descriptor;
+  Circuit client_circuit;   // client -> ... -> RP
+  Circuit service_circuit;  // service -> ... -> RP
+  Bytes rend_key;
+};
+
+void TorNetwork::connect_and_send(EndpointId client,
+                                  const OnionAddress& destination,
+                                  Bytes payload, ConnectCallback callback,
+                                  Bytes descriptor_cookie) {
+  ONION_EXPECTS(client < num_endpoints_);
+  ONION_EXPECTS(callback != nullptr);
+  ONION_EXPECTS(payload.size() <= kMaxPayload);
+  auto conn = std::make_shared<Pending>();
+  conn->client = client;
+  conn->destination = destination;
+  conn->payload = std::move(payload);
+  conn->callback = std::move(callback);
+  conn->cookie = std::move(descriptor_cookie);
+  // Step 3 (Figure 1): compute descriptor IDs and responsible HSDirs.
+  sim_.schedule_in(config_.hop_latency.sample(rng_),
+                   [this, conn] { start_descriptor_fetch(conn); });
+}
+
+void TorNetwork::start_descriptor_fetch(std::shared_ptr<Pending> conn) {
+  for (const DescriptorId& id :
+       descriptor_ids_at(conn->destination, sim_.now(), conn->cookie)) {
+    for (const RelayId hsdir : consensus_.responsible_hsdirs(id))
+      conn->candidates.emplace_back(hsdir, id);
+  }
+  try_next_hsdir(std::move(conn));
+}
+
+void TorNetwork::try_next_hsdir(std::shared_ptr<Pending> conn) {
+  if (conn->done) return;
+  if (conn->next_candidate >= conn->candidates.size()) {
+    fail(std::move(conn), ConnectError::DescriptorNotFound);
+    return;
+  }
+  const auto [hsdir, desc_id] = conn->candidates[conn->next_candidate++];
+  // One circuit to the HSDir plus a request/response round trip.
+  const Circuit circuit = build_circuit(conn->client, hsdir);
+  for (const RelayId hop : circuit.hops) {
+    relays_.at(hop)->count_cell();
+    relays_.at(hop)->count_cell();
+    stats_.cells_forwarded += 2;
+  }
+  const SimDuration rtt = 2 * circuit.total_latency();
+  ++stats_.descriptor_fetch_attempts;
+  sim_.schedule_in(rtt, [this, conn, hsdir, desc_id]() mutable {
+    if (conn->done) return;
+    const auto fetched =
+        relays_.at(hsdir)->fetch_descriptor(desc_id, sim_.now());
+    if (!fetched) {
+      ++stats_.descriptor_fetch_failures;
+      try_next_hsdir(std::move(conn));
+      return;
+    }
+    if (!fetched->verify()) {
+      ++stats_.descriptor_fetch_failures;
+      fail(std::move(conn), ConnectError::DescriptorInvalid);
+      return;
+    }
+    begin_rendezvous(std::move(conn), *fetched);
+  });
+}
+
+void TorNetwork::begin_rendezvous(std::shared_ptr<Pending> conn,
+                                  HiddenServiceDescriptor descriptor) {
+  conn->descriptor = std::move(descriptor);
+  // Step 4: circuit to a random rendezvous point (the circuit's last hop)
+  // plus ESTABLISH_RENDEZVOUS round trip.
+  conn->client_circuit = build_circuit(conn->client, std::nullopt);
+  conn->rend_key.resize(32);
+  for (auto& b : conn->rend_key)
+    b = static_cast<std::uint8_t>(rng_.next_u64());
+
+  // Step 5: INTRODUCE1 through a random introduction point. Its payload —
+  // rendezvous point and rendezvous key — is public-key encrypted to the
+  // service, as in real Tor. A stale descriptor may list retired relays;
+  // the client only reaches the live ones, and a descriptor whose intro
+  // points have all churned away means waiting out the rendezvous
+  // timeout.
+  ONION_EXPECTS(!conn->descriptor.introduction_points.empty());
+  std::vector<RelayId> live_intros;
+  for (const RelayId ip : conn->descriptor.introduction_points)
+    if (relays_.at(ip)->alive()) live_intros.push_back(ip);
+  if (live_intros.empty()) {
+    sim_.schedule_in(config_.rendezvous_timeout, [this, conn]() mutable {
+      fail(std::move(conn), ConnectError::ServiceUnreachable);
+    });
+    return;
+  }
+  const RelayId intro_point = rng_.pick(live_intros);
+  const Circuit intro_circuit = build_circuit(conn->client, intro_point);
+
+  const SimDuration establish_rtt = 2 * conn->client_circuit.total_latency();
+  const SimDuration introduce_delay = intro_circuit.total_latency();
+  for (const RelayId hop : intro_circuit.hops) {
+    relays_.at(hop)->count_cell();
+    ++stats_.cells_forwarded;
+  }
+
+  // Step 6: the introduction point forwards INTRODUCE2 to the service
+  // over the service's standing intro circuit; step 7: the service
+  // builds a circuit to the RP and sends RENDEZVOUS1.
+  sim_.schedule_in(
+      establish_rtt + introduce_delay, [this, conn]() mutable {
+        if (conn->done) return;
+        const auto it = services_.find(conn->destination);
+        if (it == services_.end()) {
+          // Service is gone: the client's rendezvous wait times out.
+          sim_.schedule_in(config_.rendezvous_timeout,
+                           [this, conn]() mutable {
+                             fail(std::move(conn),
+                                  ConnectError::ServiceUnreachable);
+                           });
+          return;
+        }
+        Service& service = it->second;
+        // INTRODUCE2 travels the service's standing intro circuit.
+        for (const RelayId hop : service.intro_circuits.front()) {
+          relays_.at(hop)->count_cell();
+          ++stats_.cells_forwarded;
+        }
+        const RelayId rp = conn->client_circuit.hops.back();
+        conn->service_circuit = build_circuit(service.host, rp);
+        const SimDuration join_delay =
+            conn->service_circuit.total_latency();
+        sim_.schedule_in(join_delay, [this, conn]() mutable {
+          deliver_through_rendezvous(std::move(conn));
+        });
+      });
+}
+
+void TorNetwork::deliver_through_rendezvous(std::shared_ptr<Pending> conn) {
+  if (conn->done) return;
+  // Request leg: client wraps each framed cell end-to-end under the
+  // rendezvous key and once per client-circuit hop; hops peel in path
+  // order; the RP then pushes the cell down the service's circuit, whose
+  // hops each add a layer the service peels on arrival.
+  const std::vector<Cell> cells = frame_into_cells(conn->payload);
+  const auto& up = conn->client_circuit;    // client -> RP
+  const auto& down = conn->service_circuit; // service -> RP
+
+  std::vector<Cell> at_service_cells;
+  at_service_cells.reserve(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const std::uint64_t seq = c;
+    Cell wire = crypt_layer(conn->rend_key, seq, cells[c]);
+    wire = onion_wrap(up.keys, seq, wire);
+    // Client-side hops peel.
+    for (std::size_t h = 0; h < up.hops.size(); ++h) {
+      relays_.at(up.hops[h])->count_cell();
+      ++stats_.cells_forwarded;
+      wire = crypt_layer(up.keys[h], seq, wire);
+      entropy_sum_ += cell_entropy(wire);
+      ++entropy_samples_;
+    }
+    // Service-side hops add layers from the RP inward (skip the RP slot:
+    // it already handled the cell above).
+    for (std::size_t h = down.hops.size(); h-- > 0;) {
+      wire = crypt_layer(down.keys[h], seq, wire);
+      if (h != down.hops.size() - 1) {
+        relays_.at(down.hops[h])->count_cell();
+        ++stats_.cells_forwarded;
+        entropy_sum_ += cell_entropy(wire);
+        ++entropy_samples_;
+      }
+    }
+    // The service peels its circuit layers and the rendezvous layer.
+    Cell at_service = wire;
+    for (std::size_t h = 0; h < down.hops.size(); ++h)
+      at_service = crypt_layer(down.keys[h], seq, at_service);
+    at_service = crypt_layer(conn->rend_key, seq, at_service);
+    at_service_cells.push_back(at_service);
+  }
+  ONION_ENSURES(at_service_cells.size() == cells_for(conn->payload.size()));
+  const Bytes request = unframe_cells(at_service_cells);
+  const SimDuration arrival = up.total_latency() + down.total_latency();
+
+  sim_.schedule_in(arrival, [this, conn, request]() mutable {
+    if (conn->done) return;
+    const auto it = services_.find(conn->destination);
+    if (it == services_.end()) {
+      fail(std::move(conn), ConnectError::ServiceUnreachable);
+      return;
+    }
+    const Bytes reply = it->second.handler(request, conn->destination);
+    // Reply leg: symmetric, reversed roles, disjoint sequence range.
+    const auto& down2 = conn->service_circuit;
+    const auto& up2 = conn->client_circuit;
+    const std::vector<Cell> reply_cells = frame_into_cells(reply);
+    std::vector<Cell> at_client_cells;
+    at_client_cells.reserve(reply_cells.size());
+    for (std::size_t c = 0; c < reply_cells.size(); ++c) {
+      const std::uint64_t seq = kReplySeqBase + c;
+      Cell wire = crypt_layer(conn->rend_key, seq, reply_cells[c]);
+      wire = onion_wrap(down2.keys, seq, wire);
+      for (std::size_t h = 0; h < down2.hops.size(); ++h) {
+        relays_.at(down2.hops[h])->count_cell();
+        ++stats_.cells_forwarded;
+        wire = crypt_layer(down2.keys[h], seq, wire);
+      }
+      for (std::size_t h = up2.hops.size(); h-- > 0;) {
+        wire = crypt_layer(up2.keys[h], seq, wire);
+        if (h != up2.hops.size() - 1) {
+          relays_.at(up2.hops[h])->count_cell();
+          ++stats_.cells_forwarded;
+        }
+      }
+      Cell at_client = wire;
+      for (std::size_t h = 0; h < up2.hops.size(); ++h)
+        at_client = crypt_layer(up2.keys[h], seq, at_client);
+      at_client = crypt_layer(conn->rend_key, seq, at_client);
+      at_client_cells.push_back(at_client);
+    }
+    const Bytes reassembled = unframe_cells(at_client_cells);
+    const SimDuration reply_delay =
+        down2.total_latency() + up2.total_latency();
+    sim_.schedule_in(reply_delay, [this, conn, reassembled]() mutable {
+      succeed(std::move(conn), reassembled);
+    });
+  });
+}
+
+void TorNetwork::fail(std::shared_ptr<Pending> conn, ConnectError error) {
+  if (conn->done) return;
+  conn->done = true;
+  ++stats_.connections_failed;
+  ConnectResult result;
+  result.ok = false;
+  result.error = error;
+  result.completed_at = sim_.now();
+  conn->callback(result);
+}
+
+void TorNetwork::succeed(std::shared_ptr<Pending> conn, Bytes reply) {
+  if (conn->done) return;
+  conn->done = true;
+  ++stats_.connections_ok;
+  ConnectResult result;
+  result.ok = true;
+  result.reply = std::move(reply);
+  result.completed_at = sim_.now();
+  conn->callback(result);
+}
+
+}  // namespace onion::tor

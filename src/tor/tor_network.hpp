@@ -1,0 +1,234 @@
+// The simulated Tor network: relays, hourly consensus, hidden-service
+// publication and lookup, and the full 7-step rendezvous protocol of the
+// paper's Figure 1, driven by the discrete-event simulator.
+//
+// Data cells are protected exactly the way Tor protects them: an
+// end-to-end rendezvous key between client and service (established
+// through the INTRODUCE payload, which is public-key encrypted to the
+// service), plus one onion layer per circuit hop. The rendezvous point
+// and every intermediate relay observe only fixed-size, high-entropy
+// cells — the property OnionBots exploit to hide source, destination, and
+// nature of their traffic.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+#include "tor/cell.hpp"
+#include "tor/consensus.hpp"
+#include "tor/descriptor.hpp"
+#include "tor/relay.hpp"
+
+namespace onion::tor {
+
+/// Why a hidden-service connection failed.
+enum class ConnectError {
+  /// No responsible HSDir returned a valid descriptor (unpublished,
+  /// expired, or all responsible HSDirs are denying/taken over).
+  DescriptorNotFound,
+  /// Descriptor fetched but the service never completed the rendezvous
+  /// (host offline / service unpublished after descriptor upload).
+  ServiceUnreachable,
+  /// The fetched descriptor failed signature / hash-of-key verification.
+  DescriptorInvalid,
+};
+
+/// Human-readable error name.
+const char* to_string(ConnectError error);
+
+/// Outcome of TorNetwork::connect_and_send.
+struct ConnectResult {
+  bool ok = false;
+  /// Service handler's reply (when ok).
+  Bytes reply;
+  /// Failure reason (when !ok).
+  std::optional<ConnectError> error;
+  /// Virtual time the outcome was determined.
+  SimTime completed_at = 0;
+};
+
+/// A hidden service's request handler: receives the request payload and
+/// returns the reply payload. Runs at the hosting endpoint.
+using ServiceHandler =
+    std::function<Bytes(BytesView request, const OnionAddress& to)>;
+
+/// Completion callback of connect_and_send.
+using ConnectCallback = std::function<void(const ConnectResult&)>;
+
+/// Network-wide tuning knobs.
+struct TorConfig {
+  /// Founding relays (created with the HSDir flag already earned).
+  std::size_t num_relays = 30;
+  /// Hops per circuit (Tor uses 3).
+  std::size_t circuit_hops = 3;
+  /// Introduction points per hidden service.
+  std::size_t intro_points = 3;
+  /// Per-hop one-way latency model.
+  sim::LatencyModel hop_latency{};
+  /// How long a client waits for the service before reporting
+  /// ServiceUnreachable.
+  SimDuration rendezvous_timeout = 45 * kSecond;
+  /// Entry guards (real Tor): every endpoint pins a small set of first
+  /// hops instead of sampling them per circuit, bounding exposure to
+  /// malicious relays. Applies when circuits have >= 2 hops.
+  bool use_entry_guards = true;
+  std::size_t guards_per_endpoint = 3;
+};
+
+/// Aggregate counters, exposed for tests and benches.
+struct TorStats {
+  std::uint64_t circuits_built = 0;
+  std::uint64_t cells_forwarded = 0;
+  std::uint64_t descriptors_published = 0;
+  std::uint64_t descriptor_fetch_attempts = 0;
+  std::uint64_t descriptor_fetch_failures = 0;
+  std::uint64_t connections_ok = 0;
+  std::uint64_t connections_failed = 0;
+};
+
+/// The simulated network. Single facade object; all interaction with the
+/// privacy infrastructure goes through it.
+class TorNetwork {
+ public:
+  /// Builds the founding relay population and publishes the first
+  /// consensus at the simulator's current time; re-publishes hourly.
+  TorNetwork(sim::Simulator& simulator, TorConfig config, std::uint64_t seed);
+
+  TorNetwork(const TorNetwork&) = delete;
+  TorNetwork& operator=(const TorNetwork&) = delete;
+
+  /// --- endpoints ----------------------------------------------------
+  /// Registers a host (onion-proxy owner); returns its handle.
+  EndpointId create_endpoint();
+
+  /// --- hidden services ----------------------------------------------
+  /// Hosts a service for `key` at `host`: chooses introduction points,
+  /// uploads descriptors to the responsible HSDirs of both replicas, and
+  /// re-publishes on the hourly maintenance tick. Returns the address.
+  ///
+  /// A non-empty `descriptor_cookie` is the paper's Section III client-
+  /// authorization field: descriptor IDs derive from it, so clients who
+  /// lack the cookie cannot even locate the responsible HSDirs.
+  OnionAddress publish_service(EndpointId host,
+                               const crypto::RsaKeyPair& key,
+                               ServiceHandler handler,
+                               Bytes descriptor_cookie = {});
+
+  /// Stops hosting `address` at `host`; returns false if it was not
+  /// hosted there. Already-uploaded descriptors linger on HSDirs until
+  /// they expire — exactly the window real takedowns face.
+  bool unpublish_service(EndpointId host, const OnionAddress& address);
+
+  /// True iff some endpoint currently hosts `address`.
+  bool service_online(const OnionAddress& address) const;
+
+  /// --- client side ----------------------------------------------------
+  /// Full rendezvous connection: descriptor lookup, rendezvous-point
+  /// setup, introduction, rendezvous join, payload delivery, reply. The
+  /// callback fires exactly once, at the virtual time the outcome is
+  /// known. Payload size is limited to 64 KiB. For cookie-protected
+  /// services the client must supply the matching `descriptor_cookie`
+  /// or the lookup fails with DescriptorNotFound.
+  void connect_and_send(EndpointId client, const OnionAddress& destination,
+                        Bytes payload, ConnectCallback callback,
+                        Bytes descriptor_cookie = {});
+
+  /// --- relay churn -----------------------------------------------------
+  /// A fresh relay joins: random fingerprint, HSDir flag after 25 h of
+  /// uptime, appears in the next consensus (or refresh_consensus()).
+  RelayId add_relay();
+
+  /// Operator shutdown: the relay stops serving immediately and drops
+  /// out of the next consensus. Services using it as an introduction
+  /// point repair themselves on the hourly maintenance tick.
+  void retire_relay(RelayId relay);
+
+  /// Publishes a consensus now (tests; the hourly tick does this too).
+  void refresh_consensus() { publish_consensus(); }
+
+  /// --- adversary hooks (mitigation experiments) ----------------------
+  /// Injects a relay with a chosen fingerprint. It enters the next
+  /// consensus but earns the HSDir flag only after 25 hours of uptime —
+  /// the positioning delay of paper Section VI-A.
+  RelayId inject_relay(const Fingerprint& fingerprint);
+
+  /// Marks a relay as a descriptor-denying HSDir (takeover mitigation).
+  void set_relay_denying(RelayId relay, bool denying);
+
+  /// The relays that would store descriptors for `address` right now, per
+  /// replica — what an adversary must occupy to deny service.
+  std::vector<std::vector<RelayId>> responsible_hsdirs_now(
+      const OnionAddress& address, BytesView descriptor_cookie = {}) const;
+
+  /// Entry guards currently pinned by `endpoint` (empty until its first
+  /// circuit, or when guards are disabled).
+  std::vector<RelayId> guards_of(EndpointId endpoint) const;
+
+  /// --- introspection --------------------------------------------------
+  const Consensus& consensus() const { return consensus_; }
+  const Relay& relay(RelayId id) const { return *relays_.at(id); }
+  std::size_t num_relays() const { return relays_.size(); }
+  const TorStats& stats() const { return stats_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  /// Average entropy (bits/byte) of data cells observed at relays so far;
+  /// ~8.0 means relayed traffic is indistinguishable from random bytes.
+  double mean_relayed_cell_entropy() const;
+
+ private:
+  struct Service {
+    crypto::RsaKeyPair key;
+    OnionAddress address;
+    EndpointId host = kInvalidEndpoint;
+    ServiceHandler handler;
+    Bytes cookie;
+    std::vector<RelayId> intro_points;
+    /// Standing circuits service -> intro point (hop lists + keys).
+    std::vector<std::vector<RelayId>> intro_circuits;
+  };
+
+  struct Circuit {
+    std::vector<RelayId> hops;
+    std::vector<Bytes> keys;
+    std::vector<SimDuration> latencies;
+    SimDuration total_latency() const;
+  };
+
+  void publish_consensus();
+  void hourly_maintenance();
+  void repair_intro_points(Service& service);
+  void upload_descriptors(Service& service);
+  Circuit build_circuit(EndpointId owner, std::optional<RelayId> final_hop);
+  /// The guard `owner` should use as first hop, avoiding `avoid`.
+  RelayId guard_for(EndpointId owner, std::optional<RelayId> avoid);
+  Bytes hop_key_for(RelayId relay, std::uint64_t circuit_nonce) const;
+
+  // Connection state machine steps (see .cpp).
+  struct Pending;
+  void start_descriptor_fetch(std::shared_ptr<Pending> conn);
+  void try_next_hsdir(std::shared_ptr<Pending> conn);
+  void begin_rendezvous(std::shared_ptr<Pending> conn,
+                        HiddenServiceDescriptor descriptor);
+  void deliver_through_rendezvous(std::shared_ptr<Pending> conn);
+  void fail(std::shared_ptr<Pending> conn, ConnectError error);
+  void succeed(std::shared_ptr<Pending> conn, Bytes reply);
+
+  sim::Simulator& sim_;
+  TorConfig config_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Relay>> relays_;
+  Consensus consensus_;
+  std::size_t num_endpoints_ = 0;
+  std::unordered_map<OnionAddress, Service, OnionAddressHash> services_;
+  std::unordered_map<EndpointId, std::vector<RelayId>> guards_;
+  TorStats stats_;
+  double entropy_sum_ = 0.0;
+  std::uint64_t entropy_samples_ = 0;
+};
+
+}  // namespace onion::tor

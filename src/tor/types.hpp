@@ -1,0 +1,35 @@
+// Shared vocabulary types for the Tor substrate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace onion::tor {
+
+/// 160-bit relay fingerprint (SHA-1 of the relay identity key in real
+/// Tor; here generated directly, or chosen by the adversary model).
+using Fingerprint = std::array<std::uint8_t, 20>;
+
+/// Index of a relay inside a TorNetwork.
+using RelayId = std::uint32_t;
+
+/// Index of an endpoint (a host running an onion proxy) inside a
+/// TorNetwork.
+using EndpointId = std::uint32_t;
+
+constexpr RelayId kInvalidRelay = ~RelayId{0};
+constexpr EndpointId kInvalidEndpoint = ~EndpointId{0};
+
+/// Fingerprint as an owning byte buffer.
+inline Bytes fingerprint_bytes(const Fingerprint& fp) {
+  return Bytes(fp.begin(), fp.end());
+}
+
+/// Lexicographic ring order on fingerprints (the HSDir ring order).
+inline bool fingerprint_less(const Fingerprint& a, const Fingerprint& b) {
+  return a < b;
+}
+
+}  // namespace onion::tor

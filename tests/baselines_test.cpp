@@ -1,0 +1,131 @@
+// Baseline tests: Table I reproduced in running code — every legacy
+// family decrypts, every one replays, the unsigned ones are hijackable —
+// plus the centralized-C&C contrast model.
+#include <gtest/gtest.h>
+
+#include "baselines/centralized.hpp"
+#include "baselines/legacy.hpp"
+
+namespace onion::baselines {
+namespace {
+
+TEST(TableOne, ProfilesMatchPaper) {
+  EXPECT_STREQ(profile(LegacyFamily::Miner).crypto, "none");
+  EXPECT_STREQ(profile(LegacyFamily::Miner).signing, "none");
+  EXPECT_STREQ(profile(LegacyFamily::Storm).crypto, "XOR");
+  EXPECT_STREQ(profile(LegacyFamily::Storm).signing, "none");
+  EXPECT_STREQ(profile(LegacyFamily::ZeroAccessV1).crypto, "RC4");
+  EXPECT_STREQ(profile(LegacyFamily::ZeroAccessV1).signing, "RSA 512");
+  EXPECT_STREQ(profile(LegacyFamily::Zeus).crypto, "chained XOR");
+  EXPECT_STREQ(profile(LegacyFamily::Zeus).signing, "RSA 2048");
+  for (const LegacyFamily f : all_legacy_families())
+    EXPECT_TRUE(profile(f).replayable) << profile(f).name;
+}
+
+class LegacyFamilySweep : public ::testing::TestWithParam<LegacyFamily> {};
+
+TEST_P(LegacyFamilySweep, CommandsDecodeCorrectly) {
+  Rng rng(1);
+  const LegacyController controller(GetParam(), rng);
+  LegacyBot bot(controller);
+  const auto decoded = bot.accept(controller.make_command("ddos host-a"));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, "ddos host-a");
+  EXPECT_EQ(bot.executed_count(), 1u);
+}
+
+TEST_P(LegacyFamilySweep, ReplayExecutesTwice) {
+  // Table I "Replay = yes" for every family: the same captured wire
+  // drives the bot twice. (Contrast: BotnetTest.ReplayedDirectCommand-
+  // Rejected for OnionBot.)
+  Rng rng(2);
+  const LegacyController controller(GetParam(), rng);
+  LegacyBot bot(controller);
+  const LegacyWire captured = controller.make_command("spam run");
+  EXPECT_TRUE(bot.accept(captured).has_value());
+  EXPECT_TRUE(bot.accept(captured).has_value()) << "replay accepted";
+  EXPECT_EQ(bot.executed_count(), 2u);
+}
+
+TEST_P(LegacyFamilySweep, GarbageRejected) {
+  Rng rng(3);
+  const LegacyController controller(GetParam(), rng);
+  LegacyBot bot(controller);
+  LegacyWire garbage;
+  garbage.bytes = to_bytes("complete nonsense bytes");
+  if (GetParam() == LegacyFamily::Miner) {
+    // Plaintext protocol: only the magic check protects it.
+    EXPECT_FALSE(bot.accept(garbage).has_value());
+  } else {
+    EXPECT_FALSE(bot.accept(garbage).has_value());
+  }
+  EXPECT_EQ(bot.executed_count(), 0u);
+}
+
+TEST_P(LegacyFamilySweep, ForgeryMatchesSigningColumn) {
+  // Unsigned families execute forged commands; signed ones refuse.
+  Rng rng(4);
+  const LegacyController controller(GetParam(), rng);
+  LegacyBot bot(controller);
+  const LegacyWire forged = forge_command(controller, "rm -rf /");
+  const bool executed = bot.accept(forged).has_value();
+  EXPECT_EQ(executed, hijackable(GetParam())) << profile(GetParam()).name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, LegacyFamilySweep,
+    ::testing::Values(LegacyFamily::Miner, LegacyFamily::Storm,
+                      LegacyFamily::ZeroAccessV1, LegacyFamily::Zeus),
+    [](const auto& info) {
+      std::string name = profile(info.param).name;
+      for (char& c : name)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+TEST(TableOne, HijackabilityColumn) {
+  EXPECT_TRUE(hijackable(LegacyFamily::Miner));
+  EXPECT_TRUE(hijackable(LegacyFamily::Storm));
+  EXPECT_FALSE(hijackable(LegacyFamily::ZeroAccessV1));
+  EXPECT_FALSE(hijackable(LegacyFamily::Zeus));
+}
+
+TEST(TableOne, TamperedSignedWireRejected) {
+  Rng rng(5);
+  const LegacyController zeus(LegacyFamily::Zeus, rng);
+  LegacyBot bot(zeus);
+  LegacyWire wire = zeus.make_command("update config");
+  wire.bytes[3] ^= 0x01;  // corrupt the signature field
+  EXPECT_FALSE(bot.accept(wire).has_value());
+}
+
+TEST(Centralized, BroadcastReachesAllBots) {
+  CentralizedBotnet net(100);
+  EXPECT_EQ(net.broadcast("attack"), 100u);
+}
+
+TEST(Centralized, SeizureIsTotal) {
+  // The single point of failure (paper Section II): one takedown, zero
+  // deliveries — versus OnionBot surviving 30% takedowns.
+  CentralizedBotnet net(100);
+  net.broadcast("attack");
+  net.seize_cnc();
+  EXPECT_EQ(net.broadcast("attack again"), 0u);
+  EXPECT_TRUE(net.cnc_seized());
+}
+
+TEST(Centralized, FlowLogExposesEveryBot) {
+  CentralizedBotnet net(50);
+  net.broadcast("attack");
+  EXPECT_EQ(net.bots_exposed(), 50u)
+      << "plain C&C traffic enumerates the botnet to any observer";
+  EXPECT_EQ(net.flow_log().size(), 100u) << "two flows per bot";
+}
+
+TEST(Centralized, NoTrafficNoExposure) {
+  CentralizedBotnet net(50);
+  EXPECT_EQ(net.bots_exposed(), 0u);
+}
+
+}  // namespace
+}  // namespace onion::baselines

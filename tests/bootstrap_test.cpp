@@ -1,0 +1,198 @@
+// Bootstrap-strategy tests (paper §IV-B): the hardcoded-subset handout,
+// hotlist directories under seizure, the out-of-band store's exposure
+// trade-off, and the random-probing infeasibility arithmetic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/bootstrap.hpp"
+#include "tor/address_cost.hpp"
+
+namespace onion::core {
+namespace {
+
+using tor::OnionAddress;
+
+OnionAddress make_address(std::uint8_t tag) {
+  OnionAddress::Identifier id{};
+  id[0] = tag;
+  id[9] = 0x5a;
+  return OnionAddress(id);
+}
+
+LeadList make_population(std::size_t n) {
+  LeadList out;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(make_address(static_cast<std::uint8_t>(i)));
+  return out;
+}
+
+// --- hardcoded subset ----------------------------------------------------
+
+TEST(HardcodedSubset, IncludesEachEntryWithProbabilityP) {
+  Rng rng(1);
+  const LeadList peers = make_population(40);
+  std::size_t total = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t)
+    total += hardcoded_subset(peers, 0.25, rng).size();
+  const double mean = static_cast<double>(total) / trials;
+  EXPECT_NEAR(mean, 10.0, 1.5) << "E[|subset|] = p * |peers|";
+}
+
+TEST(HardcodedSubset, NeverHandsOutNothing) {
+  Rng rng(2);
+  const LeadList peers = make_population(5);
+  for (int t = 0; t < 100; ++t)
+    EXPECT_GE(hardcoded_subset(peers, 0.01, rng).size(), 1u)
+        << "an empty handout would orphan the recruit";
+}
+
+TEST(HardcodedSubset, EmptySourceYieldsEmpty) {
+  Rng rng(3);
+  EXPECT_TRUE(hardcoded_subset({}, 0.9, rng).empty());
+}
+
+TEST(HardcodedSubset, PEqualOneHandsEverything) {
+  Rng rng(4);
+  const LeadList peers = make_population(12);
+  EXPECT_EQ(hardcoded_subset(peers, 1.0, rng).size(), 12u);
+}
+
+// --- hotlist directory ------------------------------------------------------
+
+TEST(Hotlist, QueryReturnsAnnouncedAddresses) {
+  Rng rng(5);
+  HotlistDirectory dir({.servers = 4, .window = 8, .servers_per_bot = 2},
+                       rng);
+  const auto subset = dir.assign_subset();
+  ASSERT_EQ(subset.size(), 2u);
+  dir.announce(make_address(1), subset);
+  dir.announce(make_address(2), subset);
+  const LeadList leads = dir.query(subset);
+  EXPECT_EQ(leads.size(), 2u);
+}
+
+TEST(Hotlist, WindowEvictsOldest) {
+  Rng rng(6);
+  HotlistDirectory dir({.servers = 1, .window = 3, .servers_per_bot = 1},
+                       rng);
+  const std::vector<std::size_t> subset = {0};
+  for (std::uint8_t i = 0; i < 5; ++i)
+    dir.announce(make_address(i), subset);
+  const LeadList leads = dir.query(subset);
+  ASSERT_EQ(leads.size(), 3u);
+  EXPECT_EQ(leads[0], make_address(2)) << "oldest entries evicted";
+}
+
+TEST(Hotlist, SeizedServerAnswersNothingButKeepsHarvesting) {
+  Rng rng(7);
+  HotlistDirectory dir({.servers = 2, .window = 8, .servers_per_bot = 2},
+                       rng);
+  dir.announce(make_address(1), {0});  // known only to server 0
+  const LeadList haul = dir.seize(0);
+  ASSERT_EQ(haul.size(), 1u) << "seizure yields the window";
+  EXPECT_EQ(haul[0], make_address(1));
+  // The address lived only on the seized server: bots cannot find it.
+  EXPECT_TRUE(dir.query({0, 1}).empty());
+  // Post-seizure announcements to server 0 are harvested by the
+  // defender's honeypot but never served to bots; server 1 still works.
+  dir.announce(make_address(2), {0, 1});
+  const LeadList leads = dir.query({0, 1});
+  ASSERT_EQ(leads.size(), 1u);
+  EXPECT_EQ(leads[0], make_address(2)) << "served by surviving server 1";
+  EXPECT_EQ(dir.harvested().size(), 2u);
+}
+
+TEST(Hotlist, BotsSeeOnlyTheirSubset) {
+  Rng rng(8);
+  HotlistDirectory dir({.servers = 8, .window = 8, .servers_per_bot = 1},
+                       rng);
+  dir.announce(make_address(9), {3});
+  EXPECT_TRUE(dir.query({2}).empty());
+  EXPECT_EQ(dir.query({3}).size(), 1u);
+}
+
+TEST(Hotlist, PartialSeizureLeavesOtherServersServing) {
+  Rng rng(9);
+  HotlistDirectory dir({.servers = 4, .window = 16, .servers_per_bot = 4},
+                       rng);
+  const std::vector<std::size_t> all = {0, 1, 2, 3};
+  for (std::uint8_t i = 0; i < 8; ++i) dir.announce(make_address(i), all);
+  dir.seize(0);
+  dir.seize(1);
+  EXPECT_EQ(dir.query(all).size(), 8u)
+      << "surviving servers still serve the full set";
+}
+
+// --- out-of-band store ------------------------------------------------------
+
+TEST(OutOfBand, LookupReturnsAnnouncements) {
+  OutOfBandStore store;
+  store.announce(42, make_address(1));
+  store.announce(42, make_address(2));
+  store.announce(42, make_address(1));  // duplicate collapses
+  EXPECT_EQ(store.lookup(42).size(), 2u);
+  EXPECT_TRUE(store.lookup(43).empty());
+  EXPECT_EQ(store.keys_used(), 1u);
+}
+
+TEST(OutOfBand, DefenderSeesExactlyWhatBotsSee) {
+  // The trade-off: the store is public. Whatever a recruit can learn,
+  // the crawler learns too.
+  OutOfBandStore store;
+  const LeadList population = make_population(20);
+  for (const auto& a : population) store.announce(7, a);
+  const LeadList crawl = store.lookup(7);
+  EXPECT_DOUBLE_EQ(exposure_fraction(crawl, population), 1.0);
+}
+
+TEST(Exposure, SubsetExposureIsPartial) {
+  const LeadList population = make_population(10);
+  const LeadList haul = {make_address(0), make_address(1),
+                         make_address(99)};
+  EXPECT_DOUBLE_EQ(exposure_fraction(haul, population), 0.2);
+  EXPECT_DOUBLE_EQ(exposure_fraction({}, population), 0.0);
+  EXPECT_DOUBLE_EQ(exposure_fraction(haul, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace onion::core
+
+namespace onion::tor {
+namespace {
+
+// --- random probing / vanity cost models -----------------------------------
+
+TEST(AddressCost, ShallotCalibrationRoundTrips) {
+  EXPECT_NEAR(vanity_prefix_days(8), 25.0, 1e-6)
+      << "the paper's data point: 8 chars ~ 25 days";
+}
+
+TEST(AddressCost, EachExtraPrefixCharCosts32x) {
+  const double d7 = vanity_prefix_days(7);
+  const double d8 = vanity_prefix_days(8);
+  EXPECT_NEAR(d8 / d7, 32.0, 1e-9);
+}
+
+TEST(AddressCost, RandomProbingIsAstronomical) {
+  // A million-bot botnet probed at a generous million probes/second
+  // still takes ~38,000 years to find the FIRST member (2^80 / 1e6
+  // probes, at 1e6/s). Enumerating the botnet this way is hopeless.
+  const double years = expected_years_to_find_bot(1e6, 1e6);
+  EXPECT_GT(years, 1e4);
+  EXPECT_NEAR(years, 38308.0, 50.0);
+  // Sanity: expected probes = 2^80 / population.
+  EXPECT_NEAR(expected_probes_to_find_bot(1.0), std::exp2(80.0),
+              std::exp2(80.0) * 1e-12);
+}
+
+TEST(AddressCost, FasterRigsScaleLinearly) {
+  const double slow = expected_years_to_find_bot(1e4, 1e3);
+  const double fast = expected_years_to_find_bot(1e4, 1e6);
+  EXPECT_NEAR(slow / fast, 1e3, 1e-6);
+}
+
+}  // namespace
+}  // namespace onion::tor

@@ -1,0 +1,250 @@
+// Tor substrate churn / guard / cookie tests: relays joining and leaving
+// across consensus publications, services repairing introduction points,
+// entry-guard pinning, and cookie-protected descriptor lookups end to
+// end (paper Section III mechanics that the botnet rides on).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sim/simulator.hpp"
+#include "tor/tor_network.hpp"
+
+namespace onion::tor {
+namespace {
+
+TorConfig small_tor() {
+  TorConfig cfg;
+  cfg.num_relays = 16;
+  return cfg;
+}
+
+crypto::RsaKeyPair service_key(std::uint64_t seed) {
+  Rng rng(seed);
+  return crypto::rsa_generate(rng, 1024);
+}
+
+ServiceHandler echo_handler() {
+  return [](BytesView request, const OnionAddress&) {
+    return Bytes(request.begin(), request.end());
+  };
+}
+
+TEST(Churn, NewRelayEntersNextConsensusWithoutHsdirFlag) {
+  sim::Simulator sim;
+  TorNetwork tor(sim, small_tor(), 1);
+  const std::size_t before = tor.consensus().entries().size();
+  const RelayId fresh = tor.add_relay();
+  EXPECT_EQ(tor.consensus().entries().size(), before)
+      << "joins at the *next* consensus";
+  tor.refresh_consensus();
+  EXPECT_EQ(tor.consensus().entries().size(), before + 1);
+  // No HSDir flag for 25 hours.
+  bool is_hsdir = false;
+  for (const auto& e : tor.consensus().hsdirs())
+    if (e.relay == fresh) is_hsdir = true;
+  EXPECT_FALSE(is_hsdir);
+  // After 25 h of uptime and a republication, the flag appears.
+  sim.run_until(26 * kHour);
+  tor.refresh_consensus();
+  is_hsdir = false;
+  for (const auto& e : tor.consensus().hsdirs())
+    if (e.relay == fresh) is_hsdir = true;
+  EXPECT_TRUE(is_hsdir);
+}
+
+TEST(Churn, RetiredRelayDropsOutAndStopsServing) {
+  sim::Simulator sim;
+  TorNetwork tor(sim, small_tor(), 2);
+  const std::size_t before = tor.consensus().entries().size();
+  tor.retire_relay(3);
+  tor.refresh_consensus();
+  EXPECT_EQ(tor.consensus().entries().size(), before - 1);
+  for (const auto& e : tor.consensus().entries())
+    EXPECT_NE(e.relay, RelayId{3});
+}
+
+TEST(Churn, ServiceSurvivesIntroPointRetirement) {
+  sim::Simulator sim;
+  TorNetwork tor(sim, small_tor(), 3);
+  const EndpointId host = tor.create_endpoint();
+  const EndpointId client = tor.create_endpoint();
+  const auto key = service_key(33);
+  const OnionAddress addr =
+      tor.publish_service(host, key, echo_handler());
+
+  // Retire every relay the service introduced through.
+  // (Descriptors still list them; maintenance must repair.)
+  std::vector<RelayId> intros;
+  for (const auto& replica : tor.responsible_hsdirs_now(addr))
+    (void)replica;  // responsible HSDirs are not the intro points
+  // Find intro points via a probe connection's descriptor instead:
+  // simpler — retire relays 0..5 and let repair handle whichever were
+  // chosen.
+  for (RelayId r = 0; r < 6; ++r) tor.retire_relay(r);
+
+  // Run past the next maintenance tick so intro points repair and
+  // descriptors re-upload.
+  sim.run_until(sim.now() + kConsensusInterval + kMinute);
+
+  ConnectResult outcome;
+  tor.connect_and_send(client, addr, to_bytes("ping"),
+                       [&](const ConnectResult& r) { outcome = r; });
+  sim.run();
+  EXPECT_TRUE(outcome.ok)
+      << "service repaired its introduction points after churn";
+}
+
+TEST(Churn, HeavyChurnKeepsNetworkUsable) {
+  sim::Simulator sim;
+  TorConfig cfg = small_tor();
+  cfg.num_relays = 24;
+  TorNetwork tor(sim, cfg, 4);
+  const EndpointId host = tor.create_endpoint();
+  const EndpointId client = tor.create_endpoint();
+  const auto key = service_key(44);
+  const OnionAddress addr =
+      tor.publish_service(host, key, echo_handler());
+
+  Rng rng(5);
+  for (int wave = 0; wave < 4; ++wave) {
+    // A third of the founding population rotates out; newcomers join.
+    for (int i = 0; i < 3; ++i) {
+      tor.retire_relay(static_cast<RelayId>(
+          rng.uniform(cfg.num_relays)));
+      tor.add_relay();
+    }
+    sim.run_until(sim.now() + kConsensusInterval + kMinute);
+  }
+  ConnectResult outcome;
+  tor.connect_and_send(client, addr, to_bytes("still-there?"),
+                       [&](const ConnectResult& r) { outcome = r; });
+  sim.run();
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.reply, to_bytes("still-there?"));
+}
+
+TEST(Guards, EndpointPinsASmallStableGuardSet) {
+  sim::Simulator sim;
+  TorNetwork tor(sim, small_tor(), 6);
+  const EndpointId host = tor.create_endpoint();
+  const EndpointId client = tor.create_endpoint();
+  const auto key = service_key(55);
+  const OnionAddress addr =
+      tor.publish_service(host, key, echo_handler());
+
+  for (int i = 0; i < 6; ++i) {
+    ConnectResult outcome;
+    tor.connect_and_send(client, addr, to_bytes("x"),
+                         [&](const ConnectResult& r) { outcome = r; });
+    sim.run();
+    ASSERT_TRUE(outcome.ok);
+  }
+  const std::vector<RelayId> guards = tor.guards_of(client);
+  EXPECT_EQ(guards.size(), tor.consensus().entries().size() > 3
+                               ? std::size_t{3}
+                               : guards.size());
+}
+
+TEST(Guards, DeadGuardIsReplaced) {
+  sim::Simulator sim;
+  TorNetwork tor(sim, small_tor(), 7);
+  const EndpointId host = tor.create_endpoint();
+  const EndpointId client = tor.create_endpoint();
+  const auto key = service_key(66);
+  const OnionAddress addr =
+      tor.publish_service(host, key, echo_handler());
+
+  ConnectResult outcome;
+  tor.connect_and_send(client, addr, to_bytes("x"),
+                       [&](const ConnectResult& r) { outcome = r; });
+  sim.run();
+  ASSERT_TRUE(outcome.ok);
+  const std::vector<RelayId> before = tor.guards_of(client);
+  ASSERT_FALSE(before.empty());
+  for (const RelayId g : before) tor.retire_relay(g);
+  tor.refresh_consensus();
+
+  tor.connect_and_send(client, addr, to_bytes("y"),
+                       [&](const ConnectResult& r) { outcome = r; });
+  sim.run();
+  EXPECT_TRUE(outcome.ok);
+  const std::vector<RelayId> after = tor.guards_of(client);
+  for (const RelayId g : after)
+    EXPECT_TRUE(std::find(before.begin(), before.end(), g) ==
+                before.end())
+        << "every dead guard was replaced";
+}
+
+TEST(Cookies, ClientWithCookieConnects) {
+  sim::Simulator sim;
+  TorNetwork tor(sim, small_tor(), 8);
+  const EndpointId host = tor.create_endpoint();
+  const EndpointId client = tor.create_endpoint();
+  const auto key = service_key(77);
+  const Bytes cookie = to_bytes("sixteen-byte-ck!");
+  const OnionAddress addr =
+      tor.publish_service(host, key, echo_handler(), cookie);
+
+  ConnectResult outcome;
+  tor.connect_and_send(client, addr, to_bytes("auth ok"),
+                       [&](const ConnectResult& r) { outcome = r; },
+                       cookie);
+  sim.run();
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.reply, to_bytes("auth ok"));
+}
+
+TEST(Cookies, ClientWithoutCookieCannotEvenFindTheDescriptor) {
+  sim::Simulator sim;
+  TorNetwork tor(sim, small_tor(), 9);
+  const EndpointId host = tor.create_endpoint();
+  const EndpointId client = tor.create_endpoint();
+  const auto key = service_key(88);
+  const Bytes cookie = to_bytes("sixteen-byte-ck!");
+  const OnionAddress addr =
+      tor.publish_service(host, key, echo_handler(), cookie);
+
+  ConnectResult outcome;
+  tor.connect_and_send(client, addr, to_bytes("no auth"),
+                       [&](const ConnectResult& r) { outcome = r; });
+  sim.run();
+  ASSERT_FALSE(outcome.ok);
+  EXPECT_EQ(*outcome.error, ConnectError::DescriptorNotFound)
+      << "wrong descriptor IDs: the lookup dead-ends at the HSDirs";
+}
+
+TEST(Cookies, WrongCookieFailsToo) {
+  sim::Simulator sim;
+  TorNetwork tor(sim, small_tor(), 10);
+  const EndpointId host = tor.create_endpoint();
+  const EndpointId client = tor.create_endpoint();
+  const auto key = service_key(99);
+  const OnionAddress addr = tor.publish_service(
+      host, key, echo_handler(), to_bytes("the-right-cookie"));
+
+  ConnectResult outcome;
+  tor.connect_and_send(client, addr, to_bytes("guess"),
+                       [&](const ConnectResult& r) { outcome = r; },
+                       to_bytes("a-wrong-cookie!!"));
+  sim.run();
+  ASSERT_FALSE(outcome.ok);
+  EXPECT_EQ(*outcome.error, ConnectError::DescriptorNotFound);
+}
+
+TEST(Cookies, CookieHsdirSetsDiffer) {
+  sim::Simulator sim;
+  TorNetwork tor(sim, small_tor(), 11);
+  const EndpointId host = tor.create_endpoint();
+  const auto key = service_key(111);
+  const Bytes cookie = to_bytes("sixteen-byte-ck!");
+  const OnionAddress addr =
+      tor.publish_service(host, key, echo_handler(), cookie);
+  const auto with = tor.responsible_hsdirs_now(addr, cookie);
+  const auto without = tor.responsible_hsdirs_now(addr);
+  EXPECT_NE(with, without)
+      << "an outsider computes the wrong responsible HSDirs";
+}
+
+}  // namespace
+}  // namespace onion::tor

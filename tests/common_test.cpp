@@ -1,0 +1,232 @@
+// Unit tests for the common substrate: byte codecs, deterministic RNG,
+// contract macros, clock helpers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/bytes.hpp"
+#include "common/check.hpp"
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+
+namespace onion {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+  EXPECT_EQ(from_hex("0001ABFF7F"), data);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, HexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, Base32KnownVectors) {
+  // RFC 4648 vectors, lowercased and unpadded (Tor style).
+  EXPECT_EQ(base32_encode(to_bytes("")), "");
+  EXPECT_EQ(base32_encode(to_bytes("f")), "my");
+  EXPECT_EQ(base32_encode(to_bytes("fo")), "mzxq");
+  EXPECT_EQ(base32_encode(to_bytes("foo")), "mzxw6");
+  EXPECT_EQ(base32_encode(to_bytes("foob")), "mzxw6yq");
+  EXPECT_EQ(base32_encode(to_bytes("fooba")), "mzxw6ytb");
+  EXPECT_EQ(base32_encode(to_bytes("foobar")), "mzxw6ytboi");
+}
+
+TEST(Bytes, Base32RoundTripAllLengths) {
+  Rng rng(7);
+  for (std::size_t len = 0; len <= 64; ++len) {
+    Bytes data(len);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+    const std::string encoded = base32_encode(data);
+    const Bytes decoded = base32_decode(encoded);
+    // Decoding drops sub-byte padding bits; the prefix must match.
+    ASSERT_GE(decoded.size(), data.size());
+    EXPECT_TRUE(std::equal(data.begin(), data.end(), decoded.begin()));
+  }
+}
+
+TEST(Bytes, Base32TenByteIdentifierIsExact) {
+  // .onion identifiers are exactly 10 bytes = 16 base32 chars, no pad.
+  const Bytes id = from_hex("0123456789abcdef0011");
+  const std::string s = base32_encode(id);
+  EXPECT_EQ(s.size(), 16u);
+  EXPECT_EQ(base32_decode(s), id);
+}
+
+TEST(Bytes, Base32RejectsBadCharacters) {
+  EXPECT_THROW(base32_decode("01"), std::invalid_argument);  // 0,1 invalid
+  EXPECT_THROW(base32_decode("a!"), std::invalid_argument);
+}
+
+TEST(Bytes, ConcatAndAppend) {
+  const Bytes a = {1, 2}, b = {3}, c = {4, 5};
+  EXPECT_EQ(concat(a, b), (Bytes{1, 2, 3}));
+  EXPECT_EQ(concat(a, b, c), (Bytes{1, 2, 3, 4, 5}));
+  Bytes d = a;
+  append(d, b);
+  EXPECT_EQ(d, (Bytes{1, 2, 3}));
+}
+
+TEST(Bytes, Be64RoundTrip) {
+  for (const std::uint64_t v :
+       {0ULL, 1ULL, 0xffULL, 0x0123456789abcdefULL, ~0ULL}) {
+    EXPECT_EQ(read_be64(be64(v)), v);
+  }
+  EXPECT_EQ(be64(0x0102030405060708ULL),
+            (Bytes{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(Bytes, XorBytes) {
+  EXPECT_EQ(xor_bytes(Bytes{0xff, 0x00}, Bytes{0x0f, 0xf0}),
+            (Bytes{0xf0, 0xf0}));
+  EXPECT_THROW(xor_bytes(Bytes{1}, Bytes{1, 2}), std::invalid_argument);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformStaysInBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform(7), 7u);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(4);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformInInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_in(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform_real();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliApproximatesProbability) {
+  Rng rng(8);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.25)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+TEST(Rng, SampleDistinctElements) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const auto s = rng.sample(v, 4);
+  EXPECT_EQ(s.size(), 4u);
+  std::set<int> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 4u);
+  for (int x : s) EXPECT_TRUE(std::count(v.begin(), v.end(), x) == 1);
+}
+
+TEST(Rng, SampleWholeVector) {
+  Rng rng(10);
+  std::vector<int> v{1, 2, 3};
+  auto s = rng.sample(v, 3);
+  std::sort(s.begin(), s.end());
+  EXPECT_EQ(s, v);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(w, v);
+}
+
+TEST(Rng, PickReturnsElement) {
+  Rng rng(12);
+  const std::vector<int> v{5, 6, 7};
+  for (int i = 0; i < 50; ++i) {
+    const int x = rng.pick(v);
+    EXPECT_TRUE(x >= 5 && x <= 7);
+  }
+}
+
+TEST(Rng, SplitYieldsIndependentStream) {
+  Rng a(13);
+  Rng child = a.split();
+  // The child stream should not replay the parent's outputs.
+  Rng b(13);
+  b.next_u64();  // advance past the split draw
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (child.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Check, ExpectsThrowsContractViolation) {
+  EXPECT_THROW(ONION_EXPECTS(false), ContractViolation);
+  EXPECT_NO_THROW(ONION_EXPECTS(true));
+}
+
+TEST(Check, MessageNamesExpression) {
+  try {
+    ONION_EXPECTS(1 == 2);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Clock, Conversions) {
+  EXPECT_EQ(kSecond, 1000u);
+  EXPECT_EQ(kHour, 3'600'000u);
+  EXPECT_EQ(kDay, 24 * kHour);
+  EXPECT_EQ(to_seconds(2 * kHour), 7200u);
+}
+
+}  // namespace
+}  // namespace onion

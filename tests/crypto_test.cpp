@@ -1,0 +1,208 @@
+// Hash, MAC, and cipher tests against published vectors: FIPS 180 (SHA-1,
+// SHA-256), RFC 2202 (HMAC-SHA1), RFC 4231 (HMAC-SHA256), and the classic
+// RC4 vectors. The Tor substrate's descriptor math is only as good as
+// these primitives.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/check.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/legacy_ciphers.hpp"
+#include "crypto/rc4.hpp"
+#include "crypto/sha1.hpp"
+#include "crypto/sha256.hpp"
+
+namespace onion::crypto {
+namespace {
+
+template <std::size_t N>
+std::string hex(const std::array<std::uint8_t, N>& d) {
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+TEST(Sha1, Fips180Vectors) {
+  EXPECT_EQ(hex(Sha1::hash(to_bytes(""))),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(hex(Sha1::hash(to_bytes("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(hex(Sha1::hash(to_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 hasher;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.update(chunk);
+  EXPECT_EQ(hex(hasher.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const Bytes msg = to_bytes("The quick brown fox jumps over the lazy dog");
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha1 hasher;
+    hasher.update(BytesView(msg).first(split));
+    hasher.update(BytesView(msg).subspan(split));
+    EXPECT_EQ(hasher.finalize(), Sha1::hash(msg));
+  }
+}
+
+TEST(Sha1, ResetAllowsReuse) {
+  Sha1 hasher;
+  hasher.update(to_bytes("garbage"));
+  (void)hasher.finalize();
+  hasher.reset();
+  hasher.update(to_bytes("abc"));
+  EXPECT_EQ(hex(hasher.finalize()),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, BoundaryLengths) {
+  // Pad-boundary lengths: 55, 56, 63, 64, 65 bytes.
+  for (const std::size_t n : {55u, 56u, 63u, 64u, 65u}) {
+    const Bytes msg(n, 'x');
+    Sha1 split_hasher;
+    split_hasher.update(BytesView(msg).first(n / 2));
+    split_hasher.update(BytesView(msg).subspan(n / 2));
+    EXPECT_EQ(split_hasher.finalize(), Sha1::hash(msg)) << n;
+  }
+}
+
+TEST(Sha256, Fips180Vectors) {
+  EXPECT_EQ(
+      hex(Sha256::hash(to_bytes(""))),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(
+      hex(Sha256::hash(to_bytes("abc"))),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      hex(Sha256::hash(to_bytes(
+          "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 hasher;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.update(chunk);
+  EXPECT_EQ(
+      hex(hasher.finalize()),
+      "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const Bytes msg = to_bytes("onionbots reproduce sha256 incrementally!");
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 hasher;
+    hasher.update(BytesView(msg).first(split));
+    hasher.update(BytesView(msg).subspan(split));
+    EXPECT_EQ(hasher.finalize(), Sha256::hash(msg));
+  }
+}
+
+TEST(HmacSha256, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(
+      hex(hmac_sha256(key, to_bytes("Hi There"))),
+      "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  EXPECT_EQ(
+      hex(hmac_sha256(to_bytes("Jefe"),
+                      to_bytes("what do ya want for nothing?"))),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes msg(50, 0xdd);
+  EXPECT_EQ(
+      hex(hmac_sha256(key, msg)),
+      "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231LongKey) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      hex(hmac_sha256(
+          key, to_bytes("Test Using Larger Than Block-Size Key - "
+                        "Hash Key First"))),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha1, Rfc2202Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(hex(hmac_sha1(key, to_bytes("Hi There"))),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacSha1, Rfc2202Case2) {
+  EXPECT_EQ(hex(hmac_sha1(to_bytes("Jefe"),
+                          to_bytes("what do ya want for nothing?"))),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(Rc4, ClassicVectors) {
+  {
+    Rc4 cipher(to_bytes("Key"));
+    EXPECT_EQ(to_hex(cipher.process(to_bytes("Plaintext"))),
+              "bbf316e8d940af0ad3");
+  }
+  {
+    Rc4 cipher(to_bytes("Wiki"));
+    EXPECT_EQ(to_hex(cipher.process(to_bytes("pedia"))), "1021bf0420");
+  }
+  {
+    Rc4 cipher(to_bytes("Secret"));
+    EXPECT_EQ(to_hex(cipher.process(to_bytes("Attack at dawn"))),
+              "45a01f645fc35b383552544b9bf5");
+  }
+}
+
+TEST(Rc4, EncryptDecryptRoundTrip) {
+  const Bytes msg = to_bytes("symmetric stream: enc == dec");
+  Rc4 enc(to_bytes("k1"));
+  Rc4 dec(to_bytes("k1"));
+  EXPECT_EQ(dec.process(enc.process(msg)), msg);
+}
+
+TEST(Rc4, RejectsEmptyKey) {
+  EXPECT_THROW(
+      {
+        Rc4 cipher{Bytes{}};
+        (void)cipher;
+      },
+      onion::ContractViolation);
+}
+
+TEST(LegacyCiphers, XorRoundTripAndInvolution) {
+  const Bytes msg = to_bytes("storm worm says hi");
+  const Bytes enc = xor_cipher(msg, 0x5a);
+  EXPECT_NE(enc, msg);
+  EXPECT_EQ(xor_cipher(enc, 0x5a), msg);
+}
+
+TEST(LegacyCiphers, ChainedXorRoundTrip) {
+  const Bytes msg = to_bytes("zeus chained xor command body");
+  for (const std::uint8_t key : {0x00, 0x01, 0x7f, 0xff}) {
+    const Bytes enc = chained_xor_encrypt(msg, key);
+    EXPECT_EQ(chained_xor_decrypt(enc, key), msg) << int(key);
+  }
+}
+
+TEST(LegacyCiphers, ChainedXorPropagates) {
+  // Chained XOR diffuses: flipping one plaintext byte changes every
+  // following ciphertext byte (unlike plain XOR).
+  Bytes a = to_bytes("aaaaaaaaaa");
+  Bytes b = a;
+  b[2] ^= 0x01;
+  const Bytes ea = chained_xor_encrypt(a, 0x10);
+  const Bytes eb = chained_xor_encrypt(b, 0x10);
+  for (std::size_t i = 0; i < 2; ++i) EXPECT_EQ(ea[i], eb[i]);
+  for (std::size_t i = 2; i < ea.size(); ++i) EXPECT_NE(ea[i], eb[i]);
+}
+
+}  // namespace
+}  // namespace onion::crypto

@@ -1,0 +1,328 @@
+// Graph substrate tests: structure operations, generators (parameterized
+// over the paper's sizes/degrees), metrics validated on graphs with known
+// closed-form values, and estimator-vs-exact property sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/metrics.hpp"
+#include "graph/union_find.hpp"
+
+namespace onion::graph {
+namespace {
+
+Graph path_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) g.add_edge(u, u + 1);
+  return g;
+}
+
+Graph cycle_graph(std::size_t n) {
+  Graph g = path_graph(n);
+  g.add_edge(static_cast<NodeId>(n - 1), 0);
+  return g;
+}
+
+Graph complete_graph(std::size_t n) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  return g;
+}
+
+TEST(Graph, StartsIsolated) {
+  Graph g(5);
+  EXPECT_EQ(g.num_alive(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_EQ(g.degree(u), 0u);
+}
+
+TEST(Graph, AddEdgeBasics) {
+  Graph g(3);
+  EXPECT_TRUE(g.add_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.add_edge(0, 1)) << "duplicate rejected";
+  EXPECT_FALSE(g.add_edge(1, 0)) << "reverse duplicate rejected";
+  EXPECT_FALSE(g.add_edge(2, 2)) << "self loop rejected";
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Graph, RemoveEdge) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.remove_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.remove_edge(0, 1)) << "absent edge";
+}
+
+TEST(Graph, RemoveNodeDetachesEdges) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.remove_node(0);
+  EXPECT_FALSE(g.alive(0));
+  EXPECT_EQ(g.num_alive(), 3u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 1u);
+}
+
+TEST(Graph, DeadNodeOperationsRejected) {
+  Graph g(2);
+  g.remove_node(0);
+  EXPECT_THROW(g.degree(0), ContractViolation);
+  EXPECT_THROW(g.add_edge(0, 1), ContractViolation);
+  EXPECT_THROW(g.remove_node(0), ContractViolation);
+}
+
+TEST(Graph, AddNodeExtends) {
+  Graph g(2);
+  const NodeId u = g.add_node();
+  EXPECT_EQ(u, 2u);
+  EXPECT_TRUE(g.alive(u));
+  EXPECT_TRUE(g.add_edge(u, 0));
+  EXPECT_EQ(g.capacity(), 3u);
+}
+
+TEST(Graph, AliveNodesAndAverageDegree) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.remove_node(3);
+  EXPECT_EQ(g.alive_nodes(), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_NEAR(g.average_degree(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(UnionFindTest, BasicMerging) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(1, 2));
+  EXPECT_FALSE(uf.unite(0, 2)) << "already same set";
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_TRUE(uf.same(0, 2));
+  EXPECT_FALSE(uf.same(0, 3));
+  EXPECT_EQ(uf.set_size(1), 3u);
+}
+
+TEST(Generators, RegularGraphHasExactDegrees) {
+  Rng rng(20);
+  const Graph g = random_regular(100, 6, rng);
+  EXPECT_EQ(g.num_edges(), 300u);
+  for (NodeId u = 0; u < 100; ++u) EXPECT_EQ(g.degree(u), 6u);
+}
+
+TEST(Generators, RegularRejectsBadParameters) {
+  Rng rng(21);
+  EXPECT_THROW(random_regular(5, 5, rng), std::invalid_argument);
+  EXPECT_THROW(random_regular(5, 3, rng), std::invalid_argument);  // odd nk
+}
+
+struct RegularParams {
+  std::size_t n;
+  std::size_t k;
+};
+
+class RegularSweep : public ::testing::TestWithParam<RegularParams> {};
+
+TEST_P(RegularSweep, ValidSimpleRegularAndConnected) {
+  const auto [n, k] = GetParam();
+  Rng rng(22 + n + k);
+  const Graph g = random_regular(n, k, rng);
+  // Simple: no self loops / duplicates (Graph enforces), exact degrees.
+  for (NodeId u = 0; u < n; ++u) {
+    ASSERT_EQ(g.degree(u), k);
+    for (const NodeId v : g.neighbors(u)) ASSERT_NE(v, u);
+  }
+  EXPECT_EQ(g.num_edges(), n * k / 2);
+  // Random k-regular graphs with k >= 3 are connected w.h.p.
+  if (k >= 3) {
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSizes, RegularSweep,
+    ::testing::Values(RegularParams{50, 4}, RegularParams{100, 5},
+                      RegularParams{200, 10}, RegularParams{100, 15},
+                      RegularParams{64, 3}, RegularParams{500, 10}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_k" +
+             std::to_string(info.param.k);
+    });
+
+TEST(Generators, ErdosRenyiDensityMatches) {
+  Rng rng(23);
+  const Graph g = erdos_renyi(200, 0.1, rng);
+  const double possible = 200.0 * 199.0 / 2.0;
+  const double density = static_cast<double>(g.num_edges()) / possible;
+  EXPECT_NEAR(density, 0.1, 0.02);
+}
+
+TEST(Generators, ErdosRenyiExtremes) {
+  Rng rng(24);
+  EXPECT_EQ(erdos_renyi(10, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(erdos_renyi(10, 1.0, rng).num_edges(), 45u);
+}
+
+TEST(Metrics, BfsDistancesOnPath) {
+  const Graph g = path_graph(5);
+  const auto d = bfs_distances(g, 0);
+  for (NodeId u = 0; u < 5; ++u) EXPECT_EQ(d[u], u);
+}
+
+TEST(Metrics, BfsUnreachable) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], kUnreachable);
+}
+
+TEST(Metrics, ComponentsCountsAndSizes) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(c.largest(), 3u);
+  EXPECT_EQ(c.label[0], c.label[2]);
+  EXPECT_NE(c.label[0], c.label[3]);
+}
+
+TEST(Metrics, ComponentsIgnoreDeadNodes) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.remove_node(2);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 2u);  // {0,1}, {3}
+}
+
+TEST(Metrics, IsConnectedEdgeCases) {
+  Graph g0(0);
+  EXPECT_TRUE(is_connected(g0));
+  Graph g1(1);
+  EXPECT_TRUE(is_connected(g1));
+  Graph g2(2);
+  EXPECT_FALSE(is_connected(g2));
+  g2.add_edge(0, 1);
+  EXPECT_TRUE(is_connected(g2));
+}
+
+TEST(Metrics, ClosenessOnCompleteGraph) {
+  // Complete graph: every distance 1, closeness = 1 for every node.
+  const Graph g = complete_graph(6);
+  for (NodeId u = 0; u < 6; ++u)
+    EXPECT_NEAR(closeness_centrality(g, u), 1.0, 1e-12);
+  EXPECT_NEAR(average_closeness_exact(g), 1.0, 1e-12);
+}
+
+TEST(Metrics, ClosenessOnStarGraph) {
+  // Star K_{1,4}: center closeness 1; leaf: (n-1)/sum = 4/(1+2+2+2)=4/7.
+  Graph g(5);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) g.add_edge(0, leaf);
+  EXPECT_NEAR(closeness_centrality(g, 0), 1.0, 1e-12);
+  EXPECT_NEAR(closeness_centrality(g, 1), 4.0 / 7.0, 1e-12);
+}
+
+TEST(Metrics, ClosenessOnPathEnd) {
+  // Path of 4: end node distances 1+2+3=6 -> closeness 3/6 = 0.5.
+  const Graph g = path_graph(4);
+  EXPECT_NEAR(closeness_centrality(g, 0), 0.5, 1e-12);
+}
+
+TEST(Metrics, ClosenessDisconnectedUsesNetworkXCorrection) {
+  // Two disjoint edges in n=4: r=1 reachable, d=1.
+  // C = (r/(n-1)) * (r/dist) = (1/3)*(1/1) = 1/3.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_NEAR(closeness_centrality(g, 0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, ClosenessSampledMatchesExactWhenSamplingAll) {
+  Rng rng(25);
+  const Graph g = random_regular(60, 4, rng);
+  Rng sample_rng(26);
+  EXPECT_NEAR(average_closeness_sampled(g, 60, sample_rng),
+              average_closeness_exact(g), 1e-12);
+}
+
+TEST(Metrics, ClosenessSampledApproximatesExact) {
+  Rng rng(27);
+  const Graph g = random_regular(300, 6, rng);
+  const double exact = average_closeness_exact(g);
+  Rng sample_rng(28);
+  const double approx = average_closeness_sampled(g, 100, sample_rng);
+  EXPECT_NEAR(approx, exact, 0.05 * exact + 1e-9);
+}
+
+TEST(Metrics, DegreeCentrality) {
+  const Graph g = complete_graph(5);
+  for (NodeId u = 0; u < 5; ++u)
+    EXPECT_NEAR(degree_centrality(g, u), 1.0, 1e-12);
+  Graph star(5);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) star.add_edge(0, leaf);
+  EXPECT_NEAR(degree_centrality(star, 0), 1.0, 1e-12);
+  EXPECT_NEAR(degree_centrality(star, 1), 0.25, 1e-12);
+  EXPECT_NEAR(average_degree_centrality(star), (1.0 + 4 * 0.25) / 5.0,
+              1e-12);
+}
+
+TEST(Metrics, DiameterExactKnownGraphs) {
+  EXPECT_EQ(diameter_exact(path_graph(6)), 5u);
+  EXPECT_EQ(diameter_exact(cycle_graph(8)), 4u);
+  EXPECT_EQ(diameter_exact(complete_graph(7)), 1u);
+}
+
+TEST(Metrics, DiameterOfLargestComponent) {
+  Graph g(7);
+  // Component A: path 0-1-2-3 (diameter 3). Component B: edge 4-5.
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(4, 5);
+  EXPECT_EQ(diameter_exact(g), 3u);
+}
+
+class DiameterSweep
+    : public ::testing::TestWithParam<RegularParams> {};
+
+TEST_P(DiameterSweep, DoubleSweepMatchesExact) {
+  const auto [n, k] = GetParam();
+  Rng rng(29 + n * k);
+  const Graph g = random_regular(n, k, rng);
+  Rng sweep_rng(30);
+  const std::size_t estimate = diameter_double_sweep(g, 8, sweep_rng);
+  EXPECT_EQ(estimate, diameter_exact(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomRegular, DiameterSweep,
+    ::testing::Values(RegularParams{60, 3}, RegularParams{100, 4},
+                      RegularParams{150, 5}, RegularParams{200, 10}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_k" +
+             std::to_string(info.param.k);
+    });
+
+TEST(Metrics, DiameterDoubleSweepNeverExceedsExact) {
+  // Double sweep is a lower bound by construction.
+  Rng rng(31);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = erdos_renyi(80, 0.06, rng);
+    if (g.num_alive() == 0) continue;
+    Rng sweep_rng(32 + trial);
+    EXPECT_LE(diameter_double_sweep(g, 4, sweep_rng), diameter_exact(g));
+  }
+}
+
+}  // namespace
+}  // namespace onion::graph

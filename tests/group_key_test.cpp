@@ -1,0 +1,159 @@
+// Subgroup key tests (paper §IV-D): the botmaster installs group keys
+// over the signed direct channel, group broadcasts execute on members
+// only, non-members relay the envelopes unread, and the rental chain can
+// never be used to install keys.
+#include <gtest/gtest.h>
+
+#include "core/botnet.hpp"
+#include "crypto/elligator_sim.hpp"
+
+namespace onion::core {
+namespace {
+
+Botnet::Params group_params(std::uint64_t seed = 5) {
+  Botnet::Params p;
+  p.num_bots = 16;
+  p.initial_degree = 4;
+  p.seed = seed;
+  p.tor.num_relays = 20;
+  p.bot.dmin = 3;
+  p.bot.dmax = 6;
+  return p;
+}
+
+TEST(GroupKeys, CreateGroupInstallsKeysOnMembersOnly) {
+  Botnet net(group_params());
+  const std::vector<std::uint32_t> members = {2, 5, 11};
+  const std::uint64_t gid = net.master().create_group(members);
+  net.run_for(5 * kMinute);
+
+  for (std::size_t i = 0; i < net.num_bots(); ++i) {
+    const bool is_member =
+        std::find(members.begin(), members.end(),
+                  static_cast<std::uint32_t>(i)) != members.end();
+    EXPECT_EQ(net.bot(i).group_keys().count(gid) > 0, is_member)
+        << "bot " << i;
+  }
+  EXPECT_EQ(net.master().group_members(gid), members);
+}
+
+TEST(GroupKeys, GroupBroadcastExecutesOnMembersOnly) {
+  Botnet net(group_params());
+  const std::vector<std::uint32_t> members = {1, 4, 7, 9};
+  const std::uint64_t gid = net.master().create_group(members);
+  net.run_for(5 * kMinute);
+
+  Command cmd;
+  cmd.type = CommandType::Ddos;
+  cmd.argument = "group-target.example";
+  net.master().broadcast_group(gid, cmd, /*fanout=*/3);
+  net.run_for(15 * kMinute);
+
+  EXPECT_EQ(net.count_executed(CommandType::Ddos), members.size())
+      << "exactly the members execute";
+  for (const std::uint32_t m : members) {
+    bool found = false;
+    for (const auto& e : net.bot(m).executed())
+      if (e.type == CommandType::Ddos) found = true;
+    EXPECT_TRUE(found) << "member " << m;
+  }
+}
+
+TEST(GroupKeys, NonMembersStillRelayGroupEnvelopes) {
+  // The flood must traverse non-members for the group to be reachable —
+  // and non-members relaying unreadable envelopes is the §IV-D stealth
+  // property (they cannot even tell it was not for them).
+  Botnet net(group_params());
+  const std::vector<std::uint32_t> members = {14, 15};
+  const std::uint64_t gid = net.master().create_group(members);
+  net.run_for(5 * kMinute);
+
+  std::vector<std::uint64_t> relayed_before;
+  for (std::size_t i = 0; i < net.num_bots(); ++i)
+    relayed_before.push_back(net.bot(i).broadcasts_relayed());
+
+  Command cmd;
+  cmd.type = CommandType::Spam;
+  net.master().broadcast_group(gid, cmd, 2);
+  net.run_for(15 * kMinute);
+
+  std::size_t non_member_relays = 0;
+  for (std::size_t i = 0; i < net.num_bots() - 2; ++i)
+    non_member_relays +=
+        net.bot(i).broadcasts_relayed() - relayed_before[i];
+  EXPECT_GT(non_member_relays, 0u)
+      << "non-members forwarded envelopes they could not read";
+  EXPECT_EQ(net.count_executed(CommandType::Spam), 2u);
+}
+
+TEST(GroupKeys, DisjointGroupsDoNotCrossExecute) {
+  Botnet net(group_params(9));
+  const std::uint64_t red = net.master().create_group({0, 1, 2});
+  const std::uint64_t blue = net.master().create_group({3, 4, 5});
+  net.run_for(5 * kMinute);
+
+  Command cmd;
+  cmd.type = CommandType::Compute;
+  cmd.argument = "red-only";
+  net.master().broadcast_group(red, cmd, 2);
+  net.run_for(15 * kMinute);
+
+  for (const std::uint32_t b : {3u, 4u, 5u}) {
+    for (const auto& e : net.bot(b).executed())
+      EXPECT_NE(e.type, CommandType::Compute) << "blue bot " << b;
+  }
+  EXPECT_EQ(net.count_executed(CommandType::Compute), 3u);
+  (void)blue;
+}
+
+TEST(GroupKeys, RentalTokenCanNeverInstallKeys) {
+  Botnet net(group_params());
+  Rng rng(77);
+  const crypto::RsaKeyPair trudy = crypto::rsa_generate(rng, 2048);
+  // Even a whitelist that *names* InstallGroupKey is inert.
+  const RentalToken token = net.master().rent(
+      trudy.pub, net.simulator().now() + 2 * kHour,
+      {CommandType::InstallGroupKey, CommandType::Spam});
+  EXPECT_FALSE(token.allows(CommandType::InstallGroupKey));
+  EXPECT_TRUE(token.allows(CommandType::Spam));
+
+  Command cmd;
+  cmd.type = CommandType::InstallGroupKey;
+  cmd.argument = "00000000000000ff:deadbeef";
+  net.master().broadcast_rented(trudy, token, cmd, 2);
+  net.run_for(15 * kMinute);
+  EXPECT_EQ(net.count_executed(CommandType::InstallGroupKey), 0u);
+  for (std::size_t i = 0; i < net.num_bots(); ++i)
+    EXPECT_TRUE(net.bot(i).group_keys().empty());
+}
+
+TEST(GroupKeys, MalformedInstallArgumentIsIgnored) {
+  Botnet net(group_params());
+  for (const char* arg : {"no-colon", "zz:gg", "00ff:", ":abcd",
+                          "0011:abcd" /* gid not 8 bytes */}) {
+    Command cmd;
+    cmd.type = CommandType::InstallGroupKey;
+    cmd.argument = arg;
+    net.master().direct(3, cmd);
+  }
+  net.run_for(10 * kMinute);
+  EXPECT_TRUE(net.bot(3).group_keys().empty())
+      << "only well-formed gid:key arguments install";
+  EXPECT_EQ(net.bot(3).executed().size(), 5u)
+      << "commands were authenticated and processed, just inert";
+}
+
+TEST(GroupKeys, GroupEnvelopesAreUniformCells) {
+  Botnet net(group_params());
+  const std::uint64_t gid = net.master().create_group({0, 1});
+  net.run_for(5 * kMinute);
+  Command cmd;
+  cmd.type = CommandType::Ping;
+  net.master().broadcast_group(gid, cmd, 2);
+  net.run_for(10 * kMinute);
+  EXPECT_GT(net.tor().mean_relayed_cell_entropy(), 7.5)
+      << "subgroup traffic is as shapeless as everything else";
+}
+
+}  // namespace
+}  // namespace onion::core

@@ -1,0 +1,260 @@
+// Wire-format tests: Writer/Reader primitives, round trips for every
+// bot-layer message, hostile-input robustness, and the SignedCommand
+// verification chains (master-signed and rented).
+#include <gtest/gtest.h>
+
+#include "core/messages.hpp"
+#include "crypto/kdf.hpp"
+
+namespace onion::core {
+namespace {
+
+tor::OnionAddress addr_from_seed(std::uint64_t seed) {
+  Rng rng(seed);
+  return tor::OnionAddress::from_public_key(
+      crypto::rsa_generate(rng, 1024).pub);
+}
+
+TEST(Wire, IntegersRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u64(0x0102030405060708ULL);
+  const Bytes bytes = w.take();
+  Reader r(bytes);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Wire, VarBytesAndStringsRoundTrip) {
+  Writer w;
+  w.var_bytes(Bytes{1, 2, 3});
+  w.str("hello");
+  w.str("");
+  const Bytes bytes = w.take();
+  Reader r(bytes);
+  EXPECT_EQ(r.var_bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+}
+
+TEST(Wire, AddressRoundTrip) {
+  const tor::OnionAddress a = addr_from_seed(1);
+  Writer w;
+  w.address(a);
+  Reader r(w.peek());
+  EXPECT_EQ(r.address(), a);
+}
+
+TEST(Wire, TruncatedInputThrows) {
+  const Bytes bytes{0x01};
+  Reader r(bytes);
+  EXPECT_THROW(r.u16(), WireError);
+  Reader r2(bytes);
+  EXPECT_THROW(r2.u64(), WireError);
+  Reader r3(bytes);
+  EXPECT_THROW(r3.raw(2), WireError);
+}
+
+TEST(Wire, VarBytesLengthBeyondBufferThrows) {
+  Writer w;
+  w.u16(1000);  // claims 1000 bytes follow; none do
+  Reader r(w.peek());
+  EXPECT_THROW(r.var_bytes(), WireError);
+}
+
+TEST(Messages, PeerRequestRoundTrip) {
+  PeerRequestMsg m;
+  m.from = addr_from_seed(2);
+  m.declared_degree = 7;
+  const Bytes bytes = encode_peer_request(m);
+  EXPECT_EQ(peek_kind(bytes), MessageKind::PeerRequest);
+  const PeerRequestMsg out = parse_peer_request(bytes);
+  EXPECT_EQ(out.from, m.from);
+  EXPECT_EQ(out.declared_degree, 7);
+}
+
+TEST(Messages, PeerReplyRoundTrip) {
+  PeerReplyMsg m;
+  m.accepted = true;
+  m.declared_degree = 4;
+  m.neighbors = {addr_from_seed(3), addr_from_seed(4)};
+  const PeerReplyMsg out = parse_peer_reply(encode_peer_reply(m));
+  EXPECT_TRUE(out.accepted);
+  EXPECT_EQ(out.declared_degree, 4);
+  EXPECT_EQ(out.neighbors, m.neighbors);
+}
+
+TEST(Messages, NoNShareRoundTrip) {
+  NoNShareMsg m;
+  m.from = addr_from_seed(5);
+  m.neighbors = {addr_from_seed(6), addr_from_seed(7), addr_from_seed(8)};
+  m.declared_degree = 3;
+  const NoNShareMsg out = parse_non_share(encode_non_share(m));
+  EXPECT_EQ(out.from, m.from);
+  EXPECT_EQ(out.neighbors, m.neighbors);
+  EXPECT_EQ(out.declared_degree, 3);
+}
+
+TEST(Messages, AddressChangeRoundTrip) {
+  AddressChangeMsg m;
+  m.old_address = addr_from_seed(9);
+  m.new_address = addr_from_seed(10);
+  const AddressChangeMsg out =
+      parse_address_change(encode_address_change(m));
+  EXPECT_EQ(out.old_address, m.old_address);
+  EXPECT_EQ(out.new_address, m.new_address);
+}
+
+TEST(Messages, ProbeRoundTrip) {
+  ProbeMsg m;
+  m.probe_id = 0xdeadbeef;
+  m.ttl = 6;
+  const ProbeMsg out = parse_probe(encode_probe(m));
+  EXPECT_EQ(out.probe_id, 0xdeadbeefu);
+  EXPECT_EQ(out.ttl, 6);
+}
+
+TEST(Messages, BroadcastRoundTrip) {
+  const Bytes envelope(512, 0x42);
+  EXPECT_EQ(parse_broadcast(encode_broadcast(envelope)), envelope);
+}
+
+TEST(Messages, PeekKindRejectsGarbage) {
+  EXPECT_THROW(peek_kind(Bytes{}), WireError);
+  EXPECT_THROW(peek_kind(Bytes{0xff}), WireError);
+  EXPECT_THROW(peek_kind(Bytes{0x00}), WireError);
+}
+
+TEST(Messages, WrongKindRejected) {
+  const Bytes ping = encode_ping();
+  EXPECT_THROW(parse_peer_request(ping), WireError);
+  EXPECT_THROW(parse_broadcast(ping), WireError);
+}
+
+TEST(Messages, CommandRoundTrip) {
+  Command cmd;
+  cmd.type = CommandType::Ddos;
+  cmd.argument = "example.com";
+  cmd.issued_at = 123456;
+  cmd.nonce = 999;
+  const Bytes wire_bytes = cmd.serialize();
+  Reader r(wire_bytes);
+  const Command out = Command::parse(r);
+  EXPECT_EQ(out.type, CommandType::Ddos);
+  EXPECT_EQ(out.argument, "example.com");
+  EXPECT_EQ(out.issued_at, 123456u);
+  EXPECT_EQ(out.nonce, 999u);
+}
+
+TEST(Messages, CommandRejectsUnknownType) {
+  Command cmd;
+  Bytes bytes = cmd.serialize();
+  bytes[0] = 200;  // not a CommandType
+  Reader r(bytes);
+  EXPECT_THROW(Command::parse(r), WireError);
+}
+
+struct SignedCommandFixture : ::testing::Test {
+  Rng rng{77};
+  crypto::RsaKeyPair master = crypto::rsa_generate(rng, 2048);
+  crypto::RsaKeyPair renter = crypto::rsa_generate(rng, 2048);
+
+  Command make_cmd(CommandType type, SimTime at) {
+    Command cmd;
+    cmd.type = type;
+    cmd.argument = "arg";
+    cmd.issued_at = at;
+    cmd.nonce = rng.next_u64();
+    return cmd;
+  }
+};
+
+TEST_F(SignedCommandFixture, MasterSignedVerifies) {
+  const SignedCommand sc =
+      sign_command(master, make_cmd(CommandType::Spam, 1000));
+  EXPECT_TRUE(sc.verify(master.pub, 2000, kHour));
+}
+
+TEST_F(SignedCommandFixture, SerializationRoundTrip) {
+  const SignedCommand sc =
+      sign_command(master, make_cmd(CommandType::Compute, 500));
+  const SignedCommand out = SignedCommand::parse(sc.serialize());
+  EXPECT_EQ(out.command.type, CommandType::Compute);
+  EXPECT_EQ(out.signature, sc.signature);
+  EXPECT_FALSE(out.token.has_value());
+  EXPECT_TRUE(out.verify(master.pub, 600, kHour));
+}
+
+TEST_F(SignedCommandFixture, TamperedCommandFails) {
+  SignedCommand sc = sign_command(master, make_cmd(CommandType::Ddos, 0));
+  sc.command.argument = "evil.example";
+  EXPECT_FALSE(sc.verify(master.pub, 1, kHour));
+}
+
+TEST_F(SignedCommandFixture, WrongKeyFails) {
+  const SignedCommand sc =
+      sign_command(renter, make_cmd(CommandType::Ddos, 0));
+  EXPECT_FALSE(sc.verify(master.pub, 1, kHour));
+}
+
+TEST_F(SignedCommandFixture, StaleCommandRejected) {
+  const SignedCommand sc =
+      sign_command(master, make_cmd(CommandType::Ping, 1000));
+  EXPECT_TRUE(sc.verify(master.pub, 1000 + kHour, kHour));
+  EXPECT_FALSE(sc.verify(master.pub, 1001 + kHour, kHour))
+      << "past the freshness window";
+}
+
+TEST_F(SignedCommandFixture, FutureDatedCommandRejected) {
+  const SignedCommand sc =
+      sign_command(master, make_cmd(CommandType::Ping, 5000));
+  EXPECT_FALSE(sc.verify(master.pub, 4000, kHour));
+}
+
+TEST_F(SignedCommandFixture, RentedCommandFullChainVerifies) {
+  const RentalToken token = issue_rental_token(
+      master, renter.pub, /*expires_at=*/10 * kHour,
+      {CommandType::Spam, CommandType::Compute});
+  const SignedCommand sc = sign_rented_command(
+      renter, token, make_cmd(CommandType::Spam, 1000));
+  EXPECT_TRUE(sc.verify(master.pub, 2000, kHour));
+
+  const SignedCommand reparsed = SignedCommand::parse(sc.serialize());
+  ASSERT_TRUE(reparsed.token.has_value());
+  EXPECT_TRUE(reparsed.verify(master.pub, 2000, kHour));
+}
+
+TEST_F(SignedCommandFixture, RentedCommandOutsideWhitelistRejected) {
+  const RentalToken token = issue_rental_token(
+      master, renter.pub, 10 * kHour, {CommandType::Spam});
+  const SignedCommand sc = sign_rented_command(
+      renter, token, make_cmd(CommandType::Ddos, 1000));
+  EXPECT_FALSE(sc.verify(master.pub, 2000, kHour))
+      << "DDoS not in the rental whitelist";
+}
+
+TEST_F(SignedCommandFixture, RentedCommandAfterExpiryRejected) {
+  const RentalToken token = issue_rental_token(
+      master, renter.pub, /*expires_at=*/2 * kHour, {CommandType::Spam});
+  const SignedCommand sc = sign_rented_command(
+      renter, token, make_cmd(CommandType::Spam, 2 * kHour + 1));
+  EXPECT_FALSE(sc.verify(master.pub, 2 * kHour + 2, kHour));
+}
+
+TEST_F(SignedCommandFixture, RenterCannotSelfIssueToken) {
+  RentalToken fake;
+  fake.renter_key = renter.pub;
+  fake.expires_at = 100 * kHour;
+  fake.whitelist = {CommandType::Ddos};
+  fake.master_signature = crypto::rsa_sign(renter, fake.signed_body());
+  const SignedCommand sc = sign_rented_command(
+      renter, fake, make_cmd(CommandType::Ddos, 1000));
+  EXPECT_FALSE(sc.verify(master.pub, 2000, kHour))
+      << "token must be signed by the master key";
+}
+
+}  // namespace
+}  // namespace onion::core

@@ -1,0 +1,241 @@
+// Bot-level overlay tests: the declared-degree peering policy (the SOAP
+// attack surface), rate limiting, proof-of-work accounting, refill, and
+// containment metrics.
+#include <gtest/gtest.h>
+
+#include "core/overlay.hpp"
+
+namespace onion::core {
+namespace {
+
+using NodeId = OverlayNetwork::NodeId;
+
+OverlayConfig band(std::size_t dmin, std::size_t dmax) {
+  OverlayConfig cfg;
+  cfg.dmin = dmin;
+  cfg.dmax = dmax;
+  return cfg;
+}
+
+TEST(Overlay, AcceptsWithCapacity) {
+  Rng rng(1);
+  OverlayNetwork net(band(2, 3), rng);
+  const NodeId a = net.add_node(true);
+  const NodeId b = net.add_node(true);
+  EXPECT_EQ(net.request_peering(a, b), PeerDecision::AcceptedWithCapacity);
+  EXPECT_TRUE(net.graph().has_edge(a, b));
+}
+
+TEST(Overlay, RejectsDuplicatePeering) {
+  Rng rng(2);
+  OverlayNetwork net(band(2, 3), rng);
+  const NodeId a = net.add_node(true);
+  const NodeId b = net.add_node(true);
+  net.request_peering(a, b);
+  EXPECT_EQ(net.request_peering(a, b), PeerDecision::Rejected);
+}
+
+TEST(Overlay, FullNodeEvictsHighestDeclaredForLowDeclared) {
+  Rng rng(3);
+  OverlayNetwork net(band(1, 2), rng);
+  const NodeId t = net.add_node(true);
+  const NodeId busy = net.add_node(true);   // will have high true degree
+  const NodeId mid = net.add_node(true);
+  const NodeId extra1 = net.add_node(true);
+  const NodeId extra2 = net.add_node(true);
+  // busy gets extra edges so its declared (true) degree is 3.
+  net.request_peering(busy, extra1);
+  net.request_peering(busy, extra2);
+  net.request_peering(busy, t);
+  net.request_peering(mid, t);  // t is now full (dmax=2)
+
+  const NodeId sybil = net.add_node(false, /*declared=*/1);
+  EXPECT_EQ(net.request_peering(sybil, t), PeerDecision::AcceptedEvicted);
+  EXPECT_TRUE(net.graph().has_edge(sybil, t));
+  EXPECT_FALSE(net.graph().has_edge(busy, t))
+      << "highest-declared peer evicted";
+  EXPECT_TRUE(net.graph().has_edge(mid, t));
+}
+
+TEST(Overlay, FullNodeRejectsNonUndercuttingRequester) {
+  Rng rng(4);
+  OverlayNetwork net(band(1, 1), rng);
+  const NodeId t = net.add_node(true);
+  const NodeId peer = net.add_node(false, 2);
+  net.request_peering(peer, t);
+  // Requester declares 5 >= 2: no eviction.
+  const NodeId pushy = net.add_node(false, 5);
+  EXPECT_EQ(net.request_peering(pushy, t), PeerDecision::Rejected);
+}
+
+TEST(Overlay, SybilDeclaredDegreeIsTheLie) {
+  Rng rng(5);
+  OverlayNetwork net(band(1, 5), rng);
+  const NodeId honest = net.add_node(true);
+  const NodeId sybil = net.add_node(false, 2);
+  // Sybil with 0 edges still declares 2; honest declares true degree.
+  EXPECT_EQ(net.declared_degree(sybil), 2u);
+  EXPECT_EQ(net.declared_degree(honest), 0u);
+  net.request_peering(sybil, honest);
+  EXPECT_EQ(net.declared_degree(sybil), 2u) << "lie is sticky";
+  EXPECT_EQ(net.declared_degree(honest), 1u) << "honest tracks truth";
+}
+
+TEST(Overlay, RateLimitBlocksWithinRound) {
+  Rng rng(6);
+  OverlayConfig cfg = band(1, 10);
+  cfg.rate_limit_per_round = 1;
+  OverlayNetwork net(cfg, rng);
+  const NodeId t = net.add_node(true);
+  const NodeId a = net.add_node(true);
+  const NodeId b = net.add_node(true);
+  net.begin_round();
+  EXPECT_EQ(net.request_peering(a, t), PeerDecision::AcceptedWithCapacity);
+  EXPECT_EQ(net.request_peering(b, t), PeerDecision::RateLimited);
+  net.begin_round();
+  EXPECT_EQ(net.request_peering(b, t), PeerDecision::AcceptedWithCapacity);
+}
+
+TEST(Overlay, ProofOfWorkEscalatesPerTarget) {
+  Rng rng(7);
+  OverlayConfig cfg = band(1, 10);
+  cfg.pow_base_cost = 1.0;
+  cfg.pow_growth = 2.0;
+  OverlayNetwork net(cfg, rng);
+  const NodeId t = net.add_node(true);
+  const NodeId s1 = net.add_node(false, 1);
+  const NodeId s2 = net.add_node(false, 1);
+  const NodeId s3 = net.add_node(false, 1);
+  net.request_peering(s1, t);  // cost 1
+  net.request_peering(s2, t);  // cost 2
+  net.request_peering(s3, t);  // cost 4
+  EXPECT_DOUBLE_EQ(net.sybil_work_spent(), 7.0);
+  EXPECT_DOUBLE_EQ(net.honest_work_spent(), 0.0);
+}
+
+TEST(Overlay, HonestRefillPaysProofOfWorkToo) {
+  // The defense's collateral cost (paper §VII-A trade-off).
+  Rng rng(8);
+  OverlayConfig cfg = band(2, 4);
+  cfg.pow_base_cost = 1.0;
+  OverlayNetwork net(cfg, rng);
+  // Triangle plus a pendant that will need refill.
+  const NodeId a = net.add_node(true);
+  const NodeId b = net.add_node(true);
+  const NodeId c = net.add_node(true);
+  const NodeId d = net.add_node(true);
+  net.request_peering(a, b);
+  net.request_peering(b, c);
+  net.request_peering(a, c);
+  net.request_peering(d, a);
+  net.drop_edge(d, a);
+  net.request_peering(d, a);  // re-establish one link
+  net.refill(d);              // d below dmin: asks NoN candidates
+  EXPECT_GT(net.honest_work_spent(), 0.0);
+}
+
+TEST(Overlay, RefillUsesNoNOnly) {
+  Rng rng(9);
+  OverlayNetwork net(band(2, 4), rng);
+  // Two disjoint pairs: refill cannot jump between components.
+  const NodeId a = net.add_node(true);
+  const NodeId b = net.add_node(true);
+  const NodeId c = net.add_node(true);
+  const NodeId d = net.add_node(true);
+  net.request_peering(a, b);
+  net.request_peering(c, d);
+  net.refill(a);
+  EXPECT_FALSE(net.graph().has_edge(a, c));
+  EXPECT_FALSE(net.graph().has_edge(a, d));
+  EXPECT_EQ(net.graph().degree(a), 1u) << "no NoN candidates available";
+}
+
+TEST(Overlay, RefillReachesDminThroughNoN) {
+  Rng rng(10);
+  OverlayNetwork net(band(2, 4), rng);
+  const NodeId hub = net.add_node(true);
+  const NodeId x = net.add_node(true);
+  const NodeId y = net.add_node(true);
+  net.request_peering(x, hub);
+  net.request_peering(y, hub);
+  // x's NoN contains y (through hub).
+  net.refill(x);
+  EXPECT_TRUE(net.graph().has_edge(x, y));
+  EXPECT_EQ(net.graph().degree(x), 2u);
+}
+
+TEST(Overlay, ContainmentDetection) {
+  Rng rng(11);
+  OverlayNetwork net(band(1, 2), rng);
+  const NodeId t = net.add_node(true);
+  const NodeId friendly = net.add_node(true);
+  net.request_peering(friendly, t);
+  EXPECT_FALSE(net.contained(t));
+  const NodeId s1 = net.add_node(false, 0);
+  const NodeId s2 = net.add_node(false, 0);
+  net.request_peering(s1, t);  // fills to dmax
+  EXPECT_EQ(net.request_peering(s2, t), PeerDecision::AcceptedEvicted);
+  // friendly (true degree 1... ) — force the state: drop any honest link.
+  if (net.graph().has_edge(friendly, t)) net.drop_edge(friendly, t);
+  EXPECT_TRUE(net.contained(t));
+}
+
+TEST(Overlay, IsolatedNodeCountsAsContained) {
+  Rng rng(12);
+  OverlayNetwork net(band(1, 2), rng);
+  const NodeId t = net.add_node(true);
+  EXPECT_TRUE(net.contained(t)) << "no peers = cut off from the botnet";
+}
+
+TEST(Overlay, HonestEdgesAndComponents) {
+  Rng rng(13);
+  OverlayNetwork net(band(1, 10), rng);
+  const NodeId a = net.add_node(true);
+  const NodeId b = net.add_node(true);
+  const NodeId c = net.add_node(true);
+  const NodeId s = net.add_node(false, 1);
+  net.request_peering(a, b);
+  net.request_peering(s, c);  // sybil-honest edge: not an honest edge
+  EXPECT_EQ(net.honest_edges(), 1u);
+  EXPECT_EQ(net.honest_components(), 2u);  // {a,b}, {c}
+  net.request_peering(b, c);
+  EXPECT_EQ(net.honest_components(), 1u);
+}
+
+TEST(Overlay, HonestComponentLabelsIgnoreSybilBridges) {
+  // Two honest nodes joined only through a sybil are NOT connected for
+  // probe purposes (sybils refuse to relay).
+  Rng rng(14);
+  OverlayNetwork net(band(1, 10), rng);
+  const NodeId a = net.add_node(true);
+  const NodeId b = net.add_node(true);
+  const NodeId s = net.add_node(false, 1);
+  net.request_peering(s, a);
+  net.request_peering(s, b);
+  const auto labels = net.honest_component_labels();
+  EXPECT_NE(labels[a], labels[b]);
+}
+
+TEST(Overlay, RetireRemovesNode) {
+  Rng rng(15);
+  OverlayNetwork net(band(1, 10), rng);
+  const NodeId a = net.add_node(true);
+  const NodeId b = net.add_node(true);
+  net.request_peering(a, b);
+  net.retire(a);
+  EXPECT_FALSE(net.alive(a));
+  EXPECT_EQ(net.graph().degree(b), 0u);
+}
+
+TEST(Overlay, RandomRegularConstruction) {
+  Rng rng(16);
+  OverlayNetwork net =
+      OverlayNetwork::random_regular(50, 4, band(4, 6), rng);
+  EXPECT_EQ(net.graph().num_alive(), 50u);
+  for (const NodeId u : net.honest_nodes())
+    EXPECT_EQ(net.graph().degree(u), 4u);
+  EXPECT_EQ(net.honest_components(), 1u);
+}
+
+}  // namespace
+}  // namespace onion::core

@@ -1,0 +1,240 @@
+// Property-based and parameterized sweeps over the substrates:
+// DDSR maintenance invariants across the whole policy matrix, graph
+// metrics checked against brute-force recomputation, generator
+// contracts, and uniform-encoding round trips. Each TEST_P instance is
+// one point of a sweep the unit tests cannot cover one by one.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/ddsr.hpp"
+#include "crypto/elligator_sim.hpp"
+#include "graph/generators.hpp"
+#include "graph/metrics.hpp"
+
+namespace onion {
+namespace {
+
+using core::DdsrEngine;
+using core::DdsrPolicy;
+using graph::Graph;
+using graph::NodeId;
+
+// ====================================================================
+// DDSR invariant sweep: n x k x prune x victim x repair
+// ====================================================================
+
+struct DdsrCase {
+  std::size_t n;
+  std::size_t k;
+  bool prune;
+  DdsrPolicy::Victim victim;
+  DdsrPolicy::Repair repair;
+};
+
+std::string case_name(const ::testing::TestParamInfo<DdsrCase>& info) {
+  const DdsrCase& c = info.param;
+  std::string out = "n" + std::to_string(c.n) + "k" + std::to_string(c.k);
+  out += c.prune ? "_prune" : "_noprune";
+  out += c.victim == DdsrPolicy::Victim::HighestDegree ? "_hideg" : "_rand";
+  out +=
+      c.repair == DdsrPolicy::Repair::PairwiseFull ? "_full" : "_match";
+  return out;
+}
+
+class DdsrSweep : public ::testing::TestWithParam<DdsrCase> {};
+
+TEST_P(DdsrSweep, MaintenanceInvariantsHoldUnderChurn) {
+  const DdsrCase c = GetParam();
+  Rng rng(0xddd + c.n * 7 + c.k);
+  Graph g = graph::random_regular(c.n, c.k, rng);
+  DdsrPolicy policy;
+  policy.dmin = c.k;
+  policy.dmax = c.k;
+  policy.prune = c.prune;
+  policy.refill = true;
+  policy.victim = c.victim;
+  policy.repair = c.repair;
+  DdsrEngine engine(g, policy, rng);
+
+  const std::size_t deletions = c.n * 3 / 10;  // the paper's 30%
+  for (std::size_t i = 0; i < deletions; ++i) {
+    const auto alive = g.alive_nodes();
+    engine.remove_node(
+        alive[static_cast<std::size_t>(rng.uniform(alive.size()))]);
+
+    // Invariant 1: adjacency only references alive nodes.
+    if (i % 16 == 0) {
+      for (const NodeId u : g.alive_nodes())
+        for (const NodeId v : g.neighbors(u))
+          ASSERT_TRUE(g.alive(v)) << "edge to tombstoned node";
+    }
+  }
+
+  // Invariant 2: with pruning, every degree is within [0, dmax].
+  if (c.prune) {
+    for (const NodeId u : g.alive_nodes())
+      EXPECT_LE(g.degree(u), policy.dmax);
+  }
+
+  // Invariant 3: counters match reality. Every edge in the graph was
+  // accounted for by generation, repair, or refill minus removals.
+  const auto& stats = engine.stats();
+  const std::size_t expected_initial = c.n * c.k / 2;
+  // Edges removed by node deletion are not individually counted, so
+  // only a weaker consistency check is possible: additions recorded
+  // must be at least (current - initial).
+  EXPECT_GE(expected_initial + stats.repair_edges_added +
+                stats.refill_edges_added,
+            g.num_edges());
+  EXPECT_EQ(stats.nodes_removed, deletions);
+
+  // Invariant 4: self-healing holds the surviving graph together (the
+  // paper's headline for gradual takedown at 30%).
+  EXPECT_TRUE(graph::is_connected(g))
+      << "self-healing lost connectivity at 30% deletions";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PolicyMatrix, DdsrSweep,
+    ::testing::Values(
+        DdsrCase{60, 4, true, DdsrPolicy::Victim::HighestDegree,
+                 DdsrPolicy::Repair::PairwiseFull},
+        DdsrCase{60, 4, false, DdsrPolicy::Victim::HighestDegree,
+                 DdsrPolicy::Repair::PairwiseFull},
+        DdsrCase{100, 6, true, DdsrPolicy::Victim::HighestDegree,
+                 DdsrPolicy::Repair::PairwiseFull},
+        DdsrCase{100, 6, true, DdsrPolicy::Victim::Random,
+                 DdsrPolicy::Repair::PairwiseFull},
+        DdsrCase{100, 6, true, DdsrPolicy::Victim::HighestDegree,
+                 DdsrPolicy::Repair::RandomMatch},
+        DdsrCase{200, 10, true, DdsrPolicy::Victim::HighestDegree,
+                 DdsrPolicy::Repair::PairwiseFull},
+        DdsrCase{200, 10, false, DdsrPolicy::Victim::Random,
+                 DdsrPolicy::Repair::RandomMatch},
+        DdsrCase{200, 5, true, DdsrPolicy::Victim::HighestDegree,
+                 DdsrPolicy::Repair::PairwiseFull}),
+    case_name);
+
+// ====================================================================
+// Graph metric properties vs brute force
+// ====================================================================
+
+class MetricSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// All-pairs shortest paths by repeated BFS; the reference.
+std::vector<std::vector<std::uint32_t>> apsp(const Graph& g) {
+  std::vector<std::vector<std::uint32_t>> d;
+  for (NodeId u = 0; u < g.capacity(); ++u) {
+    if (g.alive(u))
+      d.push_back(graph::bfs_distances(g, u));
+    else
+      d.emplace_back();
+  }
+  return d;
+}
+
+TEST_P(MetricSweep, DiameterMatchesBruteForce) {
+  Rng rng(GetParam());
+  Graph g = graph::erdos_renyi(40, 0.12, rng);
+  const auto d = apsp(g);
+  // Brute-force diameter of the largest component.
+  const auto comps = graph::connected_components(g);
+  std::uint32_t target = 0;
+  std::size_t best_size = 0;
+  for (std::uint32_t c = 0; c < comps.count; ++c)
+    if (comps.sizes[c] > best_size) {
+      best_size = comps.sizes[c];
+      target = c;
+    }
+  std::uint32_t want = 0;
+  for (NodeId u = 0; u < g.capacity(); ++u) {
+    if (!g.alive(u) || comps.label[u] != target) continue;
+    for (NodeId v = 0; v < g.capacity(); ++v) {
+      if (!g.alive(v) || comps.label[v] != target) continue;
+      if (d[u][v] != graph::kUnreachable) want = std::max(want, d[u][v]);
+    }
+  }
+  EXPECT_EQ(graph::diameter_exact(g), want);
+  // Double sweep lower-bounds the exact diameter and often equals it.
+  Rng sweep_rng(GetParam() ^ 0xabc);
+  const std::size_t estimate = graph::diameter_double_sweep(g, 4, sweep_rng);
+  EXPECT_LE(estimate, want);
+  EXPECT_GE(estimate + 2, want) << "double sweep is a tight estimator";
+}
+
+TEST_P(MetricSweep, SampledClosenessTracksExact) {
+  Rng rng(GetParam() ^ 0x77);
+  Graph g = graph::random_regular(60, 6, rng);
+  const double exact = graph::average_closeness_exact(g);
+  Rng sample_rng(GetParam() ^ 0x99);
+  const double sampled =
+      graph::average_closeness_sampled(g, 30, sample_rng);
+  EXPECT_NEAR(sampled, exact, exact * 0.15);
+}
+
+TEST_P(MetricSweep, RegularGeneratorContract) {
+  Rng rng(GetParam() ^ 0x1234);
+  const std::size_t n = 30 + 2 * (GetParam() % 10);
+  const std::size_t k = 3 + GetParam() % 4;
+  if ((n * k) % 2 != 0) return;  // parity-infeasible combination
+  Graph g = graph::random_regular(n, k, rng);
+  for (const NodeId u : g.alive_nodes()) {
+    EXPECT_EQ(g.degree(u), k);
+    for (const NodeId v : g.neighbors(u)) {
+      EXPECT_NE(u, v) << "no self loops";
+      EXPECT_TRUE(g.has_edge(v, u)) << "undirected symmetry";
+    }
+  }
+  EXPECT_EQ(g.num_edges(), n * k / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ====================================================================
+// Uniform-encoding properties
+// ====================================================================
+
+class EncodingSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EncodingSweep, RoundTripsAtEverySize) {
+  Rng rng(0xe11e + GetParam());
+  Bytes key(32);
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u64());
+  Bytes plaintext(GetParam());
+  for (auto& b : plaintext) b = static_cast<std::uint8_t>(rng.next_u64());
+
+  const Bytes cell = crypto::uniform_encode(key, plaintext, rng);
+  EXPECT_EQ(cell.size(), crypto::kUniformCellSize);
+  const auto back = crypto::uniform_decode(key, cell);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, plaintext);
+}
+
+TEST_P(EncodingSweep, EveryBytePositionIsAuthenticated) {
+  Rng rng(0xbadd + GetParam());
+  const Bytes key = to_bytes("sweep-key");
+  Bytes plaintext(GetParam());
+  for (auto& b : plaintext) b = static_cast<std::uint8_t>(rng.next_u64());
+  const Bytes cell = crypto::uniform_encode(key, plaintext, rng);
+  // Flip a pseudorandom position per instance; over the sweep this
+  // covers nonce, ciphertext, and tag regions.
+  for (int trial = 0; trial < 8; ++trial) {
+    Bytes bad = cell;
+    const std::size_t pos =
+        static_cast<std::size_t>(rng.uniform(bad.size()));
+    bad[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform(255));
+    EXPECT_FALSE(crypto::uniform_decode(key, bad).has_value())
+        << "flip at " << pos << " went undetected";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PayloadSizes, EncodingSweep,
+                         ::testing::Values(0, 1, 2, 15, 16, 17, 64, 128,
+                                           255, 256, 400,
+                                           crypto::kUniformCellCapacity));
+
+}  // namespace
+}  // namespace onion

@@ -1,0 +1,143 @@
+// Discrete-event simulator tests: ordering, tie-breaking, run_until
+// semantics, determinism.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace onion::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30u);
+}
+
+TEST(Simulator, SameTimeFifoOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    s.schedule_at(5, [&order, i] { order.push_back(i); });
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator s;
+  SimTime fired = 0;
+  s.schedule_at(100, [&] {
+    s.schedule_in(50, [&] { fired = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired, 150u);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator s;
+  s.schedule_at(100, [&] {
+    EXPECT_THROW(s.schedule_at(50, [] {}), ContractViolation);
+  });
+  s.run();
+}
+
+TEST(Simulator, RejectsNullHandler) {
+  Simulator s;
+  EXPECT_THROW(s.schedule_at(1, nullptr), ContractViolation);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(10, [&] { ++fired; });
+  s.schedule_at(20, [&] { ++fired; });
+  s.schedule_at(30, [&] { ++fired; });
+  EXPECT_EQ(s.run_until(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), 20u);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  Simulator s;
+  s.run_until(500);
+  EXPECT_EQ(s.now(), 500u);
+}
+
+TEST(Simulator, StepExecutesOne) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(1, [&] { ++fired; });
+  s.schedule_at(2, [&] { ++fired; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, EventsCanCascade) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) s.schedule_in(1, recurse);
+  };
+  s.schedule_at(0, recurse);
+  s.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.now(), 99u);
+}
+
+TEST(Simulator, MaxEventsGuardStopsRunaway) {
+  Simulator s;
+  std::function<void()> forever = [&] { s.schedule_in(1, forever); };
+  s.schedule_at(0, forever);
+  EXPECT_EQ(s.run(1000), 1000u);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Simulator, DeterministicWithSameSeed) {
+  auto trace = [](std::uint64_t seed) {
+    Simulator s;
+    Rng rng(seed);
+    std::vector<SimTime> fire_times;
+    for (int i = 0; i < 50; ++i) {
+      s.schedule_at(rng.uniform(1000),
+                    [&fire_times, &s] { fire_times.push_back(s.now()); });
+    }
+    s.run();
+    return fire_times;
+  };
+  EXPECT_EQ(trace(77), trace(77));
+  EXPECT_NE(trace(77), trace(78));
+}
+
+TEST(LatencyModelTest, SampleWithinBounds) {
+  Rng rng(40);
+  const LatencyModel model{.base = 100, .jitter = 50};
+  for (int i = 0; i < 1000; ++i) {
+    const SimDuration d = model.sample(rng);
+    EXPECT_GE(d, 100u);
+    EXPECT_LE(d, 150u);
+  }
+}
+
+TEST(LatencyModelTest, ZeroJitterIsConstant) {
+  Rng rng(41);
+  const LatencyModel model{.base = 42, .jitter = 0};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(model.sample(rng), 42u);
+}
+
+}  // namespace
+}  // namespace onion::sim

@@ -1,0 +1,259 @@
+// Tests for the simulation-grade RSA, the rotation KDF (the paper's
+// generateKey(PK_CC, H(K_B, i_p)) recipe), and the uniform message
+// encoding (the Elligator stand-in), including a chi-square uniformity
+// check on encoded cells.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "crypto/elligator_sim.hpp"
+#include "crypto/kdf.hpp"
+#include "crypto/simrsa.hpp"
+
+namespace onion::crypto {
+namespace {
+
+TEST(Primality, SmallNumbers) {
+  EXPECT_FALSE(is_prime_u64(0));
+  EXPECT_FALSE(is_prime_u64(1));
+  EXPECT_TRUE(is_prime_u64(2));
+  EXPECT_TRUE(is_prime_u64(3));
+  EXPECT_FALSE(is_prime_u64(4));
+  EXPECT_TRUE(is_prime_u64(97));
+  EXPECT_FALSE(is_prime_u64(561));   // Carmichael
+  EXPECT_FALSE(is_prime_u64(41041)); // Carmichael
+}
+
+TEST(Primality, LargeKnownValues) {
+  EXPECT_TRUE(is_prime_u64(2147483647ULL));            // 2^31 - 1
+  EXPECT_TRUE(is_prime_u64(0xffffffffffffffc5ULL));    // largest u64 prime
+  EXPECT_FALSE(is_prime_u64(0xffffffffffffffffULL));
+  EXPECT_TRUE(is_prime_u64(67280421310721ULL));        // factor of F_6
+  EXPECT_FALSE(is_prime_u64(67280421310721ULL * 3));
+}
+
+TEST(ModPow, KnownValues) {
+  EXPECT_EQ(modpow_u64(2, 10, 1000000007ULL), 1024u);
+  EXPECT_EQ(modpow_u64(2, 0, 97), 1u);
+  EXPECT_EQ(modpow_u64(5, 3, 13), 8u);  // 125 mod 13
+  EXPECT_EQ(modpow_u64(123456789, 987654321, 1000000007ULL),
+            modpow_u64(123456789 % 1000000007ULL, 987654321,
+                       1000000007ULL));
+  // Fermat: a^(p-1) = 1 mod p.
+  EXPECT_EQ(modpow_u64(31337, 2147483646ULL, 2147483647ULL), 1u);
+}
+
+TEST(SimRsa, GenerateProducesWorkingKeys) {
+  Rng rng(100);
+  const RsaKeyPair key = rsa_generate(rng, 1024);
+  EXPECT_GT(key.pub.n, 1ULL << 59);  // two ~31-bit primes
+  EXPECT_EQ(key.pub.e, 65537u);
+  EXPECT_EQ(key.pub.nominal_bits, 1024);
+  // enc/dec inverse on a sample of values.
+  for (const std::uint64_t v :
+       std::vector<std::uint64_t>{0, 1, 42, key.pub.n - 1}) {
+    EXPECT_EQ(rsa_decrypt_value(key, rsa_encrypt_value(key.pub, v)), v);
+  }
+}
+
+TEST(SimRsa, DistinctKeysFromDistinctSeeds) {
+  Rng a(1), b(2);
+  EXPECT_NE(rsa_generate(a, 1024).pub.n, rsa_generate(b, 1024).pub.n);
+}
+
+TEST(SimRsa, SignVerify) {
+  Rng rng(101);
+  const RsaKeyPair key = rsa_generate(rng, 2048);
+  const Bytes msg = to_bytes("attack example.com at dawn");
+  const RsaSignature sig = rsa_sign(key, msg);
+  EXPECT_TRUE(rsa_verify(key.pub, msg, sig));
+}
+
+TEST(SimRsa, VerifyRejectsTamperedMessage) {
+  Rng rng(102);
+  const RsaKeyPair key = rsa_generate(rng, 2048);
+  const RsaSignature sig = rsa_sign(key, to_bytes("original"));
+  EXPECT_FALSE(rsa_verify(key.pub, to_bytes("Original"), sig));
+  EXPECT_FALSE(rsa_verify(key.pub, to_bytes("original "), sig));
+}
+
+TEST(SimRsa, VerifyRejectsTamperedSignature) {
+  Rng rng(103);
+  const RsaKeyPair key = rsa_generate(rng, 2048);
+  const Bytes msg = to_bytes("msg");
+  const RsaSignature sig = rsa_sign(key, msg);
+  EXPECT_FALSE(rsa_verify(key.pub, msg, sig ^ 1));
+  EXPECT_FALSE(rsa_verify(key.pub, msg, 0));
+}
+
+TEST(SimRsa, VerifyRejectsWrongKey) {
+  Rng rng(104);
+  const RsaKeyPair key1 = rsa_generate(rng, 2048);
+  const RsaKeyPair key2 = rsa_generate(rng, 2048);
+  const Bytes msg = to_bytes("msg");
+  EXPECT_FALSE(rsa_verify(key2.pub, msg, rsa_sign(key1, msg)));
+}
+
+TEST(SimRsa, HybridRoundTrip) {
+  Rng rng(105);
+  const RsaKeyPair key = rsa_generate(rng, 2048);
+  const Bytes secret = to_bytes("K_B = 32 bytes of link key material!");
+  const Bytes boxed = rsa_hybrid_encrypt(key.pub, secret, rng);
+  EXPECT_NE(BytesView(boxed).subspan(8).size(), 0u);
+  EXPECT_EQ(rsa_hybrid_decrypt(key, boxed), secret);
+}
+
+TEST(SimRsa, HybridFreshRandomness) {
+  Rng rng(106);
+  const RsaKeyPair key = rsa_generate(rng, 2048);
+  const Bytes secret = to_bytes("same plaintext");
+  EXPECT_NE(rsa_hybrid_encrypt(key.pub, secret, rng),
+            rsa_hybrid_encrypt(key.pub, secret, rng));
+}
+
+TEST(SimRsa, HybridRejectsMalformed) {
+  Rng rng(107);
+  const RsaKeyPair key = rsa_generate(rng, 2048);
+  EXPECT_THROW(rsa_hybrid_decrypt(key, Bytes{1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST(SimRsa, SerializeIsStable) {
+  RsaPublicKey pub{12345, 65537, 1024};
+  EXPECT_EQ(pub.serialize(), pub.serialize());
+  RsaPublicKey other{12346, 65537, 1024};
+  EXPECT_NE(pub.serialize(), other.serialize());
+}
+
+TEST(Kdf, DeriveBytesIsDeterministicAndLabelSeparated) {
+  const Bytes secret = to_bytes("secret");
+  const Bytes ctx = to_bytes("ctx");
+  EXPECT_EQ(derive_bytes(secret, "a", ctx), derive_bytes(secret, "a", ctx));
+  EXPECT_NE(derive_bytes(secret, "a", ctx), derive_bytes(secret, "b", ctx));
+  EXPECT_NE(derive_bytes(secret, "a", ctx),
+            derive_bytes(secret, "a", to_bytes("other")));
+}
+
+TEST(Kdf, RotatedServiceKeyDeterministic) {
+  Rng rng(108);
+  const RsaKeyPair master = rsa_generate(rng, 2048);
+  const Bytes kb = to_bytes("bot link key 0123456789abcdef!!!");
+  // Bot and C&C derive independently and must agree — the paper's whole
+  // rotation mechanism rests on this.
+  const RsaKeyPair at_bot = rotated_service_key(master.pub, kb, 7);
+  const RsaKeyPair at_cnc = rotated_service_key(master.pub, kb, 7);
+  EXPECT_EQ(at_bot.pub, at_cnc.pub);
+  EXPECT_EQ(at_bot.d, at_cnc.d);
+}
+
+TEST(Kdf, RotatedServiceKeyChangesEveryPeriod) {
+  Rng rng(109);
+  const RsaKeyPair master = rsa_generate(rng, 2048);
+  const Bytes kb = to_bytes("bot link key 0123456789abcdef!!!");
+  const RsaKeyPair p0 = rotated_service_key(master.pub, kb, 0);
+  const RsaKeyPair p1 = rotated_service_key(master.pub, kb, 1);
+  EXPECT_NE(p0.pub, p1.pub);
+}
+
+TEST(Kdf, RotatedServiceKeyBoundToBotAndMaster) {
+  Rng rng(110);
+  const RsaKeyPair m1 = rsa_generate(rng, 2048);
+  const RsaKeyPair m2 = rsa_generate(rng, 2048);
+  const Bytes kb1 = to_bytes("kb-one");
+  const Bytes kb2 = to_bytes("kb-two");
+  EXPECT_NE(rotated_service_key(m1.pub, kb1, 3).pub,
+            rotated_service_key(m1.pub, kb2, 3).pub);
+  EXPECT_NE(rotated_service_key(m1.pub, kb1, 3).pub,
+            rotated_service_key(m2.pub, kb1, 3).pub);
+}
+
+TEST(UniformEncoding, RoundTrip) {
+  Rng rng(111);
+  const Bytes key = to_bytes("group key");
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{1}, std::size_t{100},
+        kUniformCellCapacity}) {
+    Bytes msg(len);
+    for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next_u64());
+    const Bytes cell = uniform_encode(key, msg, rng);
+    EXPECT_EQ(cell.size(), kUniformCellSize);
+    const auto decoded = uniform_decode(key, cell);
+    ASSERT_TRUE(decoded.has_value()) << len;
+    EXPECT_EQ(*decoded, msg);
+  }
+}
+
+TEST(UniformEncoding, FixedSizeRegardlessOfPayload) {
+  Rng rng(112);
+  const Bytes key = to_bytes("k");
+  EXPECT_EQ(uniform_encode(key, {}, rng).size(),
+            uniform_encode(key, Bytes(400, 7), rng).size());
+}
+
+TEST(UniformEncoding, WrongKeyFails) {
+  Rng rng(113);
+  const Bytes cell = uniform_encode(to_bytes("k1"), to_bytes("hello"), rng);
+  EXPECT_FALSE(uniform_decode(to_bytes("k2"), cell).has_value());
+}
+
+TEST(UniformEncoding, TamperDetected) {
+  Rng rng(114);
+  const Bytes key = to_bytes("k");
+  Bytes cell = uniform_encode(key, to_bytes("payload"), rng);
+  for (const std::size_t pos :
+       {std::size_t{0}, std::size_t{16}, std::size_t{100},
+        kUniformCellSize - 1}) {
+    Bytes bad = cell;
+    bad[pos] ^= 0x01;
+    EXPECT_FALSE(uniform_decode(key, bad).has_value()) << pos;
+  }
+}
+
+TEST(UniformEncoding, WrongSizeRejected) {
+  const Bytes key = to_bytes("k");
+  EXPECT_FALSE(uniform_decode(key, Bytes(100, 0)).has_value());
+  EXPECT_FALSE(uniform_decode(key, Bytes(kUniformCellSize + 1, 0)).has_value());
+}
+
+TEST(UniformEncoding, SamePlaintextUnlinkable) {
+  Rng rng(115);
+  const Bytes key = to_bytes("k");
+  const Bytes a = uniform_encode(key, to_bytes("ddos example.com"), rng);
+  const Bytes b = uniform_encode(key, to_bytes("ddos example.com"), rng);
+  EXPECT_NE(a, b);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] == b[i]) ++same;
+  // Unrelated uniform strings agree on ~1/256 of positions.
+  EXPECT_LT(same, a.size() / 16);
+}
+
+TEST(UniformEncoding, ChiSquareUniformity) {
+  // The property the paper wants from Elligator: encoded messages are
+  // indistinguishable from uniform random strings. Chi-square over byte
+  // values across many encodings of a *fixed, highly structured*
+  // plaintext.
+  Rng rng(116);
+  const Bytes key = to_bytes("group");
+  const Bytes msg(64, 0x00);  // worst case: all zeros
+  std::array<std::size_t, 256> counts{};
+  const int cells = 600;
+  for (int i = 0; i < cells; ++i) {
+    const Bytes cell = uniform_encode(key, msg, rng);
+    for (const std::uint8_t b : cell) ++counts[b];
+  }
+  const double total = static_cast<double>(cells) * kUniformCellSize;
+  const double expected = total / 256.0;
+  double chi2 = 0.0;
+  for (const std::size_t c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  // 255 degrees of freedom: mean 255, std ~22.6. Accept within 6 sigma.
+  EXPECT_GT(chi2, 255.0 - 6 * 22.6);
+  EXPECT_LT(chi2, 255.0 + 6 * 22.6);
+}
+
+}  // namespace
+}  // namespace onion::crypto

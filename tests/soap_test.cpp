@@ -1,0 +1,171 @@
+// SOAP mitigation tests (paper §VI-B, Figure 7): clone-by-clone
+// containment of a single target, whole-network campaigns, discovery
+// spread, and the Section VII-A defenses (proof of work, rate limiting).
+#include <gtest/gtest.h>
+
+#include "core/overlay.hpp"
+#include "mitigation/soap.hpp"
+
+namespace onion::mitigation {
+namespace {
+
+using core::OverlayConfig;
+using core::OverlayNetwork;
+using NodeId = OverlayNetwork::NodeId;
+
+OverlayConfig overlay_cfg(std::size_t k) {
+  OverlayConfig cfg;
+  cfg.dmin = k;
+  cfg.dmax = k;
+  return cfg;
+}
+
+TEST(Soap, CaptureSeedsDiscoveryWithPeersAndNoN) {
+  Rng rng(1);
+  OverlayNetwork net =
+      OverlayNetwork::random_regular(30, 4, overlay_cfg(4), rng);
+  SoapCampaign campaign(net, SoapConfig{}, rng);
+  campaign.capture(0);
+  // At least the bot, its 4 peers, and their peers.
+  EXPECT_GE(campaign.discovered().size(), 5u);
+  EXPECT_TRUE(campaign.discovered().count(0) > 0);
+  for (const NodeId n : net.neighbors(0))
+    EXPECT_TRUE(campaign.discovered().count(n) > 0);
+}
+
+TEST(Soap, SingleTargetGetsContained) {
+  // Figure 7 steps 2-9 against one bot: clones undercut and evict the
+  // benign peers until the ring closes.
+  Rng rng(2);
+  OverlayNetwork net =
+      OverlayNetwork::random_regular(20, 4, overlay_cfg(4), rng);
+  SoapConfig cfg;
+  cfg.max_rounds = 200;
+  SoapCampaign campaign(net, cfg, rng);
+  campaign.capture(7);
+  for (int round = 0; round < 200 && !net.contained(7); ++round)
+    campaign.step();
+  EXPECT_TRUE(net.contained(7));
+  for (const NodeId p : net.neighbors(7)) EXPECT_FALSE(net.honest(p));
+}
+
+TEST(Soap, CampaignNeutralizesWholeBotnet) {
+  Rng rng(3);
+  OverlayNetwork net =
+      OverlayNetwork::random_regular(40, 4, overlay_cfg(4), rng);
+  SoapConfig cfg;
+  cfg.requests_per_target_per_round = 2;
+  SoapCampaign campaign(net, cfg, rng);
+  campaign.capture(0);
+  const auto timeline = campaign.run();
+  EXPECT_TRUE(campaign.fully_contained());
+  EXPECT_EQ(campaign.discovered().size(), 40u)
+      << "clone peering harvests every neighbor list";
+  EXPECT_EQ(net.honest_edges(), 0u)
+      << "full containment leaves no bot-to-bot link";
+  // Telemetry is monotone in containment.
+  for (std::size_t i = 1; i < timeline.size(); ++i)
+    EXPECT_GE(timeline[i].contained + 1, timeline[i - 1].contained);
+}
+
+TEST(Soap, ContainmentPartitionsHonestNetwork) {
+  Rng rng(4);
+  OverlayNetwork net =
+      OverlayNetwork::random_regular(30, 4, overlay_cfg(4), rng);
+  SoapCampaign campaign(net, SoapConfig{}, rng);
+  campaign.capture(0);
+  campaign.run();
+  // Every honest bot isolated: components == number of honest nodes.
+  EXPECT_EQ(net.honest_components(), net.honest_nodes().size());
+}
+
+TEST(Soap, ClonesAreCheapButCounted) {
+  Rng rng(5);
+  OverlayNetwork net =
+      OverlayNetwork::random_regular(20, 4, overlay_cfg(4), rng);
+  SoapCampaign campaign(net, SoapConfig{}, rng);
+  campaign.capture(0);
+  campaign.run();
+  EXPECT_GT(campaign.clones_created(), 0u);
+  // Without PoW the campaign costs nothing but clones.
+  EXPECT_DOUBLE_EQ(net.sybil_work_spent(), 0.0);
+}
+
+TEST(Soap, ProofOfWorkBudgetHaltsCampaign) {
+  // §VII-A: escalating puzzles price the Sybils out.
+  Rng rng(6);
+  OverlayConfig cfg = overlay_cfg(4);
+  cfg.pow_base_cost = 1.0;
+  cfg.pow_growth = 2.0;
+  OverlayNetwork net = OverlayNetwork::random_regular(30, 4, cfg, rng);
+  SoapConfig soap;
+  soap.work_budget = 50.0;  // tiny budget vs exponential cost growth
+  SoapCampaign campaign(net, soap, rng);
+  campaign.capture(0);
+  campaign.run();
+  EXPECT_FALSE(campaign.fully_contained());
+  EXPECT_GT(net.honest_edges(), 0u);
+  EXPECT_LE(net.sybil_work_spent(), 50.0 * 2.0 + 64.0)
+      << "spend stops near the budget";
+}
+
+TEST(Soap, RateLimitSlowsContainment) {
+  const auto rounds_to_finish = [](std::size_t rate_limit) {
+    Rng rng(7);
+    OverlayConfig cfg;
+    cfg.dmin = 4;
+    cfg.dmax = 4;
+    cfg.rate_limit_per_round = rate_limit;
+    OverlayNetwork net = OverlayNetwork::random_regular(24, 4, cfg, rng);
+    SoapConfig soap;
+    soap.requests_per_target_per_round = 4;
+    soap.max_rounds = 2000;
+    SoapCampaign campaign(net, soap, rng);
+    campaign.capture(0);
+    campaign.run();
+    return campaign.rounds_run();
+  };
+  const std::size_t unlimited = rounds_to_finish(1000);
+  const std::size_t limited = rounds_to_finish(1);
+  EXPECT_GT(limited, unlimited)
+      << "rate limiting stretches the campaign (defense trade-off)";
+}
+
+TEST(Soap, StepWithoutCaptureDoesNothing) {
+  Rng rng(8);
+  OverlayNetwork net =
+      OverlayNetwork::random_regular(10, 4, overlay_cfg(4), rng);
+  SoapCampaign campaign(net, SoapConfig{}, rng);
+  EXPECT_FALSE(campaign.step());
+  EXPECT_EQ(campaign.clones_created(), 0u);
+}
+
+TEST(Soap, TimelineReportsWorkAndClones) {
+  Rng rng(9);
+  OverlayNetwork net =
+      OverlayNetwork::random_regular(20, 4, overlay_cfg(4), rng);
+  SoapCampaign campaign(net, SoapConfig{}, rng);
+  campaign.capture(0);
+  const auto timeline = campaign.run();
+  ASSERT_GE(timeline.size(), 2u);
+  EXPECT_EQ(timeline.front().contained, 0u);
+  EXPECT_GT(timeline.back().clones, 0u);
+  EXPECT_EQ(timeline.back().honest_edges, 0u);
+}
+
+TEST(Soap, HigherDegreeBotnetNeedsMoreClones) {
+  const auto clones_needed = [](std::size_t k) {
+    Rng rng(10);
+    OverlayNetwork net =
+        OverlayNetwork::random_regular(30, k, overlay_cfg(k), rng);
+    SoapCampaign campaign(net, SoapConfig{}, rng);
+    campaign.capture(0);
+    campaign.run();
+    return campaign.clones_created();
+  };
+  EXPECT_GT(clones_needed(8), clones_needed(4))
+      << "each bot needs ~dmax clones to ring";
+}
+
+}  // namespace
+}  // namespace onion::mitigation

@@ -1,0 +1,159 @@
+// SuperOnionBot tests (paper §VII-B, Figure 8): construction, probe
+// detection of soaped virtual nodes, resurrection, and the headline
+// claim — hosts survive SOAP as long as one virtual node does.
+#include <gtest/gtest.h>
+
+#include "mitigation/soap.hpp"
+#include "superonion/super_network.hpp"
+
+namespace onion::super {
+namespace {
+
+using NodeId = core::OverlayNetwork::NodeId;
+
+SuperConfig figure8_config() {
+  // The paper's illustration: n=5, m=3, i=2.
+  SuperConfig cfg;
+  cfg.hosts = 5;
+  cfg.vnodes_per_host = 3;
+  cfg.peers_per_vnode = 2;
+  return cfg;
+}
+
+TEST(SuperOnion, Figure8Construction) {
+  Rng rng(1);
+  SuperOnionNetwork net(figure8_config(), rng);
+  EXPECT_EQ(net.num_hosts(), 5u);
+  EXPECT_EQ(net.vnodes_created(), 15u);
+  std::size_t total_vnodes = 0;
+  for (std::size_t h = 0; h < 5; ++h) {
+    EXPECT_EQ(net.vnodes_of(h).size(), 3u);
+    total_vnodes += net.vnodes_of(h).size();
+    for (const NodeId v : net.vnodes_of(h))
+      EXPECT_GE(net.overlay().graph().degree(v), 2u)
+          << "each vnode keeps i=2 peers";
+  }
+  EXPECT_EQ(total_vnodes, 15u);
+}
+
+TEST(SuperOnion, VnodesNeverPeerWithSiblings) {
+  Rng rng(2);
+  SuperOnionNetwork net(figure8_config(), rng);
+  for (std::size_t h = 0; h < net.num_hosts(); ++h) {
+    for (const NodeId v : net.vnodes_of(h)) {
+      for (const NodeId w : net.vnodes_of(h)) {
+        if (v == w) continue;
+        EXPECT_FALSE(net.overlay().graph().has_edge(v, w))
+            << "siblings communicate via the overlay, not directly";
+      }
+    }
+  }
+}
+
+TEST(SuperOnion, HealthyNetworkProbesCleanly) {
+  Rng rng(3);
+  SuperOnionNetwork net(figure8_config(), rng);
+  const ProbeReport report = net.probe_and_recover();
+  EXPECT_EQ(report.soaped_detected, 0u);
+  EXPECT_EQ(report.resurrected, 0u);
+  EXPECT_EQ(report.hosts_alive, 5u);
+  EXPECT_GT(report.gossip_messages, 0u) << "probes cost gossip traffic";
+}
+
+TEST(SuperOnion, DetectsAndReplacesSoapedVnode) {
+  Rng rng(4);
+  SuperConfig cfg = figure8_config();
+  cfg.hosts = 8;
+  SuperOnionNetwork net(cfg, rng);
+  // Soap one virtual node by hand: replace all its peers with sybils.
+  const NodeId victim = net.vnodes_of(0)[0];
+  auto& overlay = net.overlay();
+  const std::vector<NodeId> peers = overlay.neighbors(victim);
+  for (const NodeId p : peers) overlay.drop_edge(victim, p);
+  for (int i = 0; i < 2; ++i) {
+    const NodeId sybil = overlay.add_node(false, 1);
+    overlay.request_peering(sybil, victim);
+  }
+  ASSERT_TRUE(overlay.contained(victim));
+
+  const ProbeReport report = net.probe_and_recover();
+  EXPECT_GE(report.soaped_detected, 1u);
+  EXPECT_GE(report.resurrected, 1u);
+  EXPECT_EQ(report.hosts_alive, 8u) << "host survives one soaped vnode";
+  EXPECT_FALSE(overlay.alive(victim)) << "soaped identity abandoned";
+  EXPECT_EQ(net.vnodes_of(0).size(), 3u) << "fresh vnode took its place";
+}
+
+TEST(SuperOnion, HostLostOnlyWhenAllVnodesSoaped) {
+  Rng rng(5);
+  SuperOnionNetwork net(figure8_config(), rng);
+  auto& overlay = net.overlay();
+  // Soap every vnode of host 0 simultaneously.
+  for (const NodeId v : net.vnodes_of(0)) {
+    const std::vector<NodeId> peers = overlay.neighbors(v);
+    for (const NodeId p : peers) overlay.drop_edge(v, p);
+    const NodeId sybil = overlay.add_node(false, 1);
+    overlay.request_peering(sybil, v);
+  }
+  EXPECT_TRUE(net.host_contained(0));
+  const ProbeReport report = net.probe_and_recover();
+  EXPECT_EQ(report.hosts_alive, 4u)
+      << "fully soaped host cannot bootstrap a replacement";
+}
+
+TEST(SuperOnion, SurvivesFullSoapCampaignThatKillsBasicOnionBots) {
+  // Head-to-head: the same SOAP campaign that neutralizes a basic
+  // overlay (soap_test) cannot keep a SuperOnion down when probes run
+  // between rounds.
+  Rng rng(6);
+  SuperConfig cfg;
+  cfg.hosts = 10;
+  cfg.vnodes_per_host = 3;
+  cfg.peers_per_vnode = 3;
+  SuperOnionNetwork net(cfg, rng);
+
+  mitigation::SoapConfig soap;
+  soap.requests_per_target_per_round = 2;
+  mitigation::SoapCampaign campaign(net.overlay(), soap, rng);
+  campaign.capture(net.vnodes_of(0)[0]);
+
+  for (int round = 0; round < 30; ++round) {
+    campaign.step();
+    net.probe_and_recover();  // hosts fight back every round
+  }
+  EXPECT_EQ(net.hosts_alive(), 10u)
+      << "resurrection outpaces containment (paper §VII-B)";
+}
+
+TEST(SuperOnion, ResurrectionCountGrowsUnderSustainedAttack) {
+  Rng rng(7);
+  SuperConfig cfg;
+  cfg.hosts = 6;
+  cfg.vnodes_per_host = 2;
+  cfg.peers_per_vnode = 2;
+  SuperOnionNetwork net(cfg, rng);
+  mitigation::SoapCampaign campaign(net.overlay(),
+                                    mitigation::SoapConfig{}, rng);
+  campaign.capture(net.vnodes_of(0)[0]);
+  std::size_t resurrected = 0;
+  for (int round = 0; round < 20; ++round) {
+    campaign.step();
+    resurrected += net.probe_and_recover().resurrected;
+  }
+  EXPECT_EQ(net.vnodes_created(), 12u + resurrected);
+}
+
+TEST(SuperOnion, RequiresAtLeastTwoHosts) {
+  Rng rng(8);
+  SuperConfig cfg;
+  cfg.hosts = 1;
+  EXPECT_THROW(
+      {
+        SuperOnionNetwork net(cfg, rng);
+        (void)net;
+      },
+      ContractViolation);
+}
+
+}  // namespace
+}  // namespace onion::super

@@ -1,0 +1,159 @@
+// HSDir-takeover mitigation tests (paper §VI-A): positioning denying
+// relays after a descriptor ID silences a *static* hidden service — but
+// costs 25 hours of relay uptime, and OnionBot address rotation escapes
+// it entirely because next period's address derives from the secret K_B.
+#include <gtest/gtest.h>
+
+#include "crypto/kdf.hpp"
+#include "mitigation/hsdir_takeover.hpp"
+#include "sim/simulator.hpp"
+#include "tor/tor_network.hpp"
+
+namespace onion::mitigation {
+namespace {
+
+using tor::ConnectError;
+using tor::ConnectResult;
+using tor::EndpointId;
+using tor::OnionAddress;
+using tor::TorConfig;
+using tor::TorNetwork;
+
+struct Fixture {
+  sim::Simulator sim;
+  TorNetwork tor;
+  Fixture() : tor(sim, TorConfig{.num_relays = 25}, 0xabc) {}
+
+  ConnectResult connect(EndpointId client, const OnionAddress& addr) {
+    ConnectResult out;
+    bool done = false;
+    tor.connect_and_send(client, addr, to_bytes("hi"),
+                         [&](const ConnectResult& r) {
+                           out = r;
+                           done = true;
+                         });
+    sim.run_until(sim.now() + 10 * kMinute);
+    EXPECT_TRUE(done);
+    return out;
+  }
+};
+
+crypto::RsaKeyPair key_of_seed(std::uint64_t seed) {
+  Rng rng(seed);
+  return crypto::rsa_generate(rng, 1024);
+}
+
+TEST(HsdirTakeover, DeniesStaticServiceAfterPositioningDelay) {
+  Fixture f;
+  const auto key = key_of_seed(1);
+  const EndpointId host = f.tor.create_endpoint();
+  const EndpointId client = f.tor.create_endpoint();
+  const OnionAddress addr = f.tor.publish_service(
+      host, key,
+      [](BytesView, const OnionAddress&) -> Bytes { return {}; });
+
+  // Reachable before the attack.
+  EXPECT_TRUE(f.connect(client, addr).ok);
+
+  // Attack the descriptor period that will be active at t = 30 h.
+  const TakeoverReport report =
+      takeover_hsdirs(f.tor, addr, /*when=*/30 * kHour);
+  EXPECT_EQ(report.injected.size(),
+            static_cast<std::size_t>(tor::kReplicas) *
+                tor::kHsdirsPerReplica);
+
+  // The injected relays are not HSDirs yet (25 h rule): still reachable.
+  f.sim.run_until(3 * kHour);
+  EXPECT_TRUE(f.connect(client, addr).ok)
+      << "takeover cannot be instantaneous";
+
+  // After the flag lands and the consensus refreshes, the crafted
+  // fingerprints own every responsible slot and deny all fetches.
+  f.sim.run_until(30 * kHour);
+  const ConnectResult denied = f.connect(client, addr);
+  EXPECT_FALSE(denied.ok);
+  ASSERT_TRUE(denied.error.has_value());
+  EXPECT_EQ(*denied.error, ConnectError::DescriptorNotFound);
+}
+
+TEST(HsdirTakeover, ResponsibleSlotsActuallyCaptured) {
+  Fixture f;
+  const auto key = key_of_seed(2);
+  const EndpointId host = f.tor.create_endpoint();
+  const OnionAddress addr = f.tor.publish_service(
+      host, key,
+      [](BytesView, const OnionAddress&) -> Bytes { return {}; });
+  const TakeoverReport report =
+      takeover_hsdirs(f.tor, addr, /*when=*/30 * kHour);
+  f.sim.run_until(30 * kHour);
+  const auto responsible = f.tor.responsible_hsdirs_now(addr);
+  ASSERT_EQ(responsible.size(), 2u);
+  for (const auto& replica_set : responsible) {
+    for (const tor::RelayId r : replica_set) {
+      EXPECT_NE(std::find(report.injected.begin(), report.injected.end(),
+                          r),
+                report.injected.end())
+          << "every responsible HSDir is attacker-controlled";
+    }
+  }
+}
+
+TEST(HsdirTakeover, AddressRotationEscapes) {
+  // The OnionBot counter: the defender saw today's address and occupied
+  // tomorrow's slots *for that address* — but tomorrow the bot answers
+  // on a fresh address derived from K_B, which the defender cannot
+  // predict.
+  Fixture f;
+  Rng rng(3);
+  const crypto::RsaKeyPair master = crypto::rsa_generate(rng, 2048);
+  Bytes kb(32);
+  for (auto& b : kb) b = static_cast<std::uint8_t>(rng.next_u64());
+
+  const EndpointId host = f.tor.create_endpoint();
+  const EndpointId cnc = f.tor.create_endpoint();
+  const auto handler = [](BytesView, const OnionAddress&) -> Bytes {
+    return to_bytes("alive");
+  };
+
+  // Period 0 identity (rotation period = 1 day, like descriptors).
+  const crypto::RsaKeyPair key0 =
+      crypto::rotated_service_key(master.pub, kb, 0);
+  const OnionAddress addr0 = f.tor.publish_service(host, key0, handler);
+  EXPECT_TRUE(f.connect(cnc, addr0).ok);
+
+  // Defender captured addr0 and occupies its period-1 window.
+  takeover_hsdirs(f.tor, addr0, /*when=*/30 * kHour);
+
+  // At the period boundary the bot rotates: new key, new address.
+  f.sim.run_until(24 * kHour + kMinute);
+  f.tor.unpublish_service(host, addr0);
+  const crypto::RsaKeyPair key1 =
+      crypto::rotated_service_key(master.pub, kb, 1);
+  const OnionAddress addr1 = f.tor.publish_service(host, key1, handler);
+  EXPECT_NE(addr0, addr1);
+
+  f.sim.run_until(30 * kHour);
+  // The C&C derives addr1 independently and gets through; the takeover
+  // of addr0 hits nothing.
+  const crypto::RsaKeyPair derived =
+      crypto::rotated_service_key(master.pub, kb, 1);
+  EXPECT_EQ(OnionAddress::from_public_key(derived.pub), addr1);
+  EXPECT_TRUE(f.connect(cnc, addr1).ok)
+      << "rotation defeats the HSDir takeover";
+  EXPECT_FALSE(f.connect(cnc, addr0).ok)
+      << "the old address is dead, but nobody needs it";
+}
+
+TEST(HsdirTakeover, CookieProtectedDescriptorsNeedTheCookie) {
+  // With a descriptor cookie set, an outsider cannot even compute the
+  // descriptor IDs (paper Section III) — modeled by the ID mismatch.
+  const auto key = key_of_seed(4);
+  const OnionAddress addr = OnionAddress::from_public_key(key.pub);
+  const Bytes cookie = to_bytes("0123456789abcdef");
+  const auto with_cookie = tor::descriptor_id(addr, 5, cookie, 0);
+  const auto without = tor::descriptor_id(addr, 5, {}, 0);
+  EXPECT_NE(with_cookie, without);
+}
+
+}  // namespace
+}  // namespace onion::mitigation

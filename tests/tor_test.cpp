@@ -1,0 +1,471 @@
+// Tor substrate tests: .onion address derivation, the paper's
+// descriptor-ID formulas, the HSDir fingerprint ring, relay descriptor
+// stores, layered cell encryption, and the full 7-step rendezvous
+// protocol over the discrete-event simulator.
+#include <gtest/gtest.h>
+
+#include "crypto/sha1.hpp"
+#include "mitigation/hsdir_takeover.hpp"
+#include "tor/cell.hpp"
+#include "tor/consensus.hpp"
+#include "tor/descriptor.hpp"
+#include "tor/relay.hpp"
+#include "tor/tor_network.hpp"
+
+namespace onion::tor {
+namespace {
+
+crypto::RsaKeyPair test_key(std::uint64_t seed) {
+  Rng rng(seed);
+  return crypto::rsa_generate(rng, 1024);
+}
+
+TEST(OnionAddressTest, DerivesFromPublicKeyHash) {
+  const auto key = test_key(1);
+  const OnionAddress addr = OnionAddress::from_public_key(key.pub);
+  // First 10 bytes of SHA-1(serialized pubkey) — the paper's recipe.
+  const crypto::Sha1Digest digest =
+      crypto::Sha1::hash(key.pub.serialize());
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_EQ(addr.identifier()[i], digest[i]);
+}
+
+TEST(OnionAddressTest, HostnameIs16CharBase32) {
+  const OnionAddress addr =
+      OnionAddress::from_public_key(test_key(2).pub);
+  const std::string host = addr.hostname();
+  ASSERT_EQ(host.size(), 16u + 6u);
+  EXPECT_EQ(host.substr(16), ".onion");
+  for (char c : host.substr(0, 16))
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '2' && c <= '7')) << c;
+}
+
+TEST(OnionAddressTest, HostnameRoundTrip) {
+  const OnionAddress addr =
+      OnionAddress::from_public_key(test_key(3).pub);
+  EXPECT_EQ(OnionAddress::from_hostname(addr.hostname()), addr);
+  // Also without the suffix.
+  EXPECT_EQ(OnionAddress::from_hostname(addr.hostname().substr(0, 16)),
+            addr);
+}
+
+TEST(OnionAddressTest, RejectsMalformedHostnames) {
+  EXPECT_THROW(OnionAddress::from_hostname("tooshort.onion"),
+               std::invalid_argument);
+  EXPECT_THROW(OnionAddress::from_hostname("0123456789abcdef.onion"),
+               std::invalid_argument);  // '0','1' not in base32
+}
+
+TEST(OnionAddressTest, DistinctKeysDistinctAddresses) {
+  EXPECT_NE(OnionAddress::from_public_key(test_key(4).pub),
+            OnionAddress::from_public_key(test_key(5).pub));
+}
+
+TEST(DescriptorMath, TimePeriodFormula) {
+  // time-period = (t + id_byte*86400/256) / 86400.
+  EXPECT_EQ(time_period(0, 0), 0u);
+  EXPECT_EQ(time_period(86399, 0), 0u);
+  EXPECT_EQ(time_period(86400, 0), 1u);
+  // id_byte = 255 shifts the rollover by 255/256 of a day.
+  EXPECT_EQ(time_period(0, 255), 0u);
+  EXPECT_EQ(time_period(86400 - 86062, 255), 1u) << "shifted rollover";
+}
+
+TEST(DescriptorMath, PermanentIdByteStaggersRollover) {
+  // At the same instant, different first bytes can be in different
+  // periods — exactly why Tor staggers descriptor changes.
+  const std::uint64_t t = 86000;
+  EXPECT_EQ(time_period(t, 0), 0u);
+  EXPECT_EQ(time_period(t, 255), 1u);
+}
+
+TEST(DescriptorMath, SecretIdPartMatchesFormula) {
+  // secret-id-part = H(time-period(8B) || cookie || replica).
+  Bytes expected_input = be64(42);
+  expected_input.push_back(1);
+  EXPECT_EQ(secret_id_part(42, {}, 1),
+            crypto::Sha1::hash(expected_input));
+}
+
+TEST(DescriptorMath, DescriptorIdMatchesFormula) {
+  const OnionAddress addr =
+      OnionAddress::from_public_key(test_key(6).pub);
+  const crypto::Sha1Digest secret = secret_id_part(7, {}, 0);
+  const Bytes input =
+      concat(addr.identifier_bytes(), crypto::digest_bytes(secret));
+  EXPECT_EQ(descriptor_id(addr, 7, {}, 0), crypto::Sha1::hash(input));
+}
+
+TEST(DescriptorMath, TwoReplicasDiffer) {
+  const OnionAddress addr =
+      OnionAddress::from_public_key(test_key(7).pub);
+  EXPECT_NE(descriptor_id(addr, 3, {}, 0), descriptor_id(addr, 3, {}, 1));
+}
+
+TEST(DescriptorMath, CookieChangesIds) {
+  const OnionAddress addr =
+      OnionAddress::from_public_key(test_key(8).pub);
+  const Bytes cookie = to_bytes("descriptor-cookie-16");
+  EXPECT_NE(descriptor_id(addr, 3, {}, 0),
+            descriptor_id(addr, 3, cookie, 0));
+}
+
+TEST(DescriptorMath, IdsChangeAcrossPeriods) {
+  const OnionAddress addr =
+      OnionAddress::from_public_key(test_key(9).pub);
+  EXPECT_NE(descriptor_id(addr, 3, {}, 0), descriptor_id(addr, 4, {}, 0));
+}
+
+TEST(DescriptorTest, SignAndVerify) {
+  const auto key = test_key(10);
+  HiddenServiceDescriptor desc;
+  desc.address = OnionAddress::from_public_key(key.pub);
+  desc.service_key = key.pub;
+  desc.introduction_points = {1, 2, 3};
+  desc.published_at = 12345;
+  desc.signature = crypto::rsa_sign(key, desc.signed_body());
+  EXPECT_TRUE(desc.verify());
+
+  // Wrong key for the address: hash-of-key check fails.
+  HiddenServiceDescriptor forged = desc;
+  forged.service_key = test_key(11).pub;
+  forged.signature = crypto::rsa_sign(test_key(11), forged.signed_body());
+  EXPECT_FALSE(forged.verify());
+
+  // Tampered intro points: signature fails.
+  HiddenServiceDescriptor tampered = desc;
+  tampered.introduction_points = {9};
+  EXPECT_FALSE(tampered.verify());
+}
+
+Fingerprint fp_of(std::uint8_t first) {
+  Fingerprint fp{};
+  fp[0] = first;
+  return fp;
+}
+
+TEST(ConsensusTest, ResponsibleHsdirsAreNextOnRing) {
+  std::vector<Consensus::Entry> entries;
+  for (std::uint8_t i = 1; i <= 6; ++i)
+    entries.push_back({fp_of(static_cast<std::uint8_t>(i * 0x20)),
+                       static_cast<RelayId>(i), true});
+  const Consensus consensus(entries, 0);
+
+  DescriptorId id{};
+  id[0] = 0x50;  // between 0x40 (relay 2) and 0x60 (relay 3)
+  const auto responsible = consensus.responsible_hsdirs(id);
+  ASSERT_EQ(responsible.size(), 3u);
+  EXPECT_EQ(responsible[0], 3u);
+  EXPECT_EQ(responsible[1], 4u);
+  EXPECT_EQ(responsible[2], 5u);
+}
+
+TEST(ConsensusTest, RingWrapsAround) {
+  std::vector<Consensus::Entry> entries;
+  for (std::uint8_t i = 1; i <= 4; ++i)
+    entries.push_back({fp_of(static_cast<std::uint8_t>(i * 0x20)),
+                       static_cast<RelayId>(i), true});
+  const Consensus consensus(entries, 0);
+  DescriptorId id{};
+  id[0] = 0xf0;  // after the last fingerprint: wrap to the start
+  const auto responsible = consensus.responsible_hsdirs(id);
+  ASSERT_EQ(responsible.size(), 3u);
+  EXPECT_EQ(responsible[0], 1u);
+  EXPECT_EQ(responsible[1], 2u);
+  EXPECT_EQ(responsible[2], 3u);
+}
+
+TEST(ConsensusTest, NonHsdirRelaysExcluded) {
+  std::vector<Consensus::Entry> entries;
+  entries.push_back({fp_of(0x10), 1, false});
+  entries.push_back({fp_of(0x20), 2, true});
+  entries.push_back({fp_of(0x30), 3, true});
+  entries.push_back({fp_of(0x40), 4, true});
+  const Consensus consensus(entries, 0);
+  EXPECT_EQ(consensus.hsdirs().size(), 3u);
+  DescriptorId id{};
+  const auto responsible = consensus.responsible_hsdirs(id);
+  for (const RelayId r : responsible) EXPECT_NE(r, 1u);
+}
+
+TEST(ConsensusTest, FewerHsdirsThanNeeded) {
+  std::vector<Consensus::Entry> entries;
+  entries.push_back({fp_of(0x10), 1, true});
+  const Consensus consensus(entries, 0);
+  DescriptorId id{};
+  EXPECT_EQ(consensus.responsible_hsdirs(id).size(), 1u);
+}
+
+TEST(RelayTest, HsdirFlagTiming) {
+  const Relay founding(0, fp_of(1), Bytes(32, 0), /*hsdir_flag_at=*/0);
+  EXPECT_TRUE(founding.has_hsdir_flag(0));
+  const Relay injected(1, fp_of(2), Bytes(32, 0),
+                       /*hsdir_flag_at=*/kHsdirFlagUptime);
+  EXPECT_FALSE(injected.has_hsdir_flag(kHsdirFlagUptime - 1));
+  EXPECT_TRUE(injected.has_hsdir_flag(kHsdirFlagUptime));
+}
+
+TEST(RelayTest, DescriptorStoreFetchAndExpiry) {
+  Relay relay(0, fp_of(1), Bytes(32, 0), 0);
+  const auto key = test_key(12);
+  HiddenServiceDescriptor desc;
+  desc.address = OnionAddress::from_public_key(key.pub);
+  desc.service_key = key.pub;
+  desc.published_at = 1000;
+  desc.signature = crypto::rsa_sign(key, desc.signed_body());
+  DescriptorId id{};
+  id[0] = 9;
+  relay.store_descriptor(id, desc);
+  EXPECT_TRUE(relay.fetch_descriptor(id, 2000).has_value());
+  EXPECT_FALSE(relay.fetch_descriptor(id, 1000 + kDescriptorLifetime)
+                   .has_value())
+      << "expired";
+  DescriptorId other{};
+  other[0] = 10;
+  EXPECT_FALSE(relay.fetch_descriptor(other, 2000).has_value());
+}
+
+TEST(RelayTest, DenyingRelayServesNothing) {
+  Relay relay(0, fp_of(1), Bytes(32, 0), 0);
+  const auto key = test_key(13);
+  HiddenServiceDescriptor desc;
+  desc.address = OnionAddress::from_public_key(key.pub);
+  desc.service_key = key.pub;
+  desc.published_at = 0;
+  desc.signature = crypto::rsa_sign(key, desc.signed_body());
+  DescriptorId id{};
+  relay.store_descriptor(id, desc);
+  relay.set_denying(true);
+  EXPECT_FALSE(relay.fetch_descriptor(id, 1).has_value());
+  relay.set_denying(false);
+  EXPECT_TRUE(relay.fetch_descriptor(id, 1).has_value());
+}
+
+TEST(RelayTest, ExpireDescriptorsHousekeeping) {
+  Relay relay(0, fp_of(1), Bytes(32, 0), 0);
+  HiddenServiceDescriptor desc;
+  desc.published_at = 0;
+  DescriptorId id{};
+  relay.store_descriptor(id, desc);
+  EXPECT_EQ(relay.stored_descriptor_count(), 1u);
+  relay.expire_descriptors(kDescriptorLifetime + 1);
+  EXPECT_EQ(relay.stored_descriptor_count(), 0u);
+}
+
+TEST(CellTest, LayerIsInvolution) {
+  const Bytes key = to_bytes("hop key");
+  Cell cell = make_cell(to_bytes("payload"));
+  const Cell once = crypt_layer(key, 5, cell);
+  EXPECT_NE(once, cell);
+  EXPECT_EQ(crypt_layer(key, 5, once), cell);
+}
+
+TEST(CellTest, DifferentSequencesDifferentKeystream) {
+  const Bytes key = to_bytes("hop key");
+  const Cell cell = make_cell(to_bytes("payload"));
+  EXPECT_NE(crypt_layer(key, 1, cell), crypt_layer(key, 2, cell));
+}
+
+TEST(CellTest, OnionWrapPeelsInPathOrder) {
+  const std::vector<Bytes> keys = {to_bytes("k1"), to_bytes("k2"),
+                                   to_bytes("k3")};
+  const Cell plain = make_cell(to_bytes("secret command"));
+  Cell wire = onion_wrap(keys, 9, plain);
+  EXPECT_NE(wire, plain);
+  // Hops peel in order k1, k2, k3.
+  for (const Bytes& k : keys) wire = crypt_layer(k, 9, wire);
+  EXPECT_EQ(wire, plain);
+}
+
+TEST(CellTest, WrappedCellHasHighEntropy) {
+  const std::vector<Bytes> keys = {to_bytes("k1"), to_bytes("k2"),
+                                   to_bytes("k3")};
+  // Low-entropy plaintext (all zeros) must look uniform once wrapped.
+  const Cell plain{};
+  EXPECT_LT(cell_entropy(plain), 0.1);
+  const Cell wire = onion_wrap(keys, 0, plain);
+  EXPECT_GT(cell_entropy(wire), 7.5);
+}
+
+// --- full-network tests over the DES --------------------------------
+
+struct NetFixture {
+  sim::Simulator sim;
+  TorNetwork tor;
+  explicit NetFixture(std::size_t relays = 25)
+      : tor(sim, TorConfig{.num_relays = relays}, /*seed=*/0xfeed) {}
+};
+
+TEST(TorNetworkTest, EndToEndRendezvous) {
+  NetFixture net;
+  const auto service_key = test_key(20);
+  const EndpointId host = net.tor.create_endpoint();
+  const EndpointId client = net.tor.create_endpoint();
+
+  Bytes seen_request;
+  const OnionAddress addr = net.tor.publish_service(
+      host, service_key,
+      [&](BytesView request, const OnionAddress&) -> Bytes {
+        seen_request = Bytes(request.begin(), request.end());
+        return to_bytes("pong");
+      });
+
+  ConnectResult outcome;
+  net.tor.connect_and_send(client, addr, to_bytes("ping"),
+                           [&](const ConnectResult& r) { outcome = r; });
+  net.sim.run();
+
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.reply, to_bytes("pong"));
+  EXPECT_EQ(seen_request, to_bytes("ping"));
+  EXPECT_GT(outcome.completed_at, 0u);
+  EXPECT_GE(net.tor.stats().circuits_built, 4u);
+  EXPECT_EQ(net.tor.stats().connections_ok, 1u);
+}
+
+TEST(TorNetworkTest, LargePayloadSpansCells) {
+  NetFixture net;
+  const auto service_key = test_key(21);
+  const EndpointId host = net.tor.create_endpoint();
+  const EndpointId client = net.tor.create_endpoint();
+  Bytes received;
+  const OnionAddress addr = net.tor.publish_service(
+      host, service_key, [&](BytesView req, const OnionAddress&) -> Bytes {
+        received = Bytes(req.begin(), req.end());
+        return Bytes(req.rbegin(), req.rend());
+      });
+  Bytes big(5000);
+  Rng rng(50);
+  for (auto& b : big) b = static_cast<std::uint8_t>(rng.next_u64());
+  ConnectResult outcome;
+  net.tor.connect_and_send(client, addr, big,
+                           [&](const ConnectResult& r) { outcome = r; });
+  net.sim.run();
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(received, big);
+  EXPECT_EQ(outcome.reply, Bytes(big.rbegin(), big.rend()));
+}
+
+TEST(TorNetworkTest, RelayedCellsLookUniform) {
+  NetFixture net;
+  const auto service_key = test_key(22);
+  const EndpointId host = net.tor.create_endpoint();
+  const EndpointId client = net.tor.create_endpoint();
+  const OnionAddress addr = net.tor.publish_service(
+      host, service_key,
+      [](BytesView, const OnionAddress&) -> Bytes { return {}; });
+  // All-zero payload: if any relay saw plaintext, entropy would crater.
+  net.tor.connect_and_send(client, addr, Bytes(2000, 0),
+                           [](const ConnectResult&) {});
+  net.sim.run();
+  EXPECT_GT(net.tor.mean_relayed_cell_entropy(), 7.5);
+}
+
+TEST(TorNetworkTest, UnknownAddressFailsDescriptorNotFound) {
+  NetFixture net;
+  const EndpointId client = net.tor.create_endpoint();
+  const OnionAddress ghost =
+      OnionAddress::from_public_key(test_key(23).pub);
+  ConnectResult outcome;
+  net.tor.connect_and_send(client, ghost, to_bytes("x"),
+                           [&](const ConnectResult& r) { outcome = r; });
+  net.sim.run();
+  EXPECT_FALSE(outcome.ok);
+  ASSERT_TRUE(outcome.error.has_value());
+  EXPECT_EQ(*outcome.error, ConnectError::DescriptorNotFound);
+}
+
+TEST(TorNetworkTest, UnpublishedServiceUnreachableViaStaleDescriptor) {
+  NetFixture net;
+  const auto service_key = test_key(24);
+  const EndpointId host = net.tor.create_endpoint();
+  const EndpointId client = net.tor.create_endpoint();
+  const OnionAddress addr = net.tor.publish_service(
+      host, service_key,
+      [](BytesView, const OnionAddress&) -> Bytes { return {}; });
+  EXPECT_TRUE(net.tor.unpublish_service(host, addr));
+  EXPECT_FALSE(net.tor.service_online(addr));
+
+  // Descriptors still sit on the HSDirs, so the client gets one — and
+  // then the rendezvous times out (the takedown window real Tor has).
+  ConnectResult outcome;
+  net.tor.connect_and_send(client, addr, to_bytes("x"),
+                           [&](const ConnectResult& r) { outcome = r; });
+  net.sim.run();
+  EXPECT_FALSE(outcome.ok);
+  ASSERT_TRUE(outcome.error.has_value());
+  EXPECT_EQ(*outcome.error, ConnectError::ServiceUnreachable);
+}
+
+TEST(TorNetworkTest, UnpublishRequiresOwner) {
+  NetFixture net;
+  const auto service_key = test_key(25);
+  const EndpointId host = net.tor.create_endpoint();
+  const EndpointId other = net.tor.create_endpoint();
+  const OnionAddress addr = net.tor.publish_service(
+      host, service_key,
+      [](BytesView, const OnionAddress&) -> Bytes { return {}; });
+  EXPECT_FALSE(net.tor.unpublish_service(other, addr));
+  EXPECT_TRUE(net.tor.service_online(addr));
+}
+
+TEST(TorNetworkTest, InjectedRelayGetsHsdirFlagAfter25Hours) {
+  NetFixture net;
+  Fingerprint fp{};
+  fp[0] = 0xaa;
+  const RelayId injected = net.tor.inject_relay(fp);
+  EXPECT_FALSE(net.tor.relay(injected).has_hsdir_flag(net.sim.now()));
+
+  // After the next consensus the relay is listed, but without the HSDir
+  // flag until 25 h pass.
+  net.sim.run_until(2 * kHour);
+  bool listed = false, hsdir = false;
+  for (const auto& e : net.tor.consensus().entries()) {
+    if (e.relay == injected) {
+      listed = true;
+      hsdir = e.hsdir;
+    }
+  }
+  EXPECT_TRUE(listed);
+  EXPECT_FALSE(hsdir);
+
+  net.sim.run_until(26 * kHour);
+  for (const auto& e : net.tor.consensus().entries())
+    if (e.relay == injected) hsdir = e.hsdir;
+  EXPECT_TRUE(hsdir);
+}
+
+TEST(TorNetworkTest, DescriptorsRepublishedHourly) {
+  NetFixture net;
+  const auto service_key = test_key(26);
+  const EndpointId host = net.tor.create_endpoint();
+  net.tor.publish_service(
+      host, service_key,
+      [](BytesView, const OnionAddress&) -> Bytes { return {}; });
+  const auto before = net.tor.stats().descriptors_published;
+  net.sim.run_until(3 * kHour + kMinute);
+  EXPECT_GT(net.tor.stats().descriptors_published, before);
+}
+
+TEST(TakeoverTest, FingerprintsAfterAreAdjacentAndOrdered) {
+  DescriptorId id{};
+  id[19] = 0xfe;
+  const auto fps = mitigation::fingerprints_after(id, 3);
+  ASSERT_EQ(fps.size(), 3u);
+  Fingerprint base;
+  std::copy(id.begin(), id.end(), base.begin());
+  EXPECT_TRUE(fingerprint_less(base, fps[0]));
+  EXPECT_TRUE(fingerprint_less(fps[0], fps[1]));
+  EXPECT_TRUE(fingerprint_less(fps[1], fps[2]));
+}
+
+TEST(TakeoverTest, CarryPropagatesThroughBytes) {
+  DescriptorId id{};
+  for (auto& b : id) b = 0xff;  // all ones: increment wraps to zero
+  const auto fps = mitigation::fingerprints_after(id, 1);
+  Fingerprint zero{};
+  EXPECT_EQ(fps[0], zero);
+}
+
+}  // namespace
+}  // namespace onion::tor
