@@ -186,9 +186,12 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepParams{150, 15, false},
                       SweepParams{400, 10, true}),
     [](const auto& info) {
-      return "n" + std::to_string(info.param.n) + "_k" +
-             std::to_string(info.param.k) +
-             (info.param.prune ? "_prune" : "_noprune");
+      std::string name = "n";
+      name += std::to_string(info.param.n);
+      name += "_k";
+      name += std::to_string(info.param.k);
+      name += info.param.prune ? "_prune" : "_noprune";
+      return name;
     });
 
 TEST(Ddsr, HeavyDeletionsKeepLargestComponentDominant) {

@@ -35,7 +35,10 @@ struct DdsrCase {
 
 std::string case_name(const ::testing::TestParamInfo<DdsrCase>& info) {
   const DdsrCase& c = info.param;
-  std::string out = "n" + std::to_string(c.n) + "k" + std::to_string(c.k);
+  std::string out = "n";
+  out += std::to_string(c.n);
+  out += "k";
+  out += std::to_string(c.k);
   out += c.prune ? "_prune" : "_noprune";
   out += c.victim == DdsrPolicy::Victim::HighestDegree ? "_hideg" : "_rand";
   out +=
