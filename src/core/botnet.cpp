@@ -464,24 +464,31 @@ void Bot::rally(std::vector<tor::OnionAddress> bootstrap) {
       bootstrap.begin(), bootstrap.end());
   auto tried = std::make_shared<std::set<tor::OnionAddress>>();
   auto step = std::make_shared<std::function<void()>>();
-  *step = [this, leads, tried, step] {
+  // The handler must reach itself to continue the walk, but capturing the
+  // shared_ptr would make the closure own itself — a reference cycle that
+  // leaks the whole walk state. Capture weakly here; the pending send()
+  // callback below holds the strong reference that keeps the walk alive.
+  std::weak_ptr<std::function<void()>> weak_step = step;
+  *step = [this, leads, tried, weak_step] {
     if (!alive_) return;
     if (degree() >= config_.dmin || leads->empty()) {
       if (degree() > 0) stage_ = Stage::Waiting;
       return;
     }
+    const auto self = weak_step.lock();
+    if (!self) return;
     const tor::OnionAddress lead = leads->front();
     leads->pop_front();
     if (lead == address_ || peers_.count(lead) > 0 ||
         !tried->insert(lead).second) {
-      (*step)();
+      (*self)();
       return;
     }
     PeerRequestMsg req;
     req.from = address_;
     req.declared_degree = static_cast<std::uint16_t>(degree());
     send(lead, encode_peer_request(req),
-         [this, lead, leads, step](const tor::ConnectResult& r) {
+         [this, lead, leads, self](const tor::ConnectResult& r) {
            if (!alive_) return;
            if (r.ok) {
              try {
@@ -498,7 +505,7 @@ void Bot::rally(std::vector<tor::OnionAddress> bootstrap) {
              } catch (const WireError&) {
              }
            }
-           (*step)();
+           (*self)();
          });
   };
   (*step)();
