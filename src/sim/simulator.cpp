@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include "common/check.hpp"
+#include "common/logging.hpp"
 
 namespace onion::sim {
 
@@ -33,6 +34,12 @@ std::size_t Simulator::run(std::size_t max_events) {
   std::size_t executed = 0;
   while (executed < max_events && live_pending_ > 0 && step()) ++executed;
   ONION_ENSURES(live_pending_ == 0 || executed == max_events);
+  if (live_pending_ > 0) {
+    // A capped run is an event storm, not convergence — say so.
+    ONION_LOG(Warn) << "Simulator::run stopped at max_events=" << max_events
+                    << " with " << live_pending_
+                    << " live events still pending (t=" << now_ << ")";
+  }
   return executed;
 }
 
@@ -43,7 +50,16 @@ std::size_t Simulator::run_until(SimTime deadline, std::size_t max_events) {
     step();
     ++executed;
   }
-  if (now_ < deadline) now_ = deadline;
+  const bool capped = !queue_.empty() && queue_.top().time <= deadline;
+  if (capped) {
+    // Do NOT fast-forward: events remain queued before the deadline, and
+    // jumping past them would make now() move backwards on the next step().
+    ONION_LOG(Warn) << "Simulator::run_until stopped at max_events="
+                    << max_events << " before reaching deadline=" << deadline
+                    << " (t=" << now_ << ", pending=" << queue_.size() << ")";
+  } else if (now_ < deadline) {
+    now_ = deadline;
+  }
   return executed;
 }
 

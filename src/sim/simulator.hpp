@@ -51,7 +51,9 @@ class Simulator {
   std::size_t run(std::size_t max_events = 100'000'000);
 
   /// Runs all events with time <= deadline, then advances the clock to
-  /// exactly `deadline`. Returns the number executed.
+  /// exactly `deadline`. Returns the number executed. If `max_events` caps
+  /// the run a warning is logged and the clock stays at the last executed
+  /// event (never jumping past still-queued work), keeping time monotone.
   std::size_t run_until(SimTime deadline,
                         std::size_t max_events = 100'000'000);
 

@@ -2,6 +2,8 @@
 // semantics, determinism.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "sim/simulator.hpp"
 
 namespace onion::sim {
@@ -104,6 +106,65 @@ TEST(Simulator, MaxEventsGuardStopsRunaway) {
   std::function<void()> forever = [&] { s.schedule_in(1, forever); };
   s.schedule_at(0, forever);
   EXPECT_EQ(s.run(1000), 1000u);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(Simulator, MaxEventsGuardWarnsInsteadOfMasqueradingAsConvergence) {
+  Simulator s;
+  std::function<void()> forever = [&] { s.schedule_in(1, forever); };
+  s.schedule_at(0, forever);
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(s.run(100), 100u);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("max_events"), std::string::npos) << err;
+  EXPECT_NE(err.find("WARN"), std::string::npos) << err;
+}
+
+TEST(Simulator, QuietRunDoesNotWarn) {
+  Simulator s;
+  s.schedule_at(10, [] {});
+  testing::internal::CaptureStderr();
+  s.run();
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(Simulator, RunUntilWarnsWhenCappedBeforeDeadline) {
+  Simulator s;
+  for (int i = 0; i < 10; ++i) s.schedule_at(static_cast<SimTime>(i), [] {});
+  testing::internal::CaptureStderr();
+  EXPECT_EQ(s.run_until(100, 3), 3u);
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("max_events"), std::string::npos) << err;
+  // A capped run must NOT fast-forward past still-queued events: the clock
+  // stays at the last executed event so time never moves backwards.
+  EXPECT_EQ(s.now(), 2u);
+  s.run();
+  EXPECT_EQ(s.now(), 9u);
+  EXPECT_EQ(s.run_until(100), 0u);
+  EXPECT_EQ(s.now(), 100u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockPastDaemonOnlyQueue) {
+  Simulator s;
+  int daemon_fired = 0;
+  s.schedule_daemon_at(100, [&] { ++daemon_fired; });
+  s.schedule_daemon_at(900, [&] { ++daemon_fired; });
+  // Daemons inside the window fire; the one past the deadline stays queued,
+  // and the clock advances to exactly the deadline, not the daemon's time.
+  EXPECT_EQ(s.run_until(500), 1u);
+  EXPECT_EQ(daemon_fired, 1);
+  EXPECT_EQ(s.now(), 500u);
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_EQ(s.pending_live(), 0u);
+}
+
+TEST(Simulator, RunIgnoresDaemonOnlyQueue) {
+  Simulator s;
+  int daemon_fired = 0;
+  s.schedule_daemon_at(10, [&] { ++daemon_fired; });
+  // run() exits immediately with no live work; the daemon stays pending.
+  EXPECT_EQ(s.run(), 0u);
+  EXPECT_EQ(daemon_fired, 0);
   EXPECT_EQ(s.pending(), 1u);
 }
 
