@@ -133,6 +133,29 @@ TEST(Rng, UniformInInclusive) {
   EXPECT_TRUE(saw_hi);
 }
 
+TEST(Rng, UniformInFullRangeDrawsRawBits) {
+  // Edge case: uniform_in(0, UINT64_MAX) has span + 1 == 0, so the usual
+  // `lo + uniform(span + 1)` path would hit uniform's bound > 0 contract.
+  // The implementation must fall back to raw 64-bit draws — and those draws
+  // must still cover the whole range, not a truncated one.
+  Rng rng(7);
+  bool saw_top_half = false, saw_bottom_half = false;
+  for (int i = 0; i < 256; ++i) {
+    const std::uint64_t v = rng.uniform_in(0, UINT64_MAX);
+    saw_top_half |= v >= (1ULL << 63);
+    saw_bottom_half |= v < (1ULL << 63);
+  }
+  EXPECT_TRUE(saw_top_half);
+  EXPECT_TRUE(saw_bottom_half);
+}
+
+TEST(Rng, UniformInDegenerateRangeIsConstant) {
+  Rng rng(8);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.uniform_in(42, 42), 42u);
+  for (int i = 0; i < 16; ++i)
+    EXPECT_EQ(rng.uniform_in(UINT64_MAX, UINT64_MAX), UINT64_MAX);
+}
+
 TEST(Rng, UniformRealInUnitInterval) {
   Rng rng(6);
   for (int i = 0; i < 10000; ++i) {
