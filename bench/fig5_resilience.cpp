@@ -3,6 +3,11 @@
 // deletions, DDSR vs a normal (non-healing) graph, 10-regular, n = 5000
 // and n = 15000 (paper Section V-B).
 //
+// Ported onto the scenario campaign engine: each series is one
+// ScenarioSpec — a random-takedown phase at one victim per simulated
+// second, healing on (DDSR) or off (Normal) — and the CSV rows fall out
+// of the periodic MetricsSnapshot stream through a custom sink.
+//
 // Paper shape to match:
 //   5a/5b  DDSR stays a single component until ~90-95% deletions; the
 //          normal graph's component count explodes after ~60%
@@ -11,59 +16,68 @@
 //   5e/5f  DDSR diameter shrinks with the network; normal grows until
 //          partition (infinite; printed as -1)
 #include <cstdio>
-#include <vector>
 
-#include "core/ddsr.hpp"
-#include "graph/generators.hpp"
-#include "graph/metrics.hpp"
+#include "scenario/engine.hpp"
 
 namespace {
 
-using onion::Rng;
-using onion::core::DdsrEngine;
-using onion::core::DdsrPolicy;
-using onion::graph::Graph;
+using onion::kSecond;
+using onion::scenario::AttackKind;
+using onion::scenario::AttackPhase;
+using onion::scenario::MetricsSnapshot;
+using onion::scenario::ScenarioSpec;
 
 constexpr std::size_t kDegree = 10;
 
-void run_series(std::size_t n, bool ddsr, std::uint64_t seed) {
-  Rng rng(seed);
-  Graph g = onion::graph::random_regular(n, kDegree, rng);
-  DdsrPolicy policy;
-  policy.dmin = kDegree;
-  policy.dmax = kDegree;
-  DdsrEngine engine(g, policy, rng);
+// Prints the Figure 5 series row per snapshot. A partitioned Normal
+// graph has infinite diameter; printed as -1 to match the paper's plot.
+class Fig5Sink final : public onion::scenario::SnapshotSink {
+ public:
+  explicit Fig5Sink(bool ddsr) : ddsr_(ddsr) {}
 
-  const std::size_t checkpoint = n / 25;
+  void on_snapshot(const MetricsSnapshot& s) override {
+    const long diameter =
+        (s.components > 1 && !ddsr_)
+            ? -1
+            : static_cast<long>(s.diameter);
+    const double degree_centrality =
+        s.honest_alive > 1
+            ? s.average_degree / static_cast<double>(s.honest_alive - 1)
+            : 0.0;
+    std::printf("%llu,%llu,%.6f,%ld\n",
+                static_cast<unsigned long long>(s.takedowns),
+                static_cast<unsigned long long>(s.components),
+                degree_centrality, diameter);
+  }
+
+ private:
+  bool ddsr_;
+};
+
+void run_series(std::size_t n, bool ddsr, std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.initial_size = n;
+  spec.degree = kDegree;
+  // One victim per simulated second until ~96% of the overlay is gone;
+  // a snapshot every n/25 seconds mirrors the old checkpoint spacing.
+  spec.horizon = (n - n / 25) * kSecond;
+  AttackPhase takedown;
+  takedown.kind = AttackKind::RandomTakedown;
+  takedown.start = 0;
+  takedown.stop = spec.horizon;
+  takedown.takedowns_per_hour = 3600.0;
+  takedown.heal = ddsr;
+  spec.attacks.push_back(takedown);
+  spec.metrics.period = (n / 25) * kSecond;
+  spec.metrics.degree_histogram = false;
+  spec.metrics.diameter_sweeps = 4;
+
   std::printf("# series n=%zu mode=%s\n", n, ddsr ? "DDSR" : "Normal");
   std::printf("deleted,components,degree_centrality,diameter\n");
-  Rng metric_rng(seed ^ 0x7777);
-  std::size_t deleted = 0;
-  for (;;) {
-    const auto comps = onion::graph::connected_components(g);
-    const double degree_c = onion::graph::average_degree_centrality(g);
-    const long diameter =
-        comps.count <= 1
-            ? static_cast<long>(
-                  onion::graph::diameter_double_sweep(g, 4, metric_rng))
-            : (ddsr ? static_cast<long>(onion::graph::diameter_double_sweep(
-                          g, 4, metric_rng))
-                    : -1);  // partitioned normal graph: infinite
-    std::printf("%zu,%zu,%.6f,%ld\n", deleted, comps.count, degree_c,
-                diameter);
-    if (g.num_alive() <= checkpoint) break;
-    for (std::size_t i = 0; i < checkpoint && g.num_alive() > 1; ++i) {
-      const auto alive = g.alive_nodes();
-      const auto victim =
-          alive[static_cast<std::size_t>(rng.uniform(alive.size()))];
-      if (ddsr) {
-        engine.remove_node(victim);
-      } else {
-        engine.remove_node_no_repair(victim);
-      }
-      ++deleted;
-    }
-  }
+  Fig5Sink sink(ddsr);
+  onion::scenario::CampaignEngine engine(spec, sink);
+  engine.run();
   std::printf("\n");
 }
 

@@ -3,6 +3,12 @@
 // repair (a simultaneous takedown leaves no time to heal) and record the
 // first deletion count at which the graph partitions. The paper reports
 // the threshold at roughly 40% of the nodes (fit line f(x) = 0.4x).
+//
+// Ported onto the batch-deletion metrics path: first_partition_index
+// replays the whole deletion order as reverse union-find insertions,
+// O((n+m)·α(n)) per trial instead of the old strand-detection plus
+// periodic-BFS scan — the same incremental-components machinery the
+// scenario campaign engine uses for its snapshots.
 #include <cstdio>
 #include <vector>
 
@@ -17,50 +23,6 @@ using onion::graph::NodeId;
 
 constexpr std::size_t kDegree = 10;
 constexpr int kTrials = 5;
-constexpr std::size_t kCheckEvery = 250;
-
-// First deletion count (1-based) at which removing order[0..count-1]
-// disconnects the survivors. Fast path: a surviving vertex losing its
-// last neighbor is the dominant first partition event and is detected
-// exactly; a periodic full connectivity check plus exact replay from a
-// pristine copy covers multi-node splits.
-std::size_t partition_point(const Graph& pristine,
-                            const std::vector<NodeId>& order) {
-  Graph g = pristine;
-  std::size_t last_verified = 0;
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    const NodeId victim = order[i];
-    bool strands = false;
-    for (const NodeId nb : g.neighbors(victim)) {
-      if (g.degree(nb) == 1 && g.num_alive() > 2) {
-        strands = true;
-        break;
-      }
-    }
-    g.remove_node(victim);
-    const std::size_t removed = i + 1;
-    if (strands && g.num_alive() >= 2) return removed;
-
-    if (removed - last_verified >= kCheckEvery && g.num_alive() >= 2) {
-      if (onion::graph::is_connected(g)) {
-        last_verified = removed;
-      } else {
-        // Exact replay between the last verified point and here.
-        Graph replay = pristine;
-        for (std::size_t j = 0; j < last_verified; ++j)
-          replay.remove_node(order[j]);
-        for (std::size_t j = last_verified; j < removed; ++j) {
-          replay.remove_node(order[j]);
-          if (replay.num_alive() >= 2 &&
-              !onion::graph::is_connected(replay))
-            return j + 1;
-        }
-        return removed;
-      }
-    }
-  }
-  return order.size();
-}
 
 }  // namespace
 
@@ -80,7 +42,8 @@ int main() {
       const Graph pristine = onion::graph::random_regular(n, kDegree, rng);
       std::vector<NodeId> order = pristine.alive_nodes();
       rng.shuffle(order);
-      const std::size_t point = partition_point(pristine, order);
+      const std::size_t point =
+          onion::graph::first_partition_index(pristine, order);
       total += point;
       lo = std::min(lo, point);
       hi = std::max(hi, point);

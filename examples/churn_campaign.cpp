@@ -1,0 +1,102 @@
+// Churn campaign walkthrough: one declarative ScenarioSpec runs a
+// 10,000-bot OnionBot overlay through an hour of simulated life —
+// background churn the whole time, a targeted-takedown wave, then a
+// SOAP containment campaign — with periodic snapshot telemetry and a
+// SHA-256 fingerprint of the whole run proving the replay contract.
+//
+//   t in [0, 60) min   Poisson churn: ~600 joins/h and ~600 leaves/h (5%
+//                     of the overlay turning over), DDSR healing on.
+//   t in [10, 30) min  A takedown crew removes the highest-degree bot
+//                     about every 12 seconds (~300/h).
+//   t in [30, 50) min  A defender soaps the overlay from one captured
+//                     bot (Section VI-B clone injection).
+//
+// Everything below derives from the spec + seed; run it twice and the
+// stream hash is byte-identical.
+#include <cstdio>
+
+#include "scenario/engine.hpp"
+
+int main() {
+  using namespace onion;
+  using namespace onion::scenario;
+
+  std::printf(
+      "=== Scenario campaign engine: 10k-bot churn campaign ===\n\n");
+
+  ScenarioSpec spec;
+  spec.seed = 0xcafe;
+  spec.initial_size = 10'000;
+  spec.degree = 10;
+  spec.horizon = kHour;
+  spec.churn.joins_per_hour = 600.0;
+  spec.churn.leaves_per_hour = 600.0;
+
+  AttackPhase takedown;
+  takedown.kind = AttackKind::TargetedTakedown;
+  takedown.start = 10 * kMinute;
+  takedown.stop = 30 * kMinute;
+  takedown.takedowns_per_hour = 300.0;
+  spec.attacks.push_back(takedown);
+
+  AttackPhase soap;
+  soap.kind = AttackKind::SoapInjection;
+  soap.start = 30 * kMinute;
+  soap.stop = 50 * kMinute;
+  soap.soap_tick = kMinute;
+  soap.soap_rounds_per_tick = 1;
+  spec.attacks.push_back(soap);
+
+  spec.metrics.period = 5 * kMinute;
+  spec.metrics.degree_histogram = true;
+
+  std::printf(
+      "Spec: n=%zu, k=%zu, horizon=%llu min; churn %g joins/h + %g\n"
+      "leaves/h; targeted takedown [10,30) min at %g/h; SOAP [30,50) min.\n\n",
+      spec.initial_size, spec.degree,
+      static_cast<unsigned long long>(spec.horizon / kMinute),
+      spec.churn.joins_per_hour, spec.churn.leaves_per_hour,
+      takedown.takedowns_per_hour);
+
+  // Snapshots fan out to a CSV table and a running SHA-256 fingerprint.
+  CsvSink csv(stdout);
+  HashSink hash;
+  FanoutSink fanout({&csv, &hash});
+
+  CampaignEngine engine(spec, fanout);
+  const MetricsSnapshot end = engine.run();
+
+  const auto& counters = engine.counters();
+  const auto& stats = engine.ddsr_stats();
+  std::printf(
+      "\nAfter %llu simulated minutes:\n"
+      "  joins=%llu leaves=%llu takedowns=%llu\n"
+      "  honest bots alive: %llu (+%llu clones), components=%llu,\n"
+      "  largest-component fraction %.4f\n"
+      "  self-healing traffic: %llu repair + %llu prune + %llu refill\n"
+      "  edge ops = %llu maintenance messages\n"
+      "  SOAP: %llu clones injected, %llu bots contained\n",
+      static_cast<unsigned long long>(end.time / kMinute),
+      static_cast<unsigned long long>(counters.joins),
+      static_cast<unsigned long long>(counters.leaves),
+      static_cast<unsigned long long>(counters.takedowns),
+      static_cast<unsigned long long>(end.honest_alive),
+      static_cast<unsigned long long>(end.sybil_alive),
+      static_cast<unsigned long long>(end.components),
+      end.largest_fraction,
+      static_cast<unsigned long long>(stats.repair_edges_added),
+      static_cast<unsigned long long>(stats.prune_edges_removed),
+      static_cast<unsigned long long>(stats.refill_edges_added),
+      static_cast<unsigned long long>(stats.maintenance_messages()),
+      static_cast<unsigned long long>(end.soap_clones),
+      static_cast<unsigned long long>(end.soap_contained));
+
+  std::printf(
+      "\nStream fingerprint (SHA-256 over %zu serialized snapshots):\n"
+      "  %s\n"
+      "Re-running this binary reproduces the fingerprint bit-for-bit;\n"
+      "changing the seed changes it (tests/scenario_test.cpp enforces\n"
+      "both).\n",
+      hash.count(), hash.hex_digest().c_str());
+  return 0;
+}

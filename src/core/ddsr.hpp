@@ -58,6 +58,14 @@ struct DdsrStats {
   std::uint64_t repair_edges_added = 0;
   std::uint64_t prune_edges_removed = 0;
   std::uint64_t refill_edges_added = 0;
+
+  /// Peer messages implied by the counters: each repair, prune, or
+  /// refill edge operation is one request/acknowledge exchange in the
+  /// bot-level protocol (core/botnet.hpp). Campaign snapshots report
+  /// this as the overlay's self-healing traffic cost.
+  std::uint64_t maintenance_messages() const {
+    return repair_edges_added + prune_edges_removed + refill_edges_added;
+  }
 };
 
 /// Applies DDSR maintenance to a Graph as nodes are removed. The engine

@@ -48,9 +48,11 @@ double OverlayNetwork::pow_cost_for(NodeId target) {
 }
 
 PeerDecision OverlayNetwork::request_peering(NodeId requester,
-                                             NodeId target) {
+                                             NodeId target,
+                                             NodeId* evicted) {
   ONION_EXPECTS(graph_.alive(requester) && graph_.alive(target));
   ONION_EXPECTS(requester != target);
+  if (evicted != nullptr) *evicted = graph::kInvalidNode;
 
   // The proof-of-work puzzle is solved before the target even considers
   // the request; it is sunk cost for the requester.
@@ -90,6 +92,7 @@ PeerDecision OverlayNetwork::request_peering(NodeId requester,
   graph_.remove_edge(target, victim);
   graph_.add_edge(requester, target);
   ++accepted_this_round_[target];
+  if (evicted != nullptr) *evicted = victim;
   return PeerDecision::AcceptedEvicted;
 }
 

@@ -68,7 +68,15 @@ class OverlayNetwork {
   /// the requester's declared degree undercuts the highest-declared
   /// current peer, which gets evicted. Proof-of-work cost (if enabled) is
   /// charged to the requester's ledger whether or not it is accepted.
-  PeerDecision request_peering(NodeId requester, NodeId target);
+  PeerDecision request_peering(NodeId requester, NodeId target) {
+    return request_peering(requester, target, nullptr);
+  }
+
+  /// As above, but reports who got evicted (kInvalidNode when nobody
+  /// was). The scenario engine uses this to queue the victim's refill —
+  /// an eviction otherwise leaves a silent hole below dmin.
+  PeerDecision request_peering(NodeId requester, NodeId target,
+                               NodeId* evicted);
 
   /// Drops the edge; both sides forget each other (paper "Forgetting").
   void drop_edge(NodeId a, NodeId b) { graph_.remove_edge(a, b); }
@@ -83,6 +91,15 @@ class OverlayNetwork {
 
   /// --- introspection ------------------------------------------------
   const graph::Graph& graph() const { return graph_; }
+  const OverlayConfig& config() const { return config_; }
+
+  /// Scenario-engine hook: mutable access to the topology so DDSR
+  /// maintenance (core/ddsr.hpp) can run churn repair directly on the
+  /// overlay's graph. Slot-parallel metadata (honesty, declared degree,
+  /// rate-limit ledgers) is keyed by stable NodeId, so edge and node
+  /// removals through this reference keep the overlay consistent; new
+  /// nodes must still come through add_node().
+  graph::Graph& graph_mut() { return graph_; }
   bool honest(NodeId u) const { return honest_.at(u) != 0; }
   std::size_t declared_degree(NodeId u) const;
   const std::vector<NodeId>& neighbors(NodeId u) const {

@@ -1,8 +1,11 @@
 // Graph metrics used in the paper's evaluation (Section V-B):
-// closeness centrality, degree centrality, diameter, connected
-// components. Exact variants serve tests and small graphs; sampled
-// variants make the 5000–15000-node sweeps of Figures 4–6 tractable and
-// are validated against the exact versions in the test suite.
+// closeness centrality, degree centrality, betweenness, diameter,
+// connected components. Exact variants serve tests and small graphs;
+// sampled variants make the 5000–50000-node sweeps of Figures 4–6 and
+// the scenario campaign engine tractable and are validated against the
+// exact versions in the test suite. Hot-path entry points take a
+// reusable scratch workspace so per-snapshot queries at campaign scale
+// do not allocate.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +21,19 @@ namespace onion::graph {
 constexpr std::uint32_t kUnreachable = ~std::uint32_t{0};
 std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
 
+/// Reusable BFS workspace: the distance array and a flat FIFO queue.
+/// One scratch amortizes every allocation across the thousands of BFS
+/// runs a campaign snapshot sweep performs.
+struct BfsScratch {
+  std::vector<std::uint32_t> dist;
+  std::vector<NodeId> queue;
+};
+
+/// BFS distances written into `scratch.dist` (same contract as
+/// bfs_distances); no allocation once the scratch has grown to the
+/// graph's capacity.
+void bfs_distances_into(const Graph& g, NodeId source, BfsScratch& scratch);
+
 /// Connected-component labelling of alive nodes.
 struct Components {
   /// Component index per slot (undefined for dead slots).
@@ -31,9 +47,26 @@ struct Components {
 };
 Components connected_components(const Graph& g);
 
+/// Connected components via union-find over the alive edges: same output
+/// as connected_components (labels are assigned in ascending order of
+/// each component's smallest slot), but O((n+m)·α(n)) with no BFS queue —
+/// the fast path for per-snapshot connectivity at 10k–50k nodes.
+Components components_union_find(const Graph& g);
+
 /// True iff all alive nodes are mutually reachable (vacuously true for
 /// 0 or 1 alive nodes).
 bool is_connected(const Graph& g);
+
+/// First deletion count c (1-based) at which removing order[0..c-1] from
+/// `pristine` leaves two or more alive nodes that are mutually
+/// disconnected; order.size() when no prefix partitions the survivors.
+/// Processes the batch of deletions in reverse as union-find insertions,
+/// so the whole sweep costs O((n+m)·α(n)) instead of one BFS per
+/// deletion — this is what makes the Figure 6 partition-threshold sweep
+/// and simultaneous-takedown campaigns cheap. Precondition: `order`
+/// holds distinct alive nodes of `pristine`.
+std::size_t first_partition_index(const Graph& pristine,
+                                  const std::vector<NodeId>& order);
 
 /// Closeness centrality of `u` in the paper's normalization,
 ///   C(u) = (n-1) / sum_v d(u,v),
@@ -50,6 +83,20 @@ double average_closeness_exact(const Graph& g);
 /// Falls back to the exact mean when samples >= alive count.
 double average_closeness_sampled(const Graph& g, std::size_t samples,
                                  Rng& rng);
+
+/// Betweenness centrality per slot (Brandes' algorithm on unweighted
+/// shortest paths), each unordered pair counted once; dead slots get 0.
+/// O(n·(n+m)) — the exact fallback for small graphs and tests.
+std::vector<double> betweenness_exact(const Graph& g);
+
+/// Pivot-sampled betweenness: Brandes accumulation from `pivots`
+/// uniformly chosen alive sources, contributions scaled by n/pivots
+/// (unbiased). The top-decile ranking agrees with the exact computation
+/// within tolerance (validated in the test suite), which is all the
+/// centrality-takedown policies need. Falls back to the exact
+/// computation when pivots >= alive count. Precondition: pivots > 0.
+std::vector<double> betweenness_sampled(const Graph& g, std::size_t pivots,
+                                        Rng& rng);
 
 /// Degree centrality of u: deg(u)/(n-1), n = alive nodes.
 double degree_centrality(const Graph& g, NodeId u);

@@ -1,0 +1,310 @@
+#include "scenario/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/metrics.hpp"
+#include "graph/union_find.hpp"
+
+namespace onion::scenario {
+
+namespace {
+core::OverlayConfig overlay_config(const ScenarioSpec& spec) {
+  core::OverlayConfig config;
+  config.dmin = spec.degree;
+  config.dmax = spec.degree;
+  config.rate_limit_per_round = spec.defense.rate_limit_per_round;
+  config.pow_base_cost = spec.defense.pow_base_cost;
+  config.pow_growth = spec.defense.pow_growth;
+  return config;
+}
+
+core::DdsrPolicy ddsr_policy(const ScenarioSpec& spec) {
+  core::DdsrPolicy policy;
+  policy.dmin = spec.degree;
+  policy.dmax = spec.degree;
+  return policy;
+}
+}  // namespace
+
+CampaignEngine::CampaignEngine(const ScenarioSpec& spec, SnapshotSink& sink)
+    : spec_(spec),
+      sink_(sink),
+      rng_(spec.seed),
+      metrics_rng_(rng_.split()),
+      net_(core::OverlayNetwork::random_regular(
+          spec.initial_size, spec.degree, overlay_config(spec), rng_)),
+      ddsr_(net_.graph_mut(), ddsr_policy(spec), rng_),
+      soap_(spec.attacks.size()) {
+  ONION_EXPECTS(spec_.metrics.period > 0);
+}
+
+MetricsSnapshot CampaignEngine::run() {
+  ONION_EXPECTS(!ran_);
+  ran_ = true;
+  take_snapshot();  // the t = 0 baseline
+  const SimTime horizon = spec_.horizon;
+  if (horizon == 0) return last_;
+
+  if (spec_.churn.joins_per_hour > 0.0)
+    arm_join(exp_gap(spec_.churn.joins_per_hour));
+  if (spec_.churn.leaves_per_hour > 0.0)
+    arm_leave(exp_gap(spec_.churn.leaves_per_hour));
+  for (std::size_t i = 0; i < spec_.attacks.size(); ++i) {
+    const AttackPhase& phase = spec_.attacks[i];
+    if (phase.stop <= phase.start || phase.start >= horizon) continue;
+    if (phase.kind == AttackKind::SoapInjection) {
+      arm_soap(i, phase.start);
+    } else if (phase.takedowns_per_hour > 0.0) {
+      arm_takedown(i, phase.start + exp_gap(phase.takedowns_per_hour));
+    }
+  }
+  if (spec_.defense.rate_limit_per_round !=
+      std::numeric_limits<std::size_t>::max())
+    arm_round(spec_.defense.round);
+  arm_snapshot(std::min<SimTime>(spec_.metrics.period, horizon));
+
+  sim_.run_until(horizon);
+  return last_;
+}
+
+// --- churn -----------------------------------------------------------
+
+void CampaignEngine::arm_join(SimTime t) {
+  if (t >= spec_.horizon) return;
+  sim_.schedule_at(t, [this] {
+    do_join();
+    arm_join(sim_.now() + exp_gap(spec_.churn.joins_per_hour));
+  });
+}
+
+void CampaignEngine::arm_leave(SimTime t) {
+  if (t >= spec_.horizon) return;
+  sim_.schedule_at(t, [this] {
+    do_leave();
+    arm_leave(sim_.now() + exp_gap(spec_.churn.leaves_per_hour));
+  });
+}
+
+void CampaignEngine::do_join() {
+  ++counters_.joins;
+  const NodeId id = net_.add_node(/*honest=*/true);
+  std::vector<NodeId> candidates = net_.honest_nodes();
+  std::erase(candidates, id);
+  if (candidates.empty()) return;
+  // Bootstrap peering: ask `degree` random bots. A full target accepts
+  // only by evicting (the degree-0 newcomer always undercuts); the
+  // evicted bot refills from its NoN so the join cannot leave holes.
+  const std::size_t want = std::min(spec_.degree, candidates.size());
+  for (const NodeId target : rng_.sample(candidates, want)) {
+    NodeId evicted = graph::kInvalidNode;
+    net_.request_peering(id, target, &evicted);
+    if (evicted != graph::kInvalidNode) net_.refill(evicted);
+  }
+  net_.refill(id);  // top up if some requests were rejected/limited
+}
+
+void CampaignEngine::do_leave() {
+  const std::vector<NodeId> honest = net_.honest_nodes();
+  if (honest.size() <= 1) return;
+  const NodeId victim = rng_.pick(honest);
+  ++counters_.leaves;
+  if (spec_.churn.heal_on_leave) {
+    ddsr_.remove_node(victim);
+  } else {
+    ddsr_.remove_node_no_repair(victim);
+  }
+}
+
+// --- attacks ---------------------------------------------------------
+
+void CampaignEngine::arm_takedown(std::size_t phase_index, SimTime t) {
+  const AttackPhase& phase = spec_.attacks[phase_index];
+  if (t >= phase.stop || t >= spec_.horizon) return;
+  sim_.schedule_at(t, [this, phase_index] {
+    const AttackPhase& ph = spec_.attacks[phase_index];
+    do_takedown(ph);
+    arm_takedown(phase_index,
+                 sim_.now() + exp_gap(ph.takedowns_per_hour));
+  });
+}
+
+void CampaignEngine::do_takedown(const AttackPhase& phase) {
+  const std::vector<NodeId> honest = net_.honest_nodes();
+  if (honest.size() <= 1) return;
+  const NodeId victim = pick_victim(phase, honest);
+  ++counters_.takedowns;
+  if (phase.heal) {
+    ddsr_.remove_node(victim);
+  } else {
+    ddsr_.remove_node_no_repair(victim);
+  }
+}
+
+CampaignEngine::NodeId CampaignEngine::pick_victim(
+    const AttackPhase& phase, const std::vector<NodeId>& honest) {
+  switch (phase.kind) {
+    case AttackKind::RandomTakedown:
+      return rng_.pick(honest);
+    case AttackKind::TargetedTakedown: {
+      const graph::Graph& g = net_.graph();
+      NodeId best = honest.front();
+      std::size_t best_degree = g.degree(best);
+      for (const NodeId u : honest) {
+        if (g.degree(u) > best_degree) {
+          best_degree = g.degree(u);
+          best = u;
+        }
+      }
+      return best;
+    }
+    case AttackKind::CentralityTakedown: {
+      const std::vector<double> bc = graph::betweenness_sampled(
+          net_.graph(), phase.betweenness_pivots, rng_);
+      NodeId best = honest.front();
+      double best_score = bc[best];
+      for (const NodeId u : honest) {
+        if (bc[u] > best_score) {
+          best_score = bc[u];
+          best = u;
+        }
+      }
+      return best;
+    }
+    case AttackKind::SoapInjection:
+      break;  // SOAP phases never pick takedown victims
+  }
+  ONION_ENSURES(false);  // unreachable attack kind
+  return graph::kInvalidNode;
+}
+
+void CampaignEngine::arm_soap(std::size_t phase_index, SimTime t) {
+  const AttackPhase& phase = spec_.attacks[phase_index];
+  if (t >= phase.stop || t >= spec_.horizon) return;
+  sim_.schedule_at(t, [this, phase_index, t] {
+    const AttackPhase& ph = spec_.attacks[phase_index];
+    SoapPhaseState& state = soap_[phase_index];
+    if (!state.campaign) {
+      const std::vector<NodeId> honest = net_.honest_nodes();
+      if (honest.empty()) return;
+      state.campaign = std::make_unique<mitigation::SoapCampaign>(
+          net_, mitigation::SoapConfig{}, rng_);
+      state.campaign->capture(rng_.pick(honest));
+    }
+    bool progressing = true;
+    for (std::size_t r = 0;
+         r < ph.soap_rounds_per_tick && progressing; ++r)
+      progressing = state.campaign->step();
+    if (progressing) arm_soap(phase_index, t + ph.soap_tick);
+  });
+}
+
+// --- defense rounds --------------------------------------------------
+
+void CampaignEngine::arm_round(SimTime t) {
+  if (t >= spec_.horizon) return;
+  sim_.schedule_at(t, [this, t] {
+    net_.begin_round();
+    // Rate-limited bots give up until the next round (the overlay
+    // refill contract), so each fresh round retries every bot still
+    // below dmin — without this, a newcomer whose whole bootstrap round
+    // was throttled would stay isolated forever.
+    for (const NodeId v : net_.honest_nodes())
+      if (net_.graph().degree(v) < net_.config().dmin) net_.refill(v);
+    arm_round(t + spec_.defense.round);
+  });
+}
+
+// --- metrics ---------------------------------------------------------
+
+void CampaignEngine::arm_snapshot(SimTime t) {
+  sim_.schedule_at(t, [this, t] {
+    take_snapshot();
+    if (t >= spec_.horizon) return;
+    arm_snapshot(
+        std::min<SimTime>(t + spec_.metrics.period, spec_.horizon));
+  });
+}
+
+void CampaignEngine::take_snapshot() {
+  last_ = compute_snapshot();
+  sink_.on_snapshot(last_);
+}
+
+MetricsSnapshot CampaignEngine::compute_snapshot() {
+  MetricsSnapshot s;
+  s.time = sim_.now();
+  const graph::Graph& g = net_.graph();
+  const std::size_t cap = g.capacity();
+
+  // One pass over the slot table: alive counts, honest degree histogram,
+  // and union-find over honest-honest edges — O((n+m)·α(n)) total, the
+  // price that keeps 10k–50k-node campaigns snapshot-bound no longer.
+  graph::UnionFind uf(cap);
+  std::uint64_t degree_sum = 0;
+  for (NodeId u = 0; u < cap; ++u) {
+    if (!g.alive(u)) continue;
+    if (!net_.honest(u)) {
+      ++s.sybil_alive;
+      continue;
+    }
+    ++s.honest_alive;
+    const std::size_t d = g.degree(u);
+    degree_sum += d;
+    if (spec_.metrics.degree_histogram) {
+      if (s.degree_histogram.size() <= d)
+        s.degree_histogram.resize(d + 1, 0);
+      ++s.degree_histogram[d];
+    }
+    for (const NodeId v : g.neighbors(u))
+      if (v > u && net_.honest(v)) {
+        ++s.honest_edges;
+        uf.unite(u, v);
+      }
+  }
+
+  if (s.honest_alive > 0) {
+    std::vector<std::uint32_t> comp_size(cap, 0);
+    for (NodeId u = 0; u < cap; ++u) {
+      if (!g.alive(u) || !net_.honest(u)) continue;
+      const std::uint32_t size = ++comp_size[uf.find(u)];
+      if (size == 1) ++s.components;
+      if (size > s.largest_component) s.largest_component = size;
+    }
+    s.largest_fraction = static_cast<double>(s.largest_component) /
+                         static_cast<double>(s.honest_alive);
+    s.average_degree = static_cast<double>(degree_sum) /
+                       static_cast<double>(s.honest_alive);
+  }
+
+  if (spec_.metrics.diameter_sweeps > 0 && s.honest_alive >= 2)
+    s.diameter = graph::diameter_double_sweep(
+        g, spec_.metrics.diameter_sweeps, metrics_rng_);
+
+  s.joins = counters_.joins;
+  s.leaves = counters_.leaves;
+  s.takedowns = counters_.takedowns;
+  const core::DdsrStats& stats = ddsr_.stats();
+  s.repair_edges = stats.repair_edges_added;
+  s.prune_edges = stats.prune_edges_removed;
+  s.refill_edges = stats.refill_edges_added;
+  s.repair_messages = stats.maintenance_messages();
+  for (const SoapPhaseState& state : soap_) {
+    if (!state.campaign) continue;
+    s.soap_clones += state.campaign->clones_created();
+    s.soap_contained += state.campaign->contained_count();
+  }
+  return s;
+}
+
+SimDuration CampaignEngine::exp_gap(double per_hour) {
+  ONION_EXPECTS(per_hour > 0.0);
+  const double u = rng_.uniform_real();
+  const double ms =
+      -std::log1p(-u) / per_hour * static_cast<double>(kHour);
+  constexpr double kMaxGap = 9.0e15;  // far past any sane horizon
+  if (!(ms < kMaxGap)) return static_cast<SimDuration>(kMaxGap);
+  return ms < 1.0 ? SimDuration{1} : static_cast<SimDuration>(ms);
+}
+
+}  // namespace onion::scenario

@@ -1,0 +1,93 @@
+// The scenario campaign engine: compiles a declarative ScenarioSpec onto
+// the discrete-event simulator. Churn joins/leaves arrive as Poisson
+// processes, attack phases fire inside their [start, stop) windows, and
+// a MetricsSnapshot is emitted through the sink once per metrics period.
+//
+// Everything is driven by two independent deterministic streams split
+// from the spec seed: one for campaign dynamics (churn, victims, SOAP),
+// one for metric sampling — so changing what is *measured* can never
+// change what *happens*. Equal spec + equal seed therefore reproduces a
+// byte-identical snapshot stream (enforced by tests/scenario_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/ddsr.hpp"
+#include "core/overlay.hpp"
+#include "mitigation/soap.hpp"
+#include "scenario/snapshot.hpp"
+#include "scenario/spec.hpp"
+#include "sim/simulator.hpp"
+
+namespace onion::scenario {
+
+/// Cumulative campaign event counts (also carried in each snapshot).
+struct CampaignCounters {
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t takedowns = 0;
+};
+
+/// Runs one ScenarioSpec to its horizon. Single-shot: construct, run(),
+/// inspect.
+class CampaignEngine {
+ public:
+  using NodeId = graph::NodeId;
+
+  CampaignEngine(const ScenarioSpec& spec, SnapshotSink& sink);
+
+  /// Executes the campaign: snapshot at t = 0, one per metrics period,
+  /// and a final one at the horizon. Returns the final snapshot.
+  MetricsSnapshot run();
+
+  /// --- post-run introspection -----------------------------------------
+  const ScenarioSpec& spec() const { return spec_; }
+  const core::OverlayNetwork& overlay() const { return net_; }
+  const core::DdsrStats& ddsr_stats() const { return ddsr_.stats(); }
+  const CampaignCounters& counters() const { return counters_; }
+  const sim::Simulator& simulator() const { return sim_; }
+
+ private:
+  struct SoapPhaseState {
+    std::unique_ptr<mitigation::SoapCampaign> campaign;
+  };
+
+  // Event bodies.
+  void do_join();
+  void do_leave();
+  void do_takedown(const AttackPhase& phase);
+  NodeId pick_victim(const AttackPhase& phase,
+                     const std::vector<NodeId>& honest);
+
+  // Self-rescheduling event chains (each guards against the horizon).
+  void arm_join(SimTime t);
+  void arm_leave(SimTime t);
+  void arm_takedown(std::size_t phase_index, SimTime t);
+  void arm_soap(std::size_t phase_index, SimTime t);
+  void arm_round(SimTime t);
+  void arm_snapshot(SimTime t);
+
+  void take_snapshot();
+  MetricsSnapshot compute_snapshot();
+
+  /// Exponential inter-arrival gap for a Poisson process of `per_hour`
+  /// events per simulated hour, clamped to >= 1 ms.
+  SimDuration exp_gap(double per_hour);
+
+  ScenarioSpec spec_;
+  SnapshotSink& sink_;
+  Rng rng_;          // campaign dynamics: churn, victims, SOAP, overlay
+  Rng metrics_rng_;  // metric sampling only; cannot perturb the run
+  sim::Simulator sim_;
+  core::OverlayNetwork net_;
+  core::DdsrEngine ddsr_;
+  std::vector<SoapPhaseState> soap_;  // one slot per attacks[] entry
+  CampaignCounters counters_;
+  MetricsSnapshot last_;
+  bool ran_ = false;
+};
+
+}  // namespace onion::scenario

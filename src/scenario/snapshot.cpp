@@ -1,0 +1,97 @@
+#include "scenario/snapshot.hpp"
+
+#include <bit>
+
+namespace onion::scenario {
+
+namespace {
+void put_u64(Bytes& out, std::uint64_t v) { append(out, be64(v)); }
+
+void put_f64(Bytes& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+}  // namespace
+
+Bytes serialize(const MetricsSnapshot& s) {
+  Bytes out;
+  out.reserve(8 * 20 + 4 * s.degree_histogram.size());
+  put_u64(out, s.time);
+  put_u64(out, s.honest_alive);
+  put_u64(out, s.sybil_alive);
+  put_u64(out, s.honest_edges);
+  put_u64(out, s.components);
+  put_u64(out, s.largest_component);
+  put_f64(out, s.largest_fraction);
+  put_f64(out, s.average_degree);
+  put_u64(out, s.diameter);
+  put_u64(out, s.joins);
+  put_u64(out, s.leaves);
+  put_u64(out, s.takedowns);
+  put_u64(out, s.repair_edges);
+  put_u64(out, s.prune_edges);
+  put_u64(out, s.refill_edges);
+  put_u64(out, s.repair_messages);
+  put_u64(out, s.soap_clones);
+  put_u64(out, s.soap_contained);
+  put_u64(out, s.degree_histogram.size());
+  for (const std::uint32_t count : s.degree_histogram) {
+    out.push_back(static_cast<std::uint8_t>(count >> 24));
+    out.push_back(static_cast<std::uint8_t>(count >> 16));
+    out.push_back(static_cast<std::uint8_t>(count >> 8));
+    out.push_back(static_cast<std::uint8_t>(count));
+  }
+  return out;
+}
+
+void HashSink::on_snapshot(const MetricsSnapshot& s) {
+  const Bytes encoded = serialize(s);
+  hasher_.update(encoded);
+  ++count_;
+}
+
+crypto::Sha256Digest HashSink::digest() const {
+  crypto::Sha256 copy = hasher_;  // finalize() is destructive
+  return copy.finalize();
+}
+
+std::string HashSink::hex_digest() const {
+  const crypto::Sha256Digest d = digest();
+  return to_hex(BytesView(d.data(), d.size()));
+}
+
+void CsvSink::on_snapshot(const MetricsSnapshot& s) {
+  if (header_) {
+    std::fprintf(out_,
+                 "time_s,honest_alive,sybil_alive,honest_edges,components,"
+                 "largest_fraction,avg_degree,diameter,joins,leaves,"
+                 "takedowns,repair_messages,soap_clones,soap_contained\n");
+    header_ = false;
+  }
+  if (s.diameter == kNoDiameter) {
+    std::fprintf(out_, "%llu,%llu,%llu,%llu,%llu,%.4f,%.3f,,",
+                 static_cast<unsigned long long>(to_seconds(s.time)),
+                 static_cast<unsigned long long>(s.honest_alive),
+                 static_cast<unsigned long long>(s.sybil_alive),
+                 static_cast<unsigned long long>(s.honest_edges),
+                 static_cast<unsigned long long>(s.components),
+                 s.largest_fraction, s.average_degree);
+  } else {
+    std::fprintf(out_, "%llu,%llu,%llu,%llu,%llu,%.4f,%.3f,%llu,",
+                 static_cast<unsigned long long>(to_seconds(s.time)),
+                 static_cast<unsigned long long>(s.honest_alive),
+                 static_cast<unsigned long long>(s.sybil_alive),
+                 static_cast<unsigned long long>(s.honest_edges),
+                 static_cast<unsigned long long>(s.components),
+                 s.largest_fraction, s.average_degree,
+                 static_cast<unsigned long long>(s.diameter));
+  }
+  std::fprintf(out_, "%llu,%llu,%llu,%llu,%llu,%llu\n",
+               static_cast<unsigned long long>(s.joins),
+               static_cast<unsigned long long>(s.leaves),
+               static_cast<unsigned long long>(s.takedowns),
+               static_cast<unsigned long long>(s.repair_messages),
+               static_cast<unsigned long long>(s.soap_clones),
+               static_cast<unsigned long long>(s.soap_contained));
+}
+
+}  // namespace onion::scenario

@@ -1,0 +1,123 @@
+// Periodic campaign telemetry. The engine emits one MetricsSnapshot per
+// metrics period through a pluggable SnapshotSink; snapshots serialize
+// to a canonical byte string, so a whole run has a single SHA-256
+// fingerprint — the replay-determinism contract the test tier enforces
+// (equal spec + equal seed => byte-identical stream).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "crypto/sha256.hpp"
+
+namespace onion::scenario {
+
+/// "Diameter not computed" marker (MetricsSpec::diameter_sweeps == 0).
+constexpr std::uint64_t kNoDiameter = ~std::uint64_t{0};
+
+/// One periodic measurement of the campaign. Structural metrics cover
+/// the honest bots only — clones are the defender's instrument, not part
+/// of the botnet being measured; counters are cumulative since t = 0.
+struct MetricsSnapshot {
+  SimTime time = 0;
+
+  // --- structure -----------------------------------------------------
+  std::uint64_t honest_alive = 0;
+  std::uint64_t sybil_alive = 0;
+  std::uint64_t honest_edges = 0;      // honest-honest links
+  std::uint64_t components = 0;        // over honest alive bots
+  std::uint64_t largest_component = 0;
+  double largest_fraction = 0.0;       // largest / honest_alive (0 if none)
+  double average_degree = 0.0;         // honest bots, all incident edges
+  std::uint64_t diameter = kNoDiameter;  // largest honest component
+  /// degree_histogram[d] = honest alive bots of degree d (empty when
+  /// disabled in MetricsSpec).
+  std::vector<std::uint32_t> degree_histogram;
+
+  // --- cumulative campaign counters ---------------------------------
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t takedowns = 0;
+  std::uint64_t repair_edges = 0;
+  std::uint64_t prune_edges = 0;
+  std::uint64_t refill_edges = 0;
+  std::uint64_t repair_messages = 0;  // DdsrStats::maintenance_messages
+  std::uint64_t soap_clones = 0;
+  std::uint64_t soap_contained = 0;
+
+  bool connected() const { return components <= 1; }
+};
+
+/// Canonical serialization: fixed field order, big-endian 64-bit words
+/// (doubles bit-cast), histogram length-prefixed. Byte-identical across
+/// platforms for identical snapshots — the unit the determinism tests
+/// hash.
+Bytes serialize(const MetricsSnapshot& s);
+
+/// Where snapshots go. Implementations must not mutate the campaign.
+class SnapshotSink {
+ public:
+  virtual ~SnapshotSink() = default;
+  virtual void on_snapshot(const MetricsSnapshot& s) = 0;
+};
+
+/// Collects every snapshot; the programmatic consumer's sink.
+class MemorySink final : public SnapshotSink {
+ public:
+  void on_snapshot(const MetricsSnapshot& s) override {
+    snapshots_.push_back(s);
+  }
+  const std::vector<MetricsSnapshot>& snapshots() const {
+    return snapshots_;
+  }
+
+ private:
+  std::vector<MetricsSnapshot> snapshots_;
+};
+
+/// Chains SHA-256 over the serialized snapshot stream; the final digest
+/// fingerprints the whole run in O(1) memory (the golden-determinism
+/// tests compare digests, never full streams).
+class HashSink final : public SnapshotSink {
+ public:
+  void on_snapshot(const MetricsSnapshot& s) override;
+  std::size_t count() const { return count_; }
+  crypto::Sha256Digest digest() const;
+  std::string hex_digest() const;
+
+ private:
+  crypto::Sha256 hasher_;
+  std::size_t count_ = 0;
+};
+
+/// Prints one CSV row per snapshot (histogram omitted); `header`
+/// controls the leading column-name row. Does not own the stream.
+class CsvSink final : public SnapshotSink {
+ public:
+  explicit CsvSink(std::FILE* out, bool header = true)
+      : out_(out), header_(header) {}
+  void on_snapshot(const MetricsSnapshot& s) override;
+
+ private:
+  std::FILE* out_;
+  bool header_;
+};
+
+/// Broadcasts to several sinks (e.g. CSV to stdout + hash for replay
+/// verification in one run). Does not own the sinks.
+class FanoutSink final : public SnapshotSink {
+ public:
+  explicit FanoutSink(std::vector<SnapshotSink*> sinks)
+      : sinks_(std::move(sinks)) {}
+  void on_snapshot(const MetricsSnapshot& s) override {
+    for (SnapshotSink* sink : sinks_) sink->on_snapshot(s);
+  }
+
+ private:
+  std::vector<SnapshotSink*> sinks_;
+};
+
+}  // namespace onion::scenario

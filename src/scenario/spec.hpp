@@ -1,0 +1,101 @@
+// Declarative scenario specifications for the campaign engine. A
+// ScenarioSpec describes one seeded experiment — initial overlay, a
+// churn process, scheduled attack phases, defense toggles, and a metrics
+// cadence — without any imperative loop; src/scenario/engine.hpp
+// compiles it onto the discrete-event simulator. The attack vocabulary
+// follows the paper's Section V takedown sweeps and the SOAP campaign of
+// Section VI-B; the defenses are the Section VII-A proof-of-work and
+// rate-limiting knobs already modeled by core/overlay.hpp.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace onion::scenario {
+
+/// Background membership churn: Poisson joins and leaves, rates in
+/// events per simulated hour. Leaves are "gradual" deaths: the paper's
+/// model where the overlay notices and heals (unless disabled).
+struct ChurnSpec {
+  double joins_per_hour = 0.0;
+  double leaves_per_hour = 0.0;
+  /// DDSR repair of a leaver's neighborhood (clique + prune + refill).
+  bool heal_on_leave = true;
+};
+
+/// What an attack phase does while its window is open.
+enum class AttackKind : std::uint8_t {
+  RandomTakedown,      // uniformly chosen victims (Figure 5/6 model)
+  TargetedTakedown,    // highest-degree bot first
+  CentralityTakedown,  // highest pivot-sampled betweenness first
+  SoapInjection,       // clone-based containment (Section VI-B)
+};
+
+/// One scheduled attack window [start, stop).
+struct AttackPhase {
+  AttackKind kind = AttackKind::RandomTakedown;
+  SimTime start = 0;
+  SimTime stop = 0;
+
+  /// Takedown kinds: victims per simulated hour.
+  double takedowns_per_hour = 0.0;
+  /// Whether victims' neighborhoods run DDSR repair (gradual takedown)
+  /// or not (the simultaneous-takedown model of Figure 6).
+  bool heal = true;
+  /// CentralityTakedown: pivots for the sampled betweenness ranking.
+  std::size_t betweenness_pivots = 64;
+
+  /// SoapInjection: campaign cadence and per-tick round count.
+  SimDuration soap_tick = kMinute;
+  std::size_t soap_rounds_per_tick = 1;
+};
+
+/// Defense toggles (Section VII-A). They gate the overlay's *peering
+/// requests* — bootstrap joins, post-eviction refills, and SOAP clone
+/// injection — which is the surface the paper's PoW/rate-limit defenses
+/// target. DDSR self-healing after a death (clique repair among a dead
+/// bot's former neighbors, who already know each other through NoN)
+/// runs at the graph level and is not charged; routing it through the
+/// peering policy for defense-consistent ablations is a ROADMAP item.
+struct DefenseSpec {
+  /// Peering acceptances per node per round; max() disables the limit.
+  std::size_t rate_limit_per_round =
+      std::numeric_limits<std::size_t>::max();
+  /// Proof-of-work: cost of the n-th request to a node is
+  /// pow_base_cost * pow_growth^n (0 disables).
+  double pow_base_cost = 0.0;
+  double pow_growth = 2.0;
+  /// Rate-limit round length (per-round acceptance counters reset on
+  /// this cadence).
+  SimDuration round = kMinute;
+};
+
+/// Snapshot cadence and which optional (costlier) metrics to include.
+struct MetricsSpec {
+  SimDuration period = kMinute;
+  /// Degree histogram over honest alive bots.
+  bool degree_histogram = true;
+  /// Double-sweep diameter restarts; 0 skips the diameter entirely.
+  std::size_t diameter_sweeps = 0;
+};
+
+/// The full declarative scenario.
+struct ScenarioSpec {
+  std::uint64_t seed = 1;
+  /// Initial overlay: `initial_size` honest bots wired k-regular with
+  /// degree band dmin = dmax = `degree` (the paper's topology).
+  std::size_t initial_size = 1000;
+  std::size_t degree = 10;
+  /// Campaign length in simulated time.
+  SimTime horizon = kHour;
+
+  ChurnSpec churn;
+  std::vector<AttackPhase> attacks;
+  DefenseSpec defense;
+  MetricsSpec metrics;
+};
+
+}  // namespace onion::scenario

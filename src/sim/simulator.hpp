@@ -57,6 +57,13 @@ class Simulator {
   std::size_t run_until(SimTime deadline,
                         std::size_t max_events = 100'000'000);
 
+  /// Runs the next `span` of virtual time: run_until(now() + span). The
+  /// scenario engine advances campaigns phase by phase with this.
+  std::size_t run_for(SimDuration span,
+                      std::size_t max_events = 100'000'000) {
+    return run_until(now_ + span, max_events);
+  }
+
   /// Executes the single earliest event; false if none pending.
   bool step();
 

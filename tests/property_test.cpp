@@ -167,6 +167,20 @@ TEST_P(MetricSweep, DiameterMatchesBruteForce) {
   EXPECT_GE(estimate + 2, want) << "double sweep is a tight estimator";
 }
 
+TEST_P(MetricSweep, UnionFindComponentsMatchBfsLabelling) {
+  Rng rng(GetParam() ^ 0x55);
+  Graph g = graph::erdos_renyi(50, 0.05, rng);
+  // Some deletions so dead slots are exercised too.
+  for (int i = 0; i < 10 && g.num_alive() > 1; ++i)
+    g.remove_node(rng.pick(g.alive_nodes()));
+  const auto bfs = graph::connected_components(g);
+  const auto uf = graph::components_union_find(g);
+  EXPECT_EQ(uf.count, bfs.count);
+  EXPECT_EQ(uf.sizes, bfs.sizes);
+  for (const NodeId u : g.alive_nodes())
+    EXPECT_EQ(uf.label[u], bfs.label[u]) << "label mismatch at " << u;
+}
+
 TEST_P(MetricSweep, SampledClosenessTracksExact) {
   Rng rng(GetParam() ^ 0x77);
   Graph g = graph::random_regular(60, 6, rng);
@@ -195,6 +209,194 @@ TEST_P(MetricSweep, RegularGeneratorContract) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MetricSweep,
                          ::testing::Range<std::uint64_t>(1, 9));
+
+// ====================================================================
+// Graph invariants under randomized add/delete/add_node interleavings
+// ====================================================================
+
+class GraphOpsSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Full structural audit: simple graph (no self-loops, no parallel
+// edges), symmetric adjacency over alive endpoints only, degree sum
+// equals twice the edge counter, and tombstones stay dead.
+void audit_graph(const Graph& g, const std::vector<NodeId>& tombstones) {
+  std::size_t degree_sum = 0;
+  for (const NodeId u : g.alive_nodes()) {
+    std::vector<NodeId> nb = g.neighbors(u);
+    degree_sum += nb.size();
+    std::sort(nb.begin(), nb.end());
+    ASSERT_TRUE(std::adjacent_find(nb.begin(), nb.end()) == nb.end())
+        << "parallel edge at node " << u;
+    for (const NodeId v : nb) {
+      ASSERT_NE(u, v) << "self loop at node " << u;
+      ASSERT_TRUE(g.alive(v)) << "edge to tombstoned node " << v;
+      ASSERT_TRUE(g.has_edge(v, u)) << "asymmetric edge " << u << "," << v;
+    }
+  }
+  ASSERT_EQ(degree_sum, 2 * g.num_edges());
+  for (const NodeId d : tombstones)
+    ASSERT_FALSE(g.alive(d)) << "tombstone " << d << " resurrected";
+}
+
+TEST_P(GraphOpsSweep, InvariantsHoldUnderRandomInterleavings) {
+  Rng rng(0x9a9a + GetParam());
+  Graph g(20);
+  std::vector<NodeId> tombstones;
+  std::size_t last_capacity = g.capacity();
+  for (int step = 0; step < 600; ++step) {
+    const auto alive = g.alive_nodes();
+    const std::uint64_t op = rng.uniform(100);
+    if (op < 40 && alive.size() >= 2) {
+      // add_edge: must reject self loops and duplicates, else succeed.
+      const NodeId u = rng.pick(alive);
+      const NodeId v = rng.pick(alive);
+      const bool duplicate = u != v && g.has_edge(u, v);
+      const bool added = g.add_edge(u, v);
+      EXPECT_EQ(added, u != v && !duplicate);
+    } else if (op < 60 && !alive.empty()) {
+      // remove_edge of a random incident edge (or a no-op miss).
+      const NodeId u = rng.pick(alive);
+      if (g.degree(u) > 0) {
+        const auto& nb = g.neighbors(u);
+        const NodeId v =
+            nb[static_cast<std::size_t>(rng.uniform(nb.size()))];
+        EXPECT_TRUE(g.remove_edge(u, v));
+        EXPECT_FALSE(g.has_edge(u, v));
+      }
+    } else if (op < 80) {
+      const NodeId id = g.add_node();
+      EXPECT_TRUE(g.alive(id));
+      EXPECT_EQ(g.degree(id), 0u);
+    } else if (alive.size() > 1) {
+      const NodeId victim = rng.pick(alive);
+      g.remove_node(victim);
+      tombstones.push_back(victim);
+    }
+    // capacity() is monotone: slots are never reused or reclaimed.
+    EXPECT_GE(g.capacity(), last_capacity);
+    last_capacity = g.capacity();
+    if (step % 100 == 0) audit_graph(g, tombstones);
+  }
+  audit_graph(g, tombstones);
+  EXPECT_EQ(g.capacity(), g.num_alive() + tombstones.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphOpsSweep,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ====================================================================
+// Betweenness: exact vs hand-computed values, sampled vs exact ranking
+// ====================================================================
+
+TEST(Betweenness, ExactMatchesHandComputedPathAndStar) {
+  // Path 0-1-2-3: interior nodes each lie on 2 of the 6 pairs.
+  Graph path(4);
+  path.add_edge(0, 1);
+  path.add_edge(1, 2);
+  path.add_edge(2, 3);
+  const auto bc_path = graph::betweenness_exact(path);
+  EXPECT_DOUBLE_EQ(bc_path[0], 0.0);
+  EXPECT_DOUBLE_EQ(bc_path[1], 2.0);
+  EXPECT_DOUBLE_EQ(bc_path[2], 2.0);
+  EXPECT_DOUBLE_EQ(bc_path[3], 0.0);
+
+  // Star: the hub lies on every leaf-to-leaf pair (3 of them).
+  Graph star(4);
+  star.add_edge(0, 1);
+  star.add_edge(0, 2);
+  star.add_edge(0, 3);
+  const auto bc_star = graph::betweenness_exact(star);
+  EXPECT_DOUBLE_EQ(bc_star[0], 3.0);
+  EXPECT_DOUBLE_EQ(bc_star[1], 0.0);
+
+  // Dead slots stay at zero.
+  star.remove_node(3);
+  const auto bc_after = graph::betweenness_exact(star);
+  EXPECT_DOUBLE_EQ(bc_after[0], 1.0);
+  EXPECT_DOUBLE_EQ(bc_after[3], 0.0);
+}
+
+class BetweennessSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BetweennessSweep, SampledAgreesWithExactOnTheTopDecile) {
+  // Sparse G(n, p): heterogeneous enough that betweenness has a real
+  // ranking (a k-regular graph's is nearly flat).
+  Rng rng(0xbc + GetParam());
+  Graph g = graph::erdos_renyi(200, 0.03, rng);
+  const auto exact = graph::betweenness_exact(g);
+  Rng pivot_rng(0xb0 + GetParam());
+  const auto sampled = graph::betweenness_sampled(g, 64, pivot_rng);
+
+  // Top decile of alive nodes by exact score vs by sampled score.
+  auto top_decile = [&](const std::vector<double>& score) {
+    std::vector<NodeId> nodes = g.alive_nodes();
+    std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+      if (score[a] != score[b]) return score[a] > score[b];
+      return a < b;
+    });
+    nodes.resize(nodes.size() / 10);
+    return nodes;
+  };
+  const auto want = top_decile(exact);
+  const auto got = top_decile(sampled);
+  std::size_t hits = 0;
+  for (const NodeId u : got)
+    if (std::find(want.begin(), want.end(), u) != want.end()) ++hits;
+  EXPECT_GE(hits * 2, want.size())
+      << "sampled top decile overlaps exact by only " << hits << "/"
+      << want.size();
+
+  // The estimator is unbiased: total mass agrees within 25%.
+  double exact_sum = 0.0, sampled_sum = 0.0;
+  for (const NodeId u : g.alive_nodes()) {
+    exact_sum += exact[u];
+    sampled_sum += sampled[u];
+  }
+  EXPECT_NEAR(sampled_sum, exact_sum, exact_sum * 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BetweennessSweep,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// ====================================================================
+// Batch-deletion partition index vs brute-force replay
+// ====================================================================
+
+class PartitionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartitionSweep, ReverseUnionFindMatchesBruteForce) {
+  Rng rng(0x6f6 + GetParam());
+  Graph pristine = graph::erdos_renyi(60, 0.08, rng);
+  std::vector<NodeId> order = pristine.alive_nodes();
+  rng.shuffle(order);
+
+  // Brute force: replay the deletions, BFS connectivity after each.
+  std::size_t want = order.size();
+  Graph replay = pristine;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    replay.remove_node(order[i]);
+    if (replay.num_alive() >= 2 && !graph::is_connected(replay)) {
+      want = i + 1;
+      break;
+    }
+  }
+  EXPECT_EQ(graph::first_partition_index(pristine, order), want);
+}
+
+TEST(PartitionIndex, EmptyOrderAndRobustGraphEdgeCases) {
+  Rng rng(0x1dea);
+  Graph g(12);  // complete K12
+  for (NodeId u = 0; u < 12; ++u)
+    for (NodeId v = u + 1; v < 12; ++v) g.add_edge(u, v);
+  EXPECT_EQ(graph::first_partition_index(g, {}), 0u);
+  // A complete graph never partitions: every prefix leaves a clique.
+  std::vector<NodeId> order = g.alive_nodes();
+  rng.shuffle(order);
+  EXPECT_EQ(graph::first_partition_index(g, order), order.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
 
 // ====================================================================
 // Uniform-encoding properties

@@ -1,0 +1,75 @@
+// Scale smoke tier (ctest label "scale"; excluded from the default PR
+// job): a 10k-node campaign with 5% membership churn and a takedown
+// wave must complete end-to-end, keep the surviving core connected, and
+// finish inside a generous wall-clock budget. Catches the accidental
+// O(n^2)-per-snapshot regressions the small-n tests cannot see.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "scenario/engine.hpp"
+
+namespace onion::scenario {
+namespace {
+
+ScenarioSpec scale_spec(std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.initial_size = 10'000;
+  spec.degree = 10;
+  spec.horizon = kHour;
+  // 5% of the overlay churns over the hour, both directions.
+  spec.churn.joins_per_hour = 500.0;
+  spec.churn.leaves_per_hour = 500.0;
+  AttackPhase takedown;
+  takedown.kind = AttackKind::RandomTakedown;
+  takedown.start = 15 * kMinute;
+  takedown.stop = 45 * kMinute;
+  takedown.takedowns_per_hour = 600.0;
+  spec.attacks.push_back(takedown);
+  spec.metrics.period = 5 * kMinute;
+  return spec;
+}
+
+TEST(ScaleCampaign, TenThousandNodeChurnCampaignStaysHealthy) {
+  const ScenarioSpec spec = scale_spec(0xbeef);
+  const auto wall_start = std::chrono::steady_clock::now();
+  MemorySink sink;
+  CampaignEngine engine(spec, sink);
+  const MetricsSnapshot end = engine.run();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  // Completed: ran to the horizon with the full snapshot cadence.
+  EXPECT_EQ(end.time, spec.horizon);
+  ASSERT_EQ(sink.snapshots().size(), 13u);
+
+  // The campaign actually exercised churn and the takedown wave.
+  EXPECT_GT(end.joins, 300u);
+  EXPECT_GT(end.leaves, 300u);
+  EXPECT_GT(end.takedowns, 150u);
+
+  // Self-healing holds the surviving core together throughout.
+  for (const MetricsSnapshot& s : sink.snapshots()) {
+    EXPECT_GE(s.largest_fraction, 0.99)
+        << "surviving core fragmented at t=" << s.time;
+  }
+  EXPECT_GT(end.honest_alive, 9000u);
+
+  // Generous wall-clock budget (measured ~1s in Release; the ctest
+  // timeout of 600s is the hard backstop).
+  EXPECT_LT(wall_seconds, 120.0);
+}
+
+TEST(ScaleCampaign, TenThousandNodeReplayIsDeterministic) {
+  HashSink first;
+  CampaignEngine(scale_spec(0xfeed), first).run();
+  HashSink second;
+  CampaignEngine(scale_spec(0xfeed), second).run();
+  EXPECT_EQ(first.hex_digest(), second.hex_digest());
+}
+
+}  // namespace
+}  // namespace onion::scenario

@@ -1,0 +1,294 @@
+// Scenario campaign engine tests: the golden-determinism contract
+// (equal spec + equal seed => byte-identical snapshot stream; different
+// seed => different stream), snapshot cadence and semantics, attack
+// phases, defense toggles, and sink behavior.
+#include <gtest/gtest.h>
+
+#include "scenario/engine.hpp"
+
+namespace onion::scenario {
+namespace {
+
+// A spec with enough going on that seeds matter: churn plus a
+// random-takedown window.
+ScenarioSpec busy_spec(std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.initial_size = 300;
+  spec.degree = 6;
+  spec.horizon = 20 * kMinute;
+  spec.churn.joins_per_hour = 300.0;
+  spec.churn.leaves_per_hour = 300.0;
+  AttackPhase takedown;
+  takedown.kind = AttackKind::RandomTakedown;
+  takedown.start = 5 * kMinute;
+  takedown.stop = 15 * kMinute;
+  takedown.takedowns_per_hour = 120.0;
+  spec.attacks.push_back(takedown);
+  spec.metrics.period = kMinute;
+  spec.metrics.diameter_sweeps = 2;
+  return spec;
+}
+
+// ====================================================================
+// Golden determinism
+// ====================================================================
+
+TEST(ScenarioDeterminism, EqualSeedReplaysByteIdentically) {
+  HashSink first;
+  CampaignEngine(busy_spec(42), first).run();
+  HashSink second;
+  CampaignEngine(busy_spec(42), second).run();
+  EXPECT_EQ(first.count(), second.count());
+  EXPECT_EQ(first.hex_digest(), second.hex_digest());
+}
+
+TEST(ScenarioDeterminism, EqualSeedMatchesSnapshotBySnapshot) {
+  MemorySink first;
+  CampaignEngine(busy_spec(7), first).run();
+  MemorySink second;
+  CampaignEngine(busy_spec(7), second).run();
+  ASSERT_EQ(first.snapshots().size(), second.snapshots().size());
+  for (std::size_t i = 0; i < first.snapshots().size(); ++i)
+    EXPECT_EQ(serialize(first.snapshots()[i]),
+              serialize(second.snapshots()[i]))
+        << "snapshot " << i << " diverged";
+}
+
+TEST(ScenarioDeterminism, DifferentSeedDiverges) {
+  HashSink first;
+  CampaignEngine(busy_spec(42), first).run();
+  HashSink second;
+  CampaignEngine(busy_spec(43), second).run();
+  EXPECT_EQ(first.count(), second.count());  // cadence is seed-free
+  EXPECT_NE(first.hex_digest(), second.hex_digest());
+}
+
+// ====================================================================
+// Snapshot cadence and content
+// ====================================================================
+
+TEST(ScenarioEngine, SnapshotsFollowTheMetricsPeriod) {
+  ScenarioSpec spec = busy_spec(1);
+  MemorySink sink;
+  const MetricsSnapshot end = CampaignEngine(spec, sink).run();
+  // t = 0 baseline plus one per minute through the 20-minute horizon.
+  ASSERT_EQ(sink.snapshots().size(), 21u);
+  for (std::size_t i = 0; i < sink.snapshots().size(); ++i)
+    EXPECT_EQ(sink.snapshots()[i].time, i * kMinute);
+  EXPECT_EQ(end.time, spec.horizon);
+  EXPECT_EQ(serialize(end), serialize(sink.snapshots().back()));
+}
+
+TEST(ScenarioEngine, UnalignedHorizonStillSnapshotsAtTheEnd) {
+  ScenarioSpec spec = busy_spec(1);
+  spec.horizon = 5 * kMinute + 30 * kSecond;
+  MemorySink sink;
+  CampaignEngine(spec, sink).run();
+  // 0..5 minutes plus the final half-minute mark.
+  ASSERT_EQ(sink.snapshots().size(), 7u);
+  EXPECT_EQ(sink.snapshots().back().time, spec.horizon);
+}
+
+TEST(ScenarioEngine, BaselineSnapshotDescribesThePristineOverlay) {
+  ScenarioSpec spec = busy_spec(3);
+  MemorySink sink;
+  CampaignEngine(spec, sink).run();
+  const MetricsSnapshot& start = sink.snapshots().front();
+  EXPECT_EQ(start.time, 0u);
+  EXPECT_EQ(start.honest_alive, 300u);
+  EXPECT_EQ(start.sybil_alive, 0u);
+  EXPECT_EQ(start.honest_edges, 300u * 6 / 2);
+  EXPECT_EQ(start.components, 1u);
+  EXPECT_EQ(start.largest_component, 300u);
+  EXPECT_DOUBLE_EQ(start.largest_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(start.average_degree, 6.0);
+  ASSERT_EQ(start.degree_histogram.size(), 7u);  // all mass at degree 6
+  EXPECT_EQ(start.degree_histogram[6], 300u);
+  EXPECT_NE(start.diameter, kNoDiameter);
+  EXPECT_EQ(start.joins + start.leaves + start.takedowns, 0u);
+}
+
+TEST(ScenarioEngine, CumulativeCountersAreMonotone) {
+  MemorySink sink;
+  CampaignEngine(busy_spec(11), sink).run();
+  const auto& snaps = sink.snapshots();
+  for (std::size_t i = 1; i < snaps.size(); ++i) {
+    EXPECT_GE(snaps[i].joins, snaps[i - 1].joins);
+    EXPECT_GE(snaps[i].leaves, snaps[i - 1].leaves);
+    EXPECT_GE(snaps[i].takedowns, snaps[i - 1].takedowns);
+    EXPECT_GE(snaps[i].repair_messages, snaps[i - 1].repair_messages);
+  }
+  // The takedown window is [5, 15) minutes: nothing before, something
+  // after (120/h over 10 minutes ~ 20 victims).
+  EXPECT_EQ(snaps[5].takedowns, 0u);
+  EXPECT_GT(snaps.back().takedowns, 0u);
+}
+
+TEST(ScenarioEngine, ChurnKeepsTheHealedOverlayConnected) {
+  ScenarioSpec spec = busy_spec(5);
+  spec.attacks.clear();  // churn only
+  MemorySink sink;
+  const MetricsSnapshot end = CampaignEngine(spec, sink).run();
+  EXPECT_GT(end.joins, 0u);
+  EXPECT_GT(end.leaves, 0u);
+  for (const MetricsSnapshot& s : sink.snapshots())
+    EXPECT_TRUE(s.connected()) << "overlay fragmented at t=" << s.time;
+}
+
+// ====================================================================
+// Attack phases
+// ====================================================================
+
+TEST(ScenarioEngine, TakedownsRemoveExactlyTheCountedVictims) {
+  ScenarioSpec spec;
+  spec.seed = 9;
+  spec.initial_size = 200;
+  spec.degree = 6;
+  spec.horizon = 30 * kMinute;
+  AttackPhase takedown;
+  takedown.kind = AttackKind::TargetedTakedown;
+  takedown.start = 0;
+  takedown.stop = spec.horizon;
+  takedown.takedowns_per_hour = 240.0;
+  spec.attacks.push_back(takedown);
+  spec.metrics.period = 5 * kMinute;
+  MemorySink sink;
+  CampaignEngine engine(spec, sink);
+  const MetricsSnapshot end = engine.run();
+  EXPECT_GT(end.takedowns, 0u);
+  EXPECT_EQ(end.honest_alive, 200u - end.takedowns);
+  EXPECT_EQ(engine.ddsr_stats().nodes_removed, end.takedowns);
+}
+
+TEST(ScenarioEngine, CentralityTakedownRunsOnSampledBetweenness) {
+  ScenarioSpec spec;
+  spec.seed = 13;
+  spec.initial_size = 150;
+  spec.degree = 6;
+  spec.horizon = 20 * kMinute;
+  AttackPhase takedown;
+  takedown.kind = AttackKind::CentralityTakedown;
+  takedown.start = 0;
+  takedown.stop = spec.horizon;
+  takedown.takedowns_per_hour = 180.0;
+  takedown.betweenness_pivots = 24;
+  spec.attacks.push_back(takedown);
+  spec.metrics.period = 5 * kMinute;
+  MemorySink sink;
+  const MetricsSnapshot end = CampaignEngine(spec, sink).run();
+  EXPECT_GT(end.takedowns, 0u);
+  EXPECT_EQ(end.honest_alive, 150u - end.takedowns);
+}
+
+TEST(ScenarioEngine, SoapPhaseInjectsClonesAndContains) {
+  ScenarioSpec spec;
+  spec.seed = 17;
+  spec.initial_size = 120;
+  spec.degree = 6;
+  spec.horizon = 30 * kMinute;
+  AttackPhase soap;
+  soap.kind = AttackKind::SoapInjection;
+  soap.start = 5 * kMinute;
+  soap.stop = spec.horizon;
+  soap.soap_tick = kMinute;
+  soap.soap_rounds_per_tick = 2;
+  spec.attacks.push_back(soap);
+  spec.metrics.period = 5 * kMinute;
+  MemorySink sink;
+  const MetricsSnapshot end = CampaignEngine(spec, sink).run();
+  EXPECT_GT(end.soap_clones, 0u);
+  EXPECT_EQ(end.sybil_alive, end.soap_clones);
+  EXPECT_GT(end.soap_contained, 0u);
+  // Containment severs honest-honest links: fragmentation rises.
+  EXPECT_GT(end.components, 1u);
+  EXPECT_LT(end.largest_fraction, 1.0);
+  // The honest population itself was never taken down.
+  EXPECT_EQ(end.honest_alive, 120u);
+}
+
+// ====================================================================
+// Defense toggles
+// ====================================================================
+
+TEST(ScenarioEngine, RateLimitedJoinersAreRefilledNextRound) {
+  ScenarioSpec spec;
+  spec.seed = 29;
+  spec.initial_size = 200;
+  spec.degree = 6;
+  spec.horizon = 30 * kMinute;
+  spec.churn.joins_per_hour = 240.0;
+  spec.defense.rate_limit_per_round = 1;  // aggressive throttling
+  spec.defense.round = kMinute;
+  spec.metrics.period = 5 * kMinute;
+  MemorySink sink;
+  CampaignEngine engine(spec, sink);
+  const MetricsSnapshot end = engine.run();
+  ASSERT_GT(end.joins, 0u);
+  // A newcomer whose whole bootstrap round was throttled must not stay
+  // isolated: the per-round maintenance pass retries it.
+  EXPECT_EQ(end.components, 1u);
+  const auto& g = engine.overlay().graph();
+  for (const auto u : engine.overlay().honest_nodes())
+    EXPECT_GT(g.degree(u), 0u) << "node " << u << " left isolated";
+}
+
+TEST(ScenarioEngine, ProofOfWorkChargesBothSidesOfTheSoapFight) {
+  ScenarioSpec spec;
+  spec.seed = 19;
+  spec.initial_size = 100;
+  spec.degree = 6;
+  spec.horizon = 20 * kMinute;
+  spec.churn.joins_per_hour = 60.0;  // honest joins pay PoW too
+  AttackPhase soap;
+  soap.kind = AttackKind::SoapInjection;
+  soap.start = 0;
+  soap.stop = spec.horizon;
+  spec.attacks.push_back(soap);
+  spec.defense.pow_base_cost = 1.0;
+  spec.metrics.period = 5 * kMinute;
+  MemorySink sink;
+  CampaignEngine engine(spec, sink);
+  engine.run();
+  EXPECT_GT(engine.overlay().sybil_work_spent(), 0.0);
+  EXPECT_GT(engine.overlay().honest_work_spent(), 0.0);
+}
+
+// ====================================================================
+// Serialization and sinks
+// ====================================================================
+
+TEST(ScenarioSnapshot, SerializationCoversEveryField) {
+  MetricsSnapshot a;
+  a.time = 123;
+  a.honest_alive = 5;
+  a.degree_histogram = {0, 2, 3};
+  MetricsSnapshot b = a;
+  EXPECT_EQ(serialize(a), serialize(b));
+  b.degree_histogram[1] = 1;  // histogram-only change must show up
+  EXPECT_NE(serialize(a), serialize(b));
+  MetricsSnapshot c = a;
+  c.largest_fraction = 0.5;  // double fields are hashed bit-exactly
+  EXPECT_NE(serialize(a), serialize(c));
+}
+
+TEST(ScenarioSnapshot, FanoutDeliversToEverySink) {
+  MemorySink memory;
+  HashSink hash;
+  FanoutSink fanout({&memory, &hash});
+  MetricsSnapshot s;
+  s.time = 5;
+  fanout.on_snapshot(s);
+  EXPECT_EQ(memory.snapshots().size(), 1u);
+  EXPECT_EQ(hash.count(), 1u);
+}
+
+TEST(ScenarioEngine, RunsExactlyOnce) {
+  MemorySink sink;
+  CampaignEngine engine(busy_spec(23), sink);
+  engine.run();
+  EXPECT_THROW(engine.run(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace onion::scenario
