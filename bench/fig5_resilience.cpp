@@ -3,10 +3,12 @@
 // deletions, DDSR vs a normal (non-healing) graph, 10-regular, n = 5000
 // and n = 15000 (paper Section V-B).
 //
-// Ported onto the scenario campaign engine: each series is one
-// ScenarioSpec — a random-takedown phase at one victim per simulated
-// second, healing on (DDSR) or off (Normal) — and the CSV rows fall out
-// of the periodic MetricsSnapshot stream through a custom sink.
+// The trial loop rides on the CampaignGrid runner: each series is one
+// grid cell — a random-takedown phase at one victim per simulated
+// second, healing on (DDSR) or off (Normal) — and all four campaigns
+// shard across the machine's cores. The CSV rows come from the per-cell
+// MetricsSnapshot series the grid report aggregates, in the same shape
+// the single-threaded port printed.
 //
 // Paper shape to match:
 //   5a/5b  DDSR stays a single component until ~90-95% deletions; the
@@ -16,45 +18,25 @@
 //   5e/5f  DDSR diameter shrinks with the network; normal grows until
 //          partition (infinite; printed as -1)
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "scenario/engine.hpp"
+#include "scenario/runner.hpp"
 
 namespace {
 
 using onion::kSecond;
 using onion::scenario::AttackKind;
 using onion::scenario::AttackPhase;
+using onion::scenario::CampaignGrid;
+using onion::scenario::CellResult;
+using onion::scenario::GridReport;
 using onion::scenario::MetricsSnapshot;
 using onion::scenario::ScenarioSpec;
 
 constexpr std::size_t kDegree = 10;
 
-// Prints the Figure 5 series row per snapshot. A partitioned Normal
-// graph has infinite diameter; printed as -1 to match the paper's plot.
-class Fig5Sink final : public onion::scenario::SnapshotSink {
- public:
-  explicit Fig5Sink(bool ddsr) : ddsr_(ddsr) {}
-
-  void on_snapshot(const MetricsSnapshot& s) override {
-    const long diameter =
-        (s.components > 1 && !ddsr_)
-            ? -1
-            : static_cast<long>(s.diameter);
-    const double degree_centrality =
-        s.honest_alive > 1
-            ? s.average_degree / static_cast<double>(s.honest_alive - 1)
-            : 0.0;
-    std::printf("%llu,%llu,%.6f,%ld\n",
-                static_cast<unsigned long long>(s.takedowns),
-                static_cast<unsigned long long>(s.components),
-                degree_centrality, diameter);
-  }
-
- private:
-  bool ddsr_;
-};
-
-void run_series(std::size_t n, bool ddsr, std::uint64_t seed) {
+ScenarioSpec series_spec(std::size_t n, bool ddsr, std::uint64_t seed) {
   ScenarioSpec spec;
   spec.seed = seed;
   spec.initial_size = n;
@@ -72,12 +54,27 @@ void run_series(std::size_t n, bool ddsr, std::uint64_t seed) {
   spec.metrics.period = (n / 25) * kSecond;
   spec.metrics.degree_histogram = false;
   spec.metrics.diameter_sweeps = 4;
+  return spec;
+}
 
+// One Figure 5 series row per snapshot. A partitioned Normal graph has
+// infinite diameter; printed as -1 to match the paper's plot.
+void print_series(const CellResult& cell, std::size_t n, bool ddsr) {
   std::printf("# series n=%zu mode=%s\n", n, ddsr ? "DDSR" : "Normal");
   std::printf("deleted,components,degree_centrality,diameter\n");
-  Fig5Sink sink(ddsr);
-  onion::scenario::CampaignEngine engine(spec, sink);
-  engine.run();
+  for (const MetricsSnapshot& s : cell.series) {
+    const long diameter = (s.components > 1 && !ddsr)
+                              ? -1
+                              : static_cast<long>(s.diameter);
+    const double degree_centrality =
+        s.honest_alive > 1
+            ? s.average_degree / static_cast<double>(s.honest_alive - 1)
+            : 0.0;
+    std::printf("%llu,%llu,%.6f,%ld\n",
+                static_cast<unsigned long long>(s.takedowns),
+                static_cast<unsigned long long>(s.components),
+                degree_centrality, diameter);
+  }
   std::printf("\n");
 }
 
@@ -90,15 +87,31 @@ int main() {
       "incremental deletions; DDSR (repair+prune+refill) vs Normal.\n"
       "diameter=-1 marks a partitioned Normal graph (infinite).\n\n");
 
-  for (const std::size_t n : {std::size_t{5000}, std::size_t{15000}}) {
-    for (const bool ddsr : {true, false}) {
-      run_series(n, ddsr, 0x50 + n + (ddsr ? 1 : 0));
-    }
-  }
+  // One series list drives both the grid cells and the printed headers,
+  // so the two can never fall out of index sync.
+  struct Series {
+    std::size_t n;
+    bool ddsr;
+  };
+  std::vector<Series> series;
+  for (const std::size_t n : {std::size_t{5000}, std::size_t{15000}})
+    for (const bool ddsr : {true, false}) series.push_back({n, ddsr});
+
+  CampaignGrid grid;
+  for (const Series& s : series)
+    grid.add("n=" + std::to_string(s.n) + (s.ddsr ? "/ddsr" : "/normal"),
+             series_spec(s.n, s.ddsr, 0x50 + s.n + (s.ddsr ? 1 : 0)));
+
+  const GridReport report = grid.run();
+  for (std::size_t i = 0; i < report.cells.size(); ++i)
+    print_series(report.cells[i], series[i].n, series[i].ddsr);
 
   std::printf(
       "Expected shape (paper): DDSR holds one component to ~90-95%%\n"
       "deletions with shrinking diameter; Normal shatters after ~60%%\n"
       "with diverging diameter.\n");
+  std::printf("# grid: %zu cells over %zu threads in %.2fs (combined %s)\n",
+              report.cells.size(), report.threads_used,
+              report.wall_seconds, report.combined_fingerprint.c_str());
   return 0;
 }

@@ -42,3 +42,15 @@ namespace detail {
       ::onion::detail::contract_fail("postcondition", #cond, __FILE__,       \
                                      __LINE__);                              \
   } while (false)
+
+/// Precondition checked in Debug builds only: `cond` is not evaluated under
+/// NDEBUG. For checks too expensive for a Release hot path (e.g. the
+/// duplicate-edge scan in Graph::add_edge_unchecked) that the Debug/ASan CI
+/// tier should still enforce.
+#ifndef NDEBUG
+#define ONION_DEBUG_EXPECTS(cond) ONION_EXPECTS(cond)
+#else
+#define ONION_DEBUG_EXPECTS(cond) \
+  do {                            \
+  } while (false)
+#endif

@@ -23,11 +23,16 @@ OverlayNetwork OverlayNetwork::random_regular(std::size_t n, std::size_t k,
 }
 
 NodeId OverlayNetwork::add_node(bool honest, std::size_t declared_degree) {
-  const NodeId id = graph_.add_node();
+  // Slot metadata first: graph_.add_node() notifies any attached
+  // MutationObserver, and the scenario StructuralTracker classifies the
+  // new node (honest vs Sybil) from inside that callback. The new id
+  // equals the pre-push size of every slot-parallel vector.
   honest_.push_back(honest ? 1 : 0);
   declared_.push_back(declared_degree);
   requests_seen_.push_back(0);
   accepted_this_round_.push_back(0);
+  const NodeId id = graph_.add_node();
+  ONION_ENSURES(honest_.size() == graph_.capacity());
   return id;
 }
 

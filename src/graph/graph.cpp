@@ -7,11 +7,61 @@ namespace onion::graph {
 Graph::Graph(std::size_t n)
     : adjacency_(n), alive_(n, 1), num_alive_(n) {}
 
+Graph::Graph(const Graph& other)
+    : adjacency_(other.adjacency_),
+      alive_(other.alive_),
+      num_alive_(other.num_alive_),
+      num_edges_(other.num_edges_),
+      epoch_(other.epoch_) {}
+
+Graph& Graph::operator=(const Graph& other) {
+  // Overwriting an observed graph would silently invalidate everything
+  // the observer has accumulated; detach first.
+  ONION_EXPECTS(observer_ == nullptr);
+  adjacency_ = other.adjacency_;
+  alive_ = other.alive_;
+  num_alive_ = other.num_alive_;
+  num_edges_ = other.num_edges_;
+  epoch_ = other.epoch_;
+  return *this;
+}
+
+Graph::Graph(Graph&& other) {
+  // An attached observer holds a reference to `other` itself; moving the
+  // pointer here would leave it notifying against a gutted graph.
+  ONION_EXPECTS(other.observer_ == nullptr);
+  adjacency_ = std::move(other.adjacency_);
+  alive_ = std::move(other.alive_);
+  num_alive_ = other.num_alive_;
+  num_edges_ = other.num_edges_;
+  epoch_ = other.epoch_;
+  other.num_alive_ = 0;  // the source stays a valid (empty) graph
+  other.num_edges_ = 0;
+  other.epoch_ = 0;
+}
+
+Graph& Graph::operator=(Graph&& other) {
+  ONION_EXPECTS(observer_ == nullptr && other.observer_ == nullptr);
+  if (this == &other) return *this;
+  adjacency_ = std::move(other.adjacency_);
+  alive_ = std::move(other.alive_);
+  num_alive_ = other.num_alive_;
+  num_edges_ = other.num_edges_;
+  epoch_ = other.epoch_;
+  other.num_alive_ = 0;
+  other.num_edges_ = 0;
+  other.epoch_ = 0;
+  return *this;
+}
+
 NodeId Graph::add_node() {
   adjacency_.emplace_back();
   alive_.push_back(1);
   ++num_alive_;
-  return static_cast<NodeId>(adjacency_.size() - 1);
+  ++epoch_;
+  const NodeId id = static_cast<NodeId>(adjacency_.size() - 1);
+  if (observer_ != nullptr) observer_->on_node_added(id);
+  return id;
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const {
@@ -31,15 +81,20 @@ bool Graph::add_edge(NodeId u, NodeId v) {
   adjacency_[u].push_back(v);
   adjacency_[v].push_back(u);
   ++num_edges_;
+  ++epoch_;
+  if (observer_ != nullptr) observer_->on_edge_added(u, v);
   return true;
 }
 
 void Graph::add_edge_unchecked(NodeId u, NodeId v) {
   ONION_EXPECTS(alive(u) && alive(v));
   ONION_EXPECTS(u != v);
+  ONION_DEBUG_EXPECTS(!has_edge(u, v));
   adjacency_[u].push_back(v);
   adjacency_[v].push_back(u);
   ++num_edges_;
+  ++epoch_;
+  if (observer_ != nullptr) observer_->on_edge_added(u, v);
 }
 
 bool Graph::remove_edge(NodeId u, NodeId v) {
@@ -56,23 +111,35 @@ bool Graph::remove_edge(NodeId u, NodeId v) {
   *it2 = lv.back();
   lv.pop_back();
   --num_edges_;
+  ++epoch_;
+  if (observer_ != nullptr) observer_->on_edge_removed(u, v);
   return true;
 }
 
 void Graph::remove_node(NodeId u) {
   ONION_EXPECTS(alive(u));
-  for (const NodeId v : adjacency_[u]) {
+  // Detach edge by edge (not in one bulk clear) so the observer sees a
+  // consistent graph — correct degrees on both endpoints — at every
+  // on_edge_removed. The final adjacency state is identical to a bulk
+  // detach: each neighbor's list gets one order-independent swap-erase.
+  auto& lu = adjacency_[u];
+  while (!lu.empty()) {
+    const NodeId v = lu.back();
+    lu.pop_back();
     auto& lv = adjacency_[v];
     const auto it = std::find(lv.begin(), lv.end(), u);
     ONION_ENSURES(it != lv.end());
     *it = lv.back();
     lv.pop_back();
     --num_edges_;
+    ++epoch_;
+    if (observer_ != nullptr) observer_->on_edge_removed(u, v);
   }
-  adjacency_[u].clear();
-  adjacency_[u].shrink_to_fit();
+  lu.shrink_to_fit();
   alive_[u] = 0;
   --num_alive_;
+  ++epoch_;
+  if (observer_ != nullptr) observer_->on_node_removed(u);
 }
 
 std::vector<NodeId> Graph::alive_nodes() const {

@@ -21,11 +21,36 @@ using NodeId = std::uint32_t;
 /// Sentinel for "no node".
 constexpr NodeId kInvalidNode = ~NodeId{0};
 
+/// Observer of graph mutations. Every callback fires *after* the mutation
+/// has been applied, so liveness, degrees, and adjacency reflect the new
+/// state. remove_node() is decomposed into one on_edge_removed per
+/// incident edge followed by on_node_removed (the node is degree-0 by
+/// then), so an observer only ever has to understand four primitives.
+/// Observers must not mutate the graph from inside a callback.
+class MutationObserver {
+ public:
+  virtual ~MutationObserver() = default;
+  virtual void on_node_added(NodeId u) = 0;
+  virtual void on_node_removed(NodeId u) = 0;
+  virtual void on_edge_added(NodeId u, NodeId v) = 0;
+  virtual void on_edge_removed(NodeId u, NodeId v) = 0;
+};
+
 /// Mutable undirected simple graph (no self-loops, no parallel edges).
 class Graph {
  public:
   /// Creates `n` alive, isolated nodes with IDs 0..n-1.
   explicit Graph(std::size_t n = 0);
+
+  /// Copies carry the topology but never the observer: a copy is a new
+  /// graph nobody has attached to yet (incremental trackers hold per-
+  /// instance state that would be nonsense against the copy). Moves
+  /// require both sides unobserved — an attached observer references
+  /// this exact instance, so transferring it would dangle.
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&& other);
+  Graph& operator=(Graph&& other);
 
   /// Appends a fresh alive node and returns its ID (used by SOAP clone
   /// injection and SuperOnion virtual-node resurrection).
@@ -82,11 +107,29 @@ class Graph {
   /// Sum of degrees / number of alive nodes (0 if empty).
   double average_degree() const;
 
+  /// --- mutation-observer / epoch hook --------------------------------
+  /// At most one observer at a time; pass nullptr to detach. Attaching
+  /// over a live observer is a contract violation (two incremental
+  /// trackers on one graph would each miss the other's baseline).
+  void set_observer(MutationObserver* observer) {
+    ONION_EXPECTS(observer == nullptr || observer_ == nullptr);
+    observer_ = observer;
+  }
+  MutationObserver* observer() const { return observer_; }
+
+  /// Count of mutations ever applied: +1 per node added, edge added, or
+  /// edge removed, and +degree+1 for remove_node (its edge detachments
+  /// count individually). Monotone; lets an observer assert it has seen
+  /// every change since it attached.
+  std::uint64_t mutation_epoch() const { return epoch_; }
+
  private:
   std::vector<std::vector<NodeId>> adjacency_;
   std::vector<std::uint8_t> alive_;
   std::size_t num_alive_ = 0;
   std::size_t num_edges_ = 0;
+  std::uint64_t epoch_ = 0;
+  MutationObserver* observer_ = nullptr;
 };
 
 }  // namespace onion::graph

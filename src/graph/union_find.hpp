@@ -17,6 +17,19 @@ class UnionFind {
     std::iota(parent_.begin(), parent_.end(), 0);
   }
 
+  /// Appends one fresh singleton element and returns its index. Lets
+  /// incremental users (the scenario StructuralTracker) grow the universe
+  /// as graph slots are created instead of rebuilding.
+  std::size_t add() {
+    parent_.push_back(parent_.size());
+    size_.push_back(1);
+    ++sets_;
+    return parent_.size() - 1;
+  }
+
+  /// Number of elements in the universe.
+  std::size_t size() const { return parent_.size(); }
+
   /// Representative of x's set.
   std::size_t find(std::size_t x) {
     ONION_EXPECTS(x < parent_.size());

@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "graph/metrics.hpp"
-#include "graph/union_find.hpp"
 
 namespace onion::scenario {
 
@@ -35,6 +34,7 @@ CampaignEngine::CampaignEngine(const ScenarioSpec& spec, SnapshotSink& sink)
       net_(core::OverlayNetwork::random_regular(
           spec.initial_size, spec.degree, overlay_config(spec), rng_)),
       ddsr_(net_.graph_mut(), ddsr_policy(spec), rng_),
+      tracker_(net_),
       soap_(spec.attacks.size()) {
   ONION_EXPECTS(spec_.metrics.period > 0);
 }
@@ -64,7 +64,7 @@ MetricsSnapshot CampaignEngine::run() {
     arm_round(spec_.defense.round);
   arm_snapshot(std::min<SimTime>(spec_.metrics.period, horizon));
 
-  sim_.run_until(horizon);
+  events_executed_ = sim_.run_until(horizon);
   return last_;
 }
 
@@ -235,47 +235,12 @@ MetricsSnapshot CampaignEngine::compute_snapshot() {
   MetricsSnapshot s;
   s.time = sim_.now();
   const graph::Graph& g = net_.graph();
-  const std::size_t cap = g.capacity();
 
-  // One pass over the slot table: alive counts, honest degree histogram,
-  // and union-find over honest-honest edges — O((n+m)·α(n)) total, the
-  // price that keeps 10k–50k-node campaigns snapshot-bound no longer.
-  graph::UnionFind uf(cap);
-  std::uint64_t degree_sum = 0;
-  for (NodeId u = 0; u < cap; ++u) {
-    if (!g.alive(u)) continue;
-    if (!net_.honest(u)) {
-      ++s.sybil_alive;
-      continue;
-    }
-    ++s.honest_alive;
-    const std::size_t d = g.degree(u);
-    degree_sum += d;
-    if (spec_.metrics.degree_histogram) {
-      if (s.degree_histogram.size() <= d)
-        s.degree_histogram.resize(d + 1, 0);
-      ++s.degree_histogram[d];
-    }
-    for (const NodeId v : g.neighbors(u))
-      if (v > u && net_.honest(v)) {
-        ++s.honest_edges;
-        uf.unite(u, v);
-      }
-  }
-
-  if (s.honest_alive > 0) {
-    std::vector<std::uint32_t> comp_size(cap, 0);
-    for (NodeId u = 0; u < cap; ++u) {
-      if (!g.alive(u) || !net_.honest(u)) continue;
-      const std::uint32_t size = ++comp_size[uf.find(u)];
-      if (size == 1) ++s.components;
-      if (size > s.largest_component) s.largest_component = size;
-    }
-    s.largest_fraction = static_cast<double>(s.largest_component) /
-                         static_cast<double>(s.honest_alive);
-    s.average_degree = static_cast<double>(degree_sum) /
-                       static_cast<double>(s.honest_alive);
-  }
+  // Structural fields come from the per-mutation tracker: O(nodes
+  // affected since the previous snapshot) when the window was pure
+  // growth, one O((n+m)·α) component rebuild when it saw deletions —
+  // byte-identical to the full sweep this replaced (sweep_structural).
+  tracker_.fill(s, spec_.metrics.degree_histogram);
 
   if (spec_.metrics.diameter_sweeps > 0 && s.honest_alive >= 2)
     s.diameter = graph::diameter_double_sweep(

@@ -20,6 +20,7 @@
 #include "mitigation/soap.hpp"
 #include "scenario/snapshot.hpp"
 #include "scenario/spec.hpp"
+#include "scenario/tracker.hpp"
 #include "sim/simulator.hpp"
 
 namespace onion::scenario {
@@ -49,6 +50,9 @@ class CampaignEngine {
   const core::DdsrStats& ddsr_stats() const { return ddsr_.stats(); }
   const CampaignCounters& counters() const { return counters_; }
   const sim::Simulator& simulator() const { return sim_; }
+  const StructuralTracker& tracker() const { return tracker_; }
+  /// Simulator events executed by run() (0 before it).
+  std::size_t events_executed() const { return events_executed_; }
 
  private:
   struct SoapPhaseState {
@@ -84,9 +88,11 @@ class CampaignEngine {
   sim::Simulator sim_;
   core::OverlayNetwork net_;
   core::DdsrEngine ddsr_;
+  StructuralTracker tracker_;  // after net_: attaches to its graph
   std::vector<SoapPhaseState> soap_;  // one slot per attacks[] entry
   CampaignCounters counters_;
   MetricsSnapshot last_;
+  std::size_t events_executed_ = 0;
   bool ran_ = false;
 };
 

@@ -1,0 +1,111 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace onion::scenario {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+void run_cell(const GridCell& cell, CellResult& out) {
+  out.label = cell.label;
+  out.seed = cell.spec.seed;
+  const auto start = std::chrono::steady_clock::now();
+  MemorySink memory;
+  HashSink hash;
+  FanoutSink fanout({&memory, &hash});
+  CampaignEngine engine(cell.spec, fanout);
+  engine.run();
+  out.wall_seconds = seconds_since(start);
+  out.fingerprint = hash.hex_digest();
+  out.series = memory.take();
+  out.counters = engine.counters();
+  out.events_executed = engine.events_executed();
+}
+
+std::string combine_fingerprints(const std::vector<CellResult>& cells) {
+  std::vector<std::string> digests;
+  digests.reserve(cells.size());
+  for (const CellResult& cell : cells) digests.push_back(cell.fingerprint);
+  // Sorting makes the aggregate a fingerprint of the *set* of campaigns:
+  // reordering cells or rebalancing threads cannot change it.
+  std::sort(digests.begin(), digests.end());
+  crypto::Sha256 hasher;
+  for (const std::string& d : digests) hasher.update(to_bytes(d));
+  const crypto::Sha256Digest digest = hasher.finalize();
+  return to_hex(BytesView(digest.data(), digest.size()));
+}
+
+}  // namespace
+
+CampaignGrid CampaignGrid::seed_sweep(const ScenarioSpec& base,
+                                      std::uint64_t first_seed,
+                                      std::size_t count) {
+  CampaignGrid grid;
+  for (std::size_t i = 0; i < count; ++i) {
+    ScenarioSpec spec = base;
+    spec.seed = first_seed + i;
+    grid.add("seed=" + std::to_string(spec.seed), spec);
+  }
+  return grid;
+}
+
+GridReport CampaignGrid::run(std::size_t threads) const {
+  GridReport report;
+  report.cells.resize(cells_.size());
+  if (cells_.empty()) {
+    report.combined_fingerprint = combine_fingerprints(report.cells);
+    return report;
+  }
+
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  threads = std::clamp<std::size_t>(threads, 1, cells_.size());
+  report.threads_used = threads;
+  const auto start = std::chrono::steady_clock::now();
+
+  if (threads == 1) {
+    // Inline fast path: no pool, same results (the determinism tests
+    // compare this against the threaded path).
+    for (std::size_t i = 0; i < cells_.size(); ++i)
+      run_cell(cells_[i], report.cells[i]);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(threads);
+    auto worker = [&](std::size_t slot) {
+      try {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= cells_.size()) return;
+          run_cell(cells_[i], report.cells[i]);
+        }
+      } catch (...) {
+        errors[slot] = std::current_exception();
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t)
+      pool.emplace_back(worker, t);
+    for (std::thread& t : pool) t.join();
+    for (const std::exception_ptr& error : errors)
+      if (error) std::rethrow_exception(error);
+  }
+
+  report.wall_seconds = seconds_since(start);
+  report.combined_fingerprint = combine_fingerprints(report.cells);
+  return report;
+}
+
+}  // namespace onion::scenario

@@ -1,0 +1,78 @@
+// Multi-campaign sharding: a CampaignGrid fans a vector of ScenarioSpec
+// cells (seed sweeps, policy ablations, size ladders) across a
+// std::thread pool — one CampaignEngine per cell, nothing shared but an
+// atomic work index — and aggregates the per-cell HashSink fingerprints
+// and MemorySink series into a single GridReport. Results land at the
+// cell's grid index regardless of which thread ran it when, and the
+// combined fingerprint hashes the *sorted* per-cell digests, so the
+// report is deterministic across thread counts and invariant to cell
+// order (tests/runner_test.cpp enforces both).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/engine.hpp"
+#include "scenario/snapshot.hpp"
+#include "scenario/spec.hpp"
+
+namespace onion::scenario {
+
+/// One campaign to run: a label for reports plus the full spec.
+struct GridCell {
+  std::string label;
+  ScenarioSpec spec;
+};
+
+/// Outcome of one cell. wall_seconds is informational only — it never
+/// enters a fingerprint.
+struct CellResult {
+  std::string label;
+  std::uint64_t seed = 0;
+  std::string fingerprint;  // hex SHA-256 of the cell's snapshot stream
+  std::vector<MetricsSnapshot> series;  // the cell's MemorySink capture
+  CampaignCounters counters;
+  std::size_t events_executed = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Aggregated outcome of a grid run.
+struct GridReport {
+  std::vector<CellResult> cells;  // grid order, not completion order
+  /// SHA-256 over the lexicographically sorted per-cell fingerprints:
+  /// equal for any thread count and any cell ordering of the same set
+  /// of campaigns.
+  std::string combined_fingerprint;
+  std::size_t threads_used = 0;
+  double wall_seconds = 0.0;
+};
+
+/// A batch of independent campaigns and the shard-and-aggregate runner.
+class CampaignGrid {
+ public:
+  CampaignGrid() = default;
+
+  void add(std::string label, const ScenarioSpec& spec) {
+    cells_.push_back({std::move(label), spec});
+  }
+
+  /// `count` copies of `base` with seeds first_seed, first_seed+1, ... —
+  /// the bread-and-butter variance sweep.
+  static CampaignGrid seed_sweep(const ScenarioSpec& base,
+                                 std::uint64_t first_seed,
+                                 std::size_t count);
+
+  std::size_t size() const { return cells_.size(); }
+  const std::vector<GridCell>& cells() const { return cells_; }
+
+  /// Runs every cell; `threads` == 0 uses the hardware concurrency. One
+  /// engine per cell, each on whichever pool thread pops its index; an
+  /// exception in any cell is rethrown after the pool drains.
+  GridReport run(std::size_t threads = 0) const;
+
+ private:
+  std::vector<GridCell> cells_;
+};
+
+}  // namespace onion::scenario

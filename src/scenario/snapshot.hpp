@@ -74,6 +74,11 @@ class MemorySink final : public SnapshotSink {
     return snapshots_;
   }
 
+  /// Relinquishes the collected series without copying (the sink is
+  /// empty afterwards); the grid runner aggregates thousands of
+  /// histogram-bearing snapshots per cell this way.
+  std::vector<MetricsSnapshot> take() { return std::move(snapshots_); }
+
  private:
   std::vector<MetricsSnapshot> snapshots_;
 };

@@ -1,0 +1,213 @@
+#include "scenario/tracker.hpp"
+
+namespace onion::scenario {
+
+using graph::NodeId;
+
+MetricsSnapshot sweep_structural(const core::OverlayNetwork& net,
+                                 bool degree_histogram) {
+  MetricsSnapshot s;
+  const graph::Graph& g = net.graph();
+  const std::size_t cap = g.capacity();
+
+  // One pass over the slot table: alive counts, honest degree histogram,
+  // and union-find over honest-honest edges — O((n+m)·α(n)) total.
+  graph::UnionFind uf(cap);
+  std::uint64_t degree_sum = 0;
+  for (NodeId u = 0; u < cap; ++u) {
+    if (!g.alive(u)) continue;
+    if (!net.honest(u)) {
+      ++s.sybil_alive;
+      continue;
+    }
+    ++s.honest_alive;
+    const std::size_t d = g.degree(u);
+    degree_sum += d;
+    if (degree_histogram) {
+      if (s.degree_histogram.size() <= d)
+        s.degree_histogram.resize(d + 1, 0);
+      ++s.degree_histogram[d];
+    }
+    for (const NodeId v : g.neighbors(u))
+      if (v > u && net.honest(v)) {
+        ++s.honest_edges;
+        uf.unite(u, v);
+      }
+  }
+
+  if (s.honest_alive > 0) {
+    std::vector<std::uint32_t> comp_size(cap, 0);
+    for (NodeId u = 0; u < cap; ++u) {
+      if (!g.alive(u) || !net.honest(u)) continue;
+      const std::uint32_t size = ++comp_size[uf.find(u)];
+      if (size == 1) ++s.components;
+      if (size > s.largest_component) s.largest_component = size;
+    }
+    s.largest_fraction = static_cast<double>(s.largest_component) /
+                         static_cast<double>(s.honest_alive);
+    s.average_degree = static_cast<double>(degree_sum) /
+                       static_cast<double>(s.honest_alive);
+  }
+  return s;
+}
+
+StructuralTracker::StructuralTracker(core::OverlayNetwork& net)
+    : net_(net), graph_(net.graph_mut()) {
+  graph_.set_observer(this);  // throws if another observer is attached
+  base_epoch_ = graph_.mutation_epoch();
+
+  // Absorb the current state: the one full pass this tracker ever pays
+  // outside of deletion-window rebuilds.
+  const std::size_t cap = graph_.capacity();
+  for (NodeId u = 0; u < cap; ++u) {
+    if (!graph_.alive(u)) continue;
+    if (!net_.honest(u)) {
+      ++sybil_alive_;
+      continue;
+    }
+    ++honest_alive_;
+    const std::size_t d = graph_.degree(u);
+    degree_sum_ += d;
+    if (histogram_.size() <= d) histogram_.resize(d + 1, 0);
+    ++histogram_[d];
+    for (const NodeId v : graph_.neighbors(u))
+      if (v > u && net_.honest(v)) ++honest_edges_;
+  }
+  rebuild_components();
+}
+
+StructuralTracker::~StructuralTracker() { graph_.set_observer(nullptr); }
+
+void StructuralTracker::shift_histogram(std::size_t from, std::size_t to) {
+  if (from != kNoBucket) {
+    ONION_ENSURES(from < histogram_.size() && histogram_[from] > 0);
+    --histogram_[from];
+  }
+  if (to != kNoBucket) {
+    if (histogram_.size() <= to) histogram_.resize(to + 1, 0);
+    ++histogram_[to];
+  }
+}
+
+void StructuralTracker::on_node_added(NodeId u) {
+  ++events_seen_;
+  while (uf_.size() < graph_.capacity()) uf_.add();
+  if (net_.honest(u)) {
+    ++honest_alive_;
+    shift_histogram(kNoBucket, 0);
+    if (!dirty_) {
+      ++components_;
+      if (largest_ == 0) largest_ = 1;
+    }
+  } else {
+    ++sybil_alive_;
+  }
+}
+
+void StructuralTracker::on_node_removed(NodeId u) {
+  ++events_seen_;
+  if (net_.honest(u)) {
+    // The graph detaches every incident edge before this fires, so the
+    // node sits in the degree-0 bucket by now.
+    --honest_alive_;
+    shift_histogram(0, kNoBucket);
+    dirty_ = true;
+  } else {
+    --sybil_alive_;
+  }
+}
+
+void StructuralTracker::on_edge_added(NodeId u, NodeId v) {
+  ++events_seen_;
+  const bool hu = net_.honest(u);
+  const bool hv = net_.honest(v);
+  if (hu) {
+    ++degree_sum_;
+    const std::size_t d = graph_.degree(u);
+    shift_histogram(d - 1, d);
+  }
+  if (hv) {
+    ++degree_sum_;
+    const std::size_t d = graph_.degree(v);
+    shift_histogram(d - 1, d);
+  }
+  if (hu && hv) {
+    ++honest_edges_;
+    if (!dirty_) {
+      if (uf_.unite(u, v)) --components_;
+      const std::uint64_t size = uf_.set_size(u);
+      if (size > largest_) largest_ = size;
+    }
+  }
+}
+
+void StructuralTracker::on_edge_removed(NodeId u, NodeId v) {
+  ++events_seen_;
+  const bool hu = net_.honest(u);
+  const bool hv = net_.honest(v);
+  if (hu) {
+    --degree_sum_;
+    const std::size_t d = graph_.degree(u);
+    shift_histogram(d + 1, d);
+  }
+  if (hv) {
+    --degree_sum_;
+    const std::size_t d = graph_.degree(v);
+    shift_histogram(d + 1, d);
+  }
+  if (hu && hv) {
+    --honest_edges_;
+    // A union-find cannot split; defer to a rebuild at the next fill().
+    dirty_ = true;
+  }
+}
+
+void StructuralTracker::rebuild_components() {
+  const std::size_t cap = graph_.capacity();
+  uf_ = graph::UnionFind(cap);
+  components_ = 0;
+  largest_ = 0;
+  for (NodeId u = 0; u < cap; ++u) {
+    if (!graph_.alive(u) || !net_.honest(u)) continue;
+    for (const NodeId v : graph_.neighbors(u))
+      if (v > u && net_.honest(v)) uf_.unite(u, v);
+  }
+  comp_scratch_.assign(cap, 0);
+  for (NodeId u = 0; u < cap; ++u) {
+    if (!graph_.alive(u) || !net_.honest(u)) continue;
+    const std::uint32_t size = ++comp_scratch_[uf_.find(u)];
+    if (size == 1) ++components_;
+    if (size > largest_) largest_ = size;
+  }
+}
+
+void StructuralTracker::fill(MetricsSnapshot& s, bool with_histogram) {
+  // Any mutation this tracker did not observe breaks every counter; the
+  // epoch makes that loud instead of silently wrong.
+  ONION_ENSURES(graph_.mutation_epoch() == base_epoch_ + events_seen_);
+  if (dirty_) {
+    rebuild_components();
+    dirty_ = false;
+    ++rebuilds_;
+  }
+  s.honest_alive = honest_alive_;
+  s.sybil_alive = sybil_alive_;
+  s.honest_edges = honest_edges_;
+  if (honest_alive_ > 0) {
+    s.components = components_;
+    s.largest_component = largest_;
+    s.largest_fraction = static_cast<double>(largest_) /
+                         static_cast<double>(honest_alive_);
+    s.average_degree = static_cast<double>(degree_sum_) /
+                       static_cast<double>(honest_alive_);
+  }
+  if (with_histogram) {
+    // The sweep's histogram ends at the highest populated bucket; ours
+    // may carry trailing zeros after the max-degree node shed edges.
+    s.degree_histogram = histogram_;
+    while (!s.degree_histogram.empty() && s.degree_histogram.back() == 0)
+      s.degree_histogram.pop_back();
+  }
+}
+
+}  // namespace onion::scenario

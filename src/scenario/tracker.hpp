@@ -1,0 +1,102 @@
+// Event-driven structural telemetry. A StructuralTracker attaches to the
+// overlay's graph as a graph::MutationObserver and keeps every structural
+// field of MetricsSnapshot — honest/Sybil alive counts, honest-edge count,
+// degree sum, and the honest degree histogram — exact per mutation, so a
+// snapshot costs O(nodes affected since the last one) instead of the
+// O((n+m)·α) slot-table sweep the engine used to pay per snapshot.
+//
+// Components and the largest component use a hybrid scheme: edge and node
+// *insertions* are folded into an incremental union-find as they happen
+// (a union-find cannot un-merge), while any deletion that can affect
+// honest connectivity — an honest-honest edge removal or an honest node
+// death — only marks the component state dirty. The next fill() then pays
+// one O((n+m)·α) rebuild for the whole window. Pure-growth windows (and
+// windows that only touch Sybils) are O(1); under a dense snapshot
+// cadence most windows between deletions are exactly that, which is what
+// makes per-event-rate telemetry affordable (bench/micro_snapshot.cpp
+// measures the gap; tests/tracker_test.cpp proves equality with the
+// from-scratch sweep).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/overlay.hpp"
+#include "graph/graph.hpp"
+#include "graph/union_find.hpp"
+#include "scenario/snapshot.hpp"
+
+namespace onion::scenario {
+
+/// Reference implementation: the from-scratch O((n+m)·α) sweep of the
+/// same structural fields the tracker maintains incrementally (exactly
+/// the engine's former per-snapshot pass). Non-structural fields are left
+/// at their defaults. The differential tests and the sweep-vs-incremental
+/// micro bench compare against this.
+MetricsSnapshot sweep_structural(const core::OverlayNetwork& net,
+                                 bool degree_histogram);
+
+/// Maintains the structural snapshot fields per graph mutation. Attaches
+/// to net.graph_mut() on construction (one O(n+m) pass to absorb the
+/// current state) and detaches in the destructor. One tracker per graph;
+/// nodes must enter through OverlayNetwork::add_node so honesty metadata
+/// exists when the node-added callback classifies them.
+class StructuralTracker final : public graph::MutationObserver {
+ public:
+  using NodeId = graph::NodeId;
+
+  explicit StructuralTracker(core::OverlayNetwork& net);
+  ~StructuralTracker() override;
+  StructuralTracker(const StructuralTracker&) = delete;
+  StructuralTracker& operator=(const StructuralTracker&) = delete;
+
+  // graph::MutationObserver — each callback is O(1) amortized.
+  void on_node_added(NodeId u) override;
+  void on_node_removed(NodeId u) override;
+  void on_edge_added(NodeId u, NodeId v) override;
+  void on_edge_removed(NodeId u, NodeId v) override;
+
+  /// Writes the structural fields into `s`: byte-identical to
+  /// sweep_structural() on the same state. O(1) plus the histogram copy
+  /// when the window since the last fill() contained no deletions; one
+  /// O((n+m)·α) component rebuild otherwise.
+  void fill(MetricsSnapshot& s, bool with_histogram);
+
+  /// --- introspection (tests and benches) -----------------------------
+  /// Full component rebuilds paid so far (== snapshots whose preceding
+  /// window contained a connectivity-relevant deletion).
+  std::uint64_t rebuilds() const { return rebuilds_; }
+  /// True iff the next fill() must rebuild components.
+  bool components_dirty() const { return dirty_; }
+
+ private:
+  void rebuild_components();
+  /// Moves one honest node between histogram buckets (kNoBucket = none).
+  static constexpr std::size_t kNoBucket = ~std::size_t{0};
+  void shift_histogram(std::size_t from, std::size_t to);
+
+  const core::OverlayNetwork& net_;
+  graph::Graph& graph_;
+
+  // Exact per-mutation counters.
+  std::uint64_t honest_alive_ = 0;
+  std::uint64_t sybil_alive_ = 0;
+  std::uint64_t honest_edges_ = 0;
+  std::uint64_t degree_sum_ = 0;  // honest nodes, all incident edges
+  std::vector<std::uint32_t> histogram_;  // may carry trailing zeros
+
+  // Hybrid component state.
+  graph::UnionFind uf_{0};
+  std::uint64_t components_ = 0;
+  std::uint64_t largest_ = 0;
+  bool dirty_ = false;
+  std::uint64_t rebuilds_ = 0;
+  std::vector<std::uint32_t> comp_scratch_;  // rebuild component sizes
+
+  // Every mutation since attach must have been observed: fill() asserts
+  // graph_.mutation_epoch() == base_epoch_ + events_seen_.
+  std::uint64_t base_epoch_ = 0;
+  std::uint64_t events_seen_ = 0;
+};
+
+}  // namespace onion::scenario

@@ -99,6 +99,142 @@ TEST(Graph, AliveNodesAndAverageDegree) {
   EXPECT_NEAR(g.average_degree(), 2.0 / 3.0, 1e-12);
 }
 
+#ifndef NDEBUG
+TEST(Graph, AddEdgeUncheckedRejectsDuplicateInDebug) {
+  // The duplicate scan is compiled out in Release (the whole point of the
+  // unchecked path); Debug and sanitizer builds catch the misuse that
+  // would otherwise silently corrupt num_edges().
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge_unchecked(0, 1), ContractViolation);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+#endif
+
+// Event log used by the observer tests: one entry per callback.
+struct RecordingObserver final : MutationObserver {
+  enum Kind { kNodeAdded, kNodeRemoved, kEdgeAdded, kEdgeRemoved };
+  struct Event {
+    Kind kind;
+    NodeId u;
+    NodeId v;  // kInvalidNode for node events
+  };
+  std::vector<Event> events;
+  std::vector<std::size_t> degree_at_removal;  // degree(u) per edge removal
+
+  const Graph* graph = nullptr;
+  void on_node_added(NodeId u) override {
+    events.push_back({kNodeAdded, u, kInvalidNode});
+  }
+  void on_node_removed(NodeId u) override {
+    events.push_back({kNodeRemoved, u, kInvalidNode});
+  }
+  void on_edge_added(NodeId u, NodeId v) override {
+    events.push_back({kEdgeAdded, u, v});
+  }
+  void on_edge_removed(NodeId u, NodeId v) override {
+    events.push_back({kEdgeRemoved, u, v});
+    if (graph != nullptr) degree_at_removal.push_back(graph->degree(u));
+  }
+};
+
+TEST(GraphObserver, SeesEveryMutationAfterItApplied) {
+  Graph g(2);
+  RecordingObserver obs;
+  g.set_observer(&obs);
+  g.add_edge(0, 1);
+  const NodeId fresh = g.add_node();
+  g.add_edge(1, fresh);
+  g.remove_edge(0, 1);
+  ASSERT_EQ(obs.events.size(), 4u);
+  EXPECT_EQ(obs.events[0].kind, RecordingObserver::kEdgeAdded);
+  EXPECT_EQ(obs.events[1].kind, RecordingObserver::kNodeAdded);
+  EXPECT_EQ(obs.events[1].u, fresh);
+  EXPECT_EQ(obs.events[2].kind, RecordingObserver::kEdgeAdded);
+  EXPECT_EQ(obs.events[3].kind, RecordingObserver::kEdgeRemoved);
+  g.set_observer(nullptr);
+  g.add_edge(0, 1);  // detached: no further events
+  EXPECT_EQ(obs.events.size(), 4u);
+}
+
+TEST(GraphObserver, RemoveNodeDecomposesIntoEdgeRemovalsThenNodeRemoval) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  RecordingObserver obs;
+  obs.graph = &g;
+  g.set_observer(&obs);
+  g.remove_node(0);
+  ASSERT_EQ(obs.events.size(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(obs.events[i].kind, RecordingObserver::kEdgeRemoved);
+    EXPECT_EQ(obs.events[i].u, 0u);
+  }
+  EXPECT_EQ(obs.events[3].kind, RecordingObserver::kNodeRemoved);
+  EXPECT_EQ(obs.events[3].u, 0u);
+  // Each callback saw the post-removal degree: 2, then 1, then 0 — the
+  // graph is consistent *during* the decomposed removal.
+  EXPECT_EQ(obs.degree_at_removal, (std::vector<std::size_t>{2, 1, 0}));
+}
+
+TEST(GraphObserver, SecondObserverRejectedUntilDetach) {
+  Graph g(2);
+  RecordingObserver first;
+  RecordingObserver second;
+  g.set_observer(&first);
+  EXPECT_THROW(g.set_observer(&second), ContractViolation);
+  g.set_observer(nullptr);
+  g.set_observer(&second);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(first.events.empty());
+  EXPECT_EQ(second.events.size(), 1u);
+}
+
+TEST(GraphObserver, CopiesDropTheObserver) {
+  Graph g(2);
+  RecordingObserver obs;
+  g.set_observer(&obs);
+  Graph copy(g);
+  EXPECT_EQ(copy.observer(), nullptr);
+  copy.add_edge(0, 1);  // must not notify the original's observer
+  EXPECT_TRUE(obs.events.empty());
+  EXPECT_EQ(g.observer(), &obs);
+}
+
+TEST(GraphObserver, ObservedGraphsRefuseToMoveOrBeAssignedOver) {
+  // An attached observer references the graph instance itself, so moving
+  // an observed graph (or overwriting one) would leave the observer
+  // notifying against a dangling or gutted object.
+  Graph g(2);
+  RecordingObserver obs;
+  g.set_observer(&obs);
+  EXPECT_THROW(Graph moved(std::move(g)), ContractViolation);
+  Graph other(3);
+  EXPECT_THROW(g = std::move(other), ContractViolation);
+  EXPECT_THROW(g = other, ContractViolation);
+  // Detached, both directions work again.
+  g.set_observer(nullptr);
+  g = std::move(other);
+  EXPECT_EQ(g.capacity(), 3u);
+}
+
+TEST(GraphEpoch, CountsEveryMutation) {
+  Graph g(3);
+  EXPECT_EQ(g.mutation_epoch(), 0u);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(g.mutation_epoch(), 2u);
+  g.add_edge(0, 1);  // duplicate: no mutation, no tick
+  EXPECT_EQ(g.mutation_epoch(), 2u);
+  g.add_node();
+  EXPECT_EQ(g.mutation_epoch(), 3u);
+  g.remove_edge(0, 1);
+  EXPECT_EQ(g.mutation_epoch(), 4u);
+  g.remove_node(1);  // one remaining edge + the node itself
+  EXPECT_EQ(g.mutation_epoch(), 6u);
+}
+
 TEST(UnionFindTest, BasicMerging) {
   UnionFind uf(5);
   EXPECT_EQ(uf.num_sets(), 5u);

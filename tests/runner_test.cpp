@@ -1,0 +1,128 @@
+// CampaignGrid tests: the sharding determinism contract (identical
+// per-cell and aggregated fingerprints for 1 vs N threads and for
+// shuffled cell orders), agreement with a directly-run engine, and the
+// seed-sweep builder.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "scenario/runner.hpp"
+
+namespace onion::scenario {
+namespace {
+
+ScenarioSpec small_spec(std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.initial_size = 150;
+  spec.degree = 6;
+  spec.horizon = 10 * kMinute;
+  spec.churn.joins_per_hour = 240.0;
+  spec.churn.leaves_per_hour = 240.0;
+  AttackPhase takedown;
+  takedown.kind = AttackKind::RandomTakedown;
+  takedown.start = 2 * kMinute;
+  takedown.stop = 8 * kMinute;
+  takedown.takedowns_per_hour = 120.0;
+  spec.attacks.push_back(takedown);
+  spec.metrics.period = kMinute;
+  return spec;
+}
+
+CampaignGrid small_grid() {
+  CampaignGrid grid;
+  for (std::uint64_t seed = 100; seed < 106; ++seed)
+    grid.add("cell" + std::to_string(seed), small_spec(seed));
+  return grid;
+}
+
+TEST(CampaignGrid, OneThreadAndManyThreadsAgreeByteForByte) {
+  const CampaignGrid grid = small_grid();
+  const GridReport serial = grid.run(/*threads=*/1);
+  const GridReport parallel = grid.run(/*threads=*/4);
+  EXPECT_EQ(serial.threads_used, 1u);
+  EXPECT_EQ(parallel.threads_used, 4u);
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    EXPECT_EQ(serial.cells[i].label, parallel.cells[i].label);
+    EXPECT_EQ(serial.cells[i].fingerprint, parallel.cells[i].fingerprint);
+    ASSERT_EQ(serial.cells[i].series.size(),
+              parallel.cells[i].series.size());
+    for (std::size_t k = 0; k < serial.cells[i].series.size(); ++k)
+      EXPECT_EQ(serialize(serial.cells[i].series[k]),
+                serialize(parallel.cells[i].series[k]));
+  }
+  EXPECT_EQ(serial.combined_fingerprint, parallel.combined_fingerprint);
+}
+
+TEST(CampaignGrid, ShuffledCellOrderKeepsTheAggregateFingerprint) {
+  CampaignGrid forward;
+  CampaignGrid backward;
+  for (std::uint64_t seed = 100; seed < 106; ++seed)
+    forward.add("cell" + std::to_string(seed), small_spec(seed));
+  for (std::uint64_t seed = 105; seed >= 100; --seed)
+    backward.add("cell" + std::to_string(seed), small_spec(seed));
+  const GridReport a = forward.run(2);
+  const GridReport b = backward.run(3);
+  // Cells land at their grid index, so the per-cell results are simply
+  // reversed; the combined fingerprint hashes the sorted digest set and
+  // must not move.
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    const CellResult& mirrored = b.cells[b.cells.size() - 1 - i];
+    EXPECT_EQ(a.cells[i].label, mirrored.label);
+    EXPECT_EQ(a.cells[i].fingerprint, mirrored.fingerprint);
+  }
+  EXPECT_EQ(a.combined_fingerprint, b.combined_fingerprint);
+}
+
+TEST(CampaignGrid, CellsMatchADirectlyRunEngine) {
+  CampaignGrid grid;
+  grid.add("direct", small_spec(7));
+  const GridReport report = grid.run(2);
+  HashSink direct;
+  CampaignEngine engine(small_spec(7), direct);
+  engine.run();
+  ASSERT_EQ(report.cells.size(), 1u);
+  EXPECT_EQ(report.cells[0].fingerprint, direct.hex_digest());
+  EXPECT_EQ(report.cells[0].series.size(), direct.count());
+  EXPECT_EQ(report.cells[0].counters.joins, engine.counters().joins);
+  EXPECT_EQ(report.cells[0].events_executed, engine.events_executed());
+}
+
+TEST(CampaignGrid, SeedSweepBuildsConsecutiveSeeds) {
+  const CampaignGrid grid = CampaignGrid::seed_sweep(small_spec(0), 40, 4);
+  ASSERT_EQ(grid.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(grid.cells()[i].spec.seed, 40u + i);
+    EXPECT_EQ(grid.cells()[i].label, "seed=" + std::to_string(40 + i));
+  }
+  const GridReport report = grid.run();
+  // Different seeds diverge: all four fingerprints are distinct.
+  std::vector<std::string> digests;
+  for (const CellResult& cell : report.cells)
+    digests.push_back(cell.fingerprint);
+  std::sort(digests.begin(), digests.end());
+  EXPECT_EQ(std::unique(digests.begin(), digests.end()), digests.end());
+}
+
+TEST(CampaignGrid, EmptyGridProducesAnEmptyDeterministicReport) {
+  const CampaignGrid grid;
+  const GridReport a = grid.run(3);
+  const GridReport b = grid.run(1);
+  EXPECT_TRUE(a.cells.empty());
+  EXPECT_EQ(a.combined_fingerprint, b.combined_fingerprint);
+  EXPECT_FALSE(a.combined_fingerprint.empty());  // SHA-256 of nothing
+}
+
+TEST(CampaignGrid, MoreThreadsThanCellsIsClamped) {
+  CampaignGrid grid;
+  grid.add("only", small_spec(3));
+  const GridReport report = grid.run(16);
+  EXPECT_EQ(report.threads_used, 1u);
+  ASSERT_EQ(report.cells.size(), 1u);
+  EXPECT_FALSE(report.cells[0].fingerprint.empty());
+}
+
+}  // namespace
+}  // namespace onion::scenario

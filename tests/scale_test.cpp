@@ -71,5 +71,61 @@ TEST(ScaleCampaign, TenThousandNodeReplayIsDeterministic) {
   EXPECT_EQ(first.hex_digest(), second.hex_digest());
 }
 
+TEST(ScaleCampaign, FiftyThousandNodeDenseCadenceSmoke) {
+  // The ROADMAP's 50k tier, at a snapshot cadence (one per 5 simulated
+  // seconds — 721 snapshots) that the per-snapshot O((n+m)·α) sweep made
+  // pointless to run before the incremental tracker: structural
+  // telemetry now costs O(changes) in deletion-free windows and one
+  // rebuild otherwise.
+  ScenarioSpec spec;
+  spec.seed = 0x50'000;
+  spec.initial_size = 50'000;
+  spec.degree = 10;
+  spec.horizon = kHour;
+  // 2% churn over the hour plus a mid-campaign takedown wave.
+  spec.churn.joins_per_hour = 1000.0;
+  spec.churn.leaves_per_hour = 1000.0;
+  AttackPhase takedown;
+  takedown.kind = AttackKind::RandomTakedown;
+  takedown.start = 20 * kMinute;
+  takedown.stop = 40 * kMinute;
+  takedown.takedowns_per_hour = 1500.0;
+  spec.attacks.push_back(takedown);
+  spec.metrics.period = 5 * kSecond;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  MemorySink sink;
+  CampaignEngine engine(spec, sink);
+  const MetricsSnapshot end = engine.run();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  EXPECT_EQ(end.time, spec.horizon);
+  ASSERT_EQ(sink.snapshots().size(), 721u);
+  EXPECT_GT(end.joins, 700u);
+  EXPECT_GT(end.leaves, 700u);
+  EXPECT_GT(end.takedowns, 350u);
+  EXPECT_GT(end.honest_alive, 48'000u);
+  for (const MetricsSnapshot& s : sink.snapshots())
+    EXPECT_GE(s.largest_fraction, 0.99)
+        << "surviving core fragmented at t=" << s.time;
+
+  // Deletion-free windows skipped the component rebuild: with ~2500
+  // deletions spread over 3600 seconds, a meaningful share of the 720
+  // windows must have been pure-growth (O(changes)) snapshots.
+  EXPECT_LT(engine.tracker().rebuilds(), sink.snapshots().size());
+
+#ifdef NDEBUG
+  // Generous wall-clock budget (measured ~3s in Release). Sanitized
+  // Debug builds slow the 50k campaign 20-50x on loaded runners, so
+  // there the ctest timeout of 600s is the only backstop.
+  EXPECT_LT(wall_seconds, 240.0);
+#else
+  (void)wall_seconds;
+#endif
+}
+
 }  // namespace
 }  // namespace onion::scenario

@@ -1,0 +1,225 @@
+// StructuralTracker tests: the differential property sweep (random
+// campaign op interleavings — joins, leaves, takedowns, repair/refill,
+// Sybil injection and retirement — must leave the tracker byte-identical
+// to the from-scratch sweep after every window, across many seeds), the
+// hybrid component scheme's rebuild accounting (pure-growth windows are
+// rebuild-free), and the attach/detach contract.
+#include <gtest/gtest.h>
+
+#include "core/ddsr.hpp"
+#include "scenario/tracker.hpp"
+
+namespace onion::scenario {
+namespace {
+
+using core::DdsrEngine;
+using core::DdsrPolicy;
+using core::OverlayConfig;
+using core::OverlayNetwork;
+using graph::NodeId;
+
+constexpr std::size_t kDegree = 6;
+
+OverlayNetwork make_overlay(std::size_t n, Rng& rng) {
+  OverlayConfig config;
+  config.dmin = kDegree;
+  config.dmax = kDegree;
+  return OverlayNetwork::random_regular(n, kDegree, config, rng);
+}
+
+DdsrPolicy policy() {
+  DdsrPolicy p;
+  p.dmin = kDegree;
+  p.dmax = kDegree;
+  return p;
+}
+
+// ====================================================================
+// Differential property sweep: tracker == sweep after every window
+// ====================================================================
+
+// One random campaign op against the overlay: the same vocabulary the
+// engine drives (join + bootstrap peering, healed leave, unhealed
+// takedown, refill repair, Sybil clone injection, Sybil retirement).
+void random_op(OverlayNetwork& net, DdsrEngine& ddsr, Rng& rng) {
+  const std::vector<NodeId> honest = net.honest_nodes();
+  switch (rng.uniform(6)) {
+    case 0: {  // join with bootstrap peering
+      const NodeId id = net.add_node(/*honest=*/true);
+      const std::size_t want = std::min<std::size_t>(kDegree, honest.size());
+      for (const NodeId target : rng.sample(honest, want)) {
+        NodeId evicted = graph::kInvalidNode;
+        net.request_peering(id, target, &evicted);
+        if (evicted != graph::kInvalidNode) net.refill(evicted);
+      }
+      net.refill(id);
+      break;
+    }
+    case 1:  // healed leave (DDSR clique repair + prune + refill)
+      if (honest.size() > 2) ddsr.remove_node(rng.pick(honest));
+      break;
+    case 2:  // unhealed takedown (the Figure 6 simultaneous model)
+      if (honest.size() > 2) ddsr.remove_node_no_repair(rng.pick(honest));
+      break;
+    case 3:  // repair pass on a random bot
+      if (!honest.empty()) net.refill(rng.pick(honest));
+      break;
+    case 4: {  // Sybil clone injection (declares a lying degree of 1)
+      const NodeId clone = net.add_node(/*honest=*/false, 1);
+      if (!honest.empty()) net.request_peering(clone, rng.pick(honest));
+      break;
+    }
+    case 5: {  // Sybil retirement
+      std::vector<NodeId> sybils;
+      for (NodeId u = 0; u < net.graph().capacity(); ++u)
+        if (net.alive(u) && !net.honest(u)) sybils.push_back(u);
+      if (!sybils.empty()) net.retire(rng.pick(sybils));
+      break;
+    }
+  }
+}
+
+TEST(TrackerDifferential, MatchesSweepAfterEveryWindowAcrossSeeds) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    Rng rng(seed);
+    OverlayNetwork net = make_overlay(120, rng);
+    DdsrEngine ddsr(net.graph_mut(), policy(), rng);
+    StructuralTracker tracker(net);
+    for (int window = 0; window < 40; ++window) {
+      for (int op = 0; op < 8; ++op) random_op(net, ddsr, rng);
+      MetricsSnapshot incremental;
+      tracker.fill(incremental, /*with_histogram=*/true);
+      const MetricsSnapshot sweep = sweep_structural(net, true);
+      ASSERT_EQ(serialize(incremental), serialize(sweep))
+          << "seed " << seed << " window " << window << ": tracker ("
+          << incremental.honest_alive << "n/" << incremental.honest_edges
+          << "e/" << incremental.components << "c) vs sweep ("
+          << sweep.honest_alive << "n/" << sweep.honest_edges << "e/"
+          << sweep.components << "c)";
+    }
+  }
+}
+
+TEST(TrackerDifferential, MatchesSweepWithHistogramDisabled) {
+  Rng rng(77);
+  OverlayNetwork net = make_overlay(80, rng);
+  DdsrEngine ddsr(net.graph_mut(), policy(), rng);
+  StructuralTracker tracker(net);
+  for (int op = 0; op < 50; ++op) random_op(net, ddsr, rng);
+  MetricsSnapshot incremental;
+  tracker.fill(incremental, /*with_histogram=*/false);
+  EXPECT_TRUE(incremental.degree_histogram.empty());
+  EXPECT_EQ(serialize(incremental), serialize(sweep_structural(net, false)));
+}
+
+// ====================================================================
+// Hybrid component scheme: when the rebuild is (not) paid
+// ====================================================================
+
+TEST(TrackerHybrid, PureGrowthWindowsNeverRebuild) {
+  Rng rng(5);
+  OverlayNetwork net = make_overlay(60, rng);
+  StructuralTracker tracker(net);
+  MetricsSnapshot s;
+  tracker.fill(s, true);
+  EXPECT_EQ(tracker.rebuilds(), 0u);
+
+  for (int window = 0; window < 5; ++window) {
+    const std::vector<NodeId> honest = net.honest_nodes();
+    const NodeId id = net.add_node(/*honest=*/true);
+    for (const NodeId target : rng.sample(honest, 3))
+      net.graph_mut().add_edge(id, target);
+    EXPECT_FALSE(tracker.components_dirty());
+    tracker.fill(s, true);
+  }
+  EXPECT_EQ(tracker.rebuilds(), 0u);  // insertions fold into union-find
+  EXPECT_EQ(s.components, 1u);
+  EXPECT_EQ(s.honest_alive, 65u);
+}
+
+TEST(TrackerHybrid, DeletionWindowPaysExactlyOneRebuild) {
+  Rng rng(6);
+  OverlayNetwork net = make_overlay(60, rng);
+  DdsrEngine ddsr(net.graph_mut(), policy(), rng);
+  StructuralTracker tracker(net);
+
+  ddsr.remove_node(net.honest_nodes().front());
+  EXPECT_TRUE(tracker.components_dirty());
+  MetricsSnapshot s;
+  tracker.fill(s, true);
+  EXPECT_EQ(tracker.rebuilds(), 1u);
+  EXPECT_FALSE(tracker.components_dirty());
+
+  // Several deletions inside one window still cost a single rebuild.
+  for (int i = 0; i < 4; ++i)
+    ddsr.remove_node(net.honest_nodes().front());
+  tracker.fill(s, true);
+  EXPECT_EQ(tracker.rebuilds(), 2u);
+
+  // A fill with no intervening mutations stays free.
+  tracker.fill(s, true);
+  EXPECT_EQ(tracker.rebuilds(), 2u);
+}
+
+TEST(TrackerHybrid, SybilOnlyChangesStayRebuildFree) {
+  Rng rng(7);
+  // Spare degree capacity: the clone must be accepted without evicting
+  // an honest peer (an eviction would drop an honest-honest edge, which
+  // is a legitimate reason to rebuild).
+  OverlayConfig config;
+  config.dmin = kDegree;
+  config.dmax = kDegree + 2;
+  OverlayNetwork net =
+      OverlayNetwork::random_regular(40, kDegree, config, rng);
+  StructuralTracker tracker(net);
+  const NodeId clone = net.add_node(/*honest=*/false, 1);
+  net.request_peering(clone, net.honest_nodes().front());
+  net.retire(clone);  // drops an honest-Sybil edge + a Sybil node
+  EXPECT_FALSE(tracker.components_dirty());
+  MetricsSnapshot s;
+  tracker.fill(s, true);
+  EXPECT_EQ(tracker.rebuilds(), 0u);
+  EXPECT_EQ(serialize(s), serialize(sweep_structural(net, true)));
+}
+
+// ====================================================================
+// Attach / detach contract
+// ====================================================================
+
+TEST(Tracker, SecondTrackerOnSameGraphRejected) {
+  Rng rng(8);
+  OverlayNetwork net = make_overlay(20, rng);
+  StructuralTracker tracker(net);
+  EXPECT_THROW(StructuralTracker second(net), ContractViolation);
+}
+
+TEST(Tracker, DetachesOnDestructionSoASuccessorCanAttach) {
+  Rng rng(9);
+  OverlayNetwork net = make_overlay(20, rng);
+  {
+    StructuralTracker tracker(net);
+    EXPECT_EQ(net.graph().observer(), &tracker);
+  }
+  EXPECT_EQ(net.graph().observer(), nullptr);
+  StructuralTracker successor(net);  // re-absorbs the live state
+  MetricsSnapshot s;
+  successor.fill(s, true);
+  EXPECT_EQ(s.honest_alive, 20u);
+  EXPECT_EQ(serialize(s), serialize(sweep_structural(net, true)));
+}
+
+TEST(Tracker, AbsorbsMidCampaignState) {
+  // Attaching to a graph that already lived through churn must start
+  // from the current truth, not zero.
+  Rng rng(10);
+  OverlayNetwork net = make_overlay(50, rng);
+  DdsrEngine ddsr(net.graph_mut(), policy(), rng);
+  for (int op = 0; op < 30; ++op) random_op(net, ddsr, rng);
+  StructuralTracker tracker(net);
+  MetricsSnapshot s;
+  tracker.fill(s, true);
+  EXPECT_EQ(serialize(s), serialize(sweep_structural(net, true)));
+}
+
+}  // namespace
+}  // namespace onion::scenario
