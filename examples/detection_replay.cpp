@@ -1,0 +1,154 @@
+// Detection replay walkthrough (paper Sections II and VI): one seeded
+// scenario campaign — churn, a targeted takedown wave, a SOAP
+// containment attempt — is recorded through the engine's event tap,
+// replayed into the telemetry an on-path defender would have captured
+// (OnionBot guard-cell stars, benign web + Tor background, and three
+// co-resident legacy botnet families), and swept through every detector
+// family's threshold grid.
+//
+// Everything below derives from the two seeds; every fingerprint line
+// reproduces byte-for-byte on re-run. CI's golden-fingerprint guard
+// diffs those lines against tests/goldens/detection_replay.txt, so a
+// nondeterminism or behavior drift in scenario, replay, or detection
+// fails the build.
+#include <cstdio>
+
+#include "detection/replay.hpp"
+#include "detection/roc.hpp"
+#include "detection/dga_detector.hpp"
+#include "detection/fastflux_detector.hpp"
+#include "detection/flow_detector.hpp"
+#include "detection/p2p_detector.hpp"
+#include "detection/tor_flagger.hpp"
+#include "scenario/engine.hpp"
+
+int main() {
+  using namespace onion;
+  using namespace onion::detection;
+  using namespace onion::scenario;
+
+  std::printf(
+      "=== Campaign -> telemetry replay -> detector ROC sweep ===\n\n");
+
+  // --- 1. the campaign --------------------------------------------------
+  ScenarioSpec spec;
+  spec.seed = 0x0de7ec7;
+  spec.initial_size = 400;
+  spec.degree = 8;
+  spec.horizon = 2 * kHour;
+  spec.churn.joins_per_hour = 120.0;
+  spec.churn.leaves_per_hour = 120.0;
+  AttackPhase takedown;
+  takedown.kind = AttackKind::TargetedTakedown;
+  takedown.start = 20 * kMinute;
+  takedown.stop = kHour;
+  takedown.takedowns_per_hour = 60.0;
+  spec.attacks.push_back(takedown);
+  AttackPhase soap;
+  soap.kind = AttackKind::SoapInjection;
+  soap.start = kHour;
+  soap.stop = 100 * kMinute;
+  spec.attacks.push_back(soap);
+  spec.metrics.period = 10 * kMinute;
+
+  CampaignTrace campaign;
+  HashSink hash;
+  FanoutSink fanout({&campaign, &hash});
+  CampaignEngine engine(spec, fanout, &campaign);
+  engine.run();
+
+  std::printf(
+      "Campaign: %zu bots (degree %zu), %llu min; churn + targeted\n"
+      "takedown [20,60) min + SOAP [60,100) min. Recorded %zu events,\n"
+      "%zu snapshots; joins=%llu leaves=%llu takedowns=%llu.\n",
+      spec.initial_size, spec.degree,
+      static_cast<unsigned long long>(spec.horizon / kMinute),
+      campaign.events().size(), campaign.snapshots().size(),
+      static_cast<unsigned long long>(engine.counters().joins),
+      static_cast<unsigned long long>(engine.counters().leaves),
+      static_cast<unsigned long long>(engine.counters().takedowns));
+  std::printf("campaign_fingerprint: %s\n", hash.hex_digest().c_str());
+  std::printf("trace_event_fingerprint: %s\n",
+              campaign.fingerprint().c_str());
+
+  // --- 2. the replayed capture -----------------------------------------
+  ReplayConfig rc;
+  rc.seed = 0xcab1e;
+  rc.benign_web = 150;
+  rc.benign_tor = 25;
+  rc.centralized_bots = 30;
+  rc.dga_bots = 30;
+  rc.fastflux_bots = 30;
+  rc.p2p_bots = 30;
+  const ReplayResult replay = replay_trace(campaign, rc);
+  const TrafficTrace& trace = replay.trace;
+
+  std::printf(
+      "\nReplayed capture: %zu monitored hosts (%zu infected across 5\n"
+      "families), %zu DNS records, %zu flows, %zu known Tor relays.\n",
+      trace.hosts.size(), trace.infected.size(), trace.dns.size(),
+      trace.flows.size(), trace.known_tor_relays.size());
+  std::printf("replay_fingerprint: %s\n", fingerprint(trace).c_str());
+
+  // --- 3. the evasion matrix at default thresholds ----------------------
+  struct Row {
+    const char* name;
+    const std::vector<HostId>* hosts;
+  };
+  const Row rows[] = {
+      {"benign-web", &replay.benign_web_hosts},
+      {"benign-tor", &replay.benign_tor_users},
+      {"centralized-http", &replay.centralized_bots},
+      {"dga", &replay.dga_bots},
+      {"fast-flux", &replay.fastflux_bots},
+      {"p2p-plaintext", &replay.p2p_bots},
+      {"onionbot", &replay.onion_bots},
+  };
+  const DetectionResult verdicts[] = {
+      detect_dga(trace),     detect_fastflux(trace), detect_beacons(trace),
+      detect_p2p(trace),     detect_tor_users(trace),
+  };
+  const char* columns[] = {"dga-dns", "fast-flux", "flow-beacon",
+                           "p2p-mesh", "tor-flagger"};
+
+  std::printf(
+      "\nFlagged fraction per population (default thresholds, one\n"
+      "co-resident trace):\n%-18s",
+      "population");
+  for (const char* c : columns) std::printf(" %12s", c);
+  std::printf("\n");
+  for (const Row& row : rows) {
+    std::printf("%-18s", row.name);
+    for (const DetectionResult& v : verdicts)
+      std::printf(" %12.2f", flagged_fraction(v, *row.hosts));
+    std::printf("\n");
+  }
+  std::printf(
+      "\nThe paper's shape: each legacy family lights up its dedicated\n"
+      "column; the onionbot row is dark everywhere except tor-flagger,\n"
+      "which flags the benign Tor users at the same rate.\n");
+
+  // --- 4. the ROC sweep --------------------------------------------------
+  const RocSweep sweep;
+  const RocReport roc = sweep.run(trace);
+  std::printf(
+      "\nROC sweep: %zu operating points across 5 detector families\n"
+      "(%zu threads, %.2fs). Re-running at any thread count reproduces:\n",
+      roc.points.size(), roc.threads_used, roc.wall_seconds);
+  std::printf("roc_fingerprint: %s\n", roc.fingerprint.c_str());
+
+  // The paper's conclusion, read off the sweep: the best OnionBot-era
+  // operating point is the one that also flags every Tor user.
+  const RocPoint* best_tor = nullptr;
+  for (const RocPoint& p : roc.points)
+    if (p.detector == "tor-flagger" &&
+        (best_tor == nullptr || p.tpr > best_tor->tpr))
+      best_tor = &p;
+  if (best_tor != nullptr)
+    std::printf(
+        "\ntor-flagger at %s: TPR %.2f, FPR %.2f, precision %.2f —\n"
+        "blocking OnionBots this way blocks Tor itself (SS VI).\n",
+        best_tor->params.c_str(), best_tor->tpr, best_tor->fpr,
+        best_tor->precision);
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "common/bytes.hpp"
 
+#include <bit>
 #include <stdexcept>
 
 #include "common/check.hpp"
@@ -125,6 +126,17 @@ std::uint64_t read_be64(BytesView b) {
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) v = v << 8 | b[static_cast<std::size_t>(i)];
   return v;
+}
+
+void put_u64(Bytes& out, std::uint64_t v) { append(out, be64(v)); }
+
+void put_f64(Bytes& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_string(Bytes& out, std::string_view s) {
+  put_u64(out, s.size());
+  append(out, to_bytes(s));
 }
 
 Bytes xor_bytes(BytesView a, BytesView b) {

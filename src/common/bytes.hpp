@@ -51,6 +51,14 @@ void append(Bytes& dst, BytesView src);
 /// descriptor time-period and key-derivation inputs.
 Bytes be64(std::uint64_t v);
 
+/// Canonical-serialization helpers shared by every fingerprinted stream
+/// (snapshots, campaign events, traffic traces, ROC points): big-endian
+/// 64-bit words, doubles bit-cast, strings length-prefixed. One
+/// definition, so the byte conventions cannot drift between modules.
+void put_u64(Bytes& out, std::uint64_t v);
+void put_f64(Bytes& out, double v);
+void put_string(Bytes& out, std::string_view s);
+
 /// Reads a big-endian 64-bit value from the first 8 bytes of `b`.
 /// Precondition: b.size() >= 8.
 std::uint64_t read_be64(BytesView b);

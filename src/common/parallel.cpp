@@ -1,0 +1,44 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace onion {
+
+std::size_t parallel_for_index(std::size_t count, std::size_t threads,
+                               const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return 0;
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  threads = std::clamp<std::size_t>(threads, 1, count);
+
+  if (threads == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return 1;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(threads);
+  auto worker = [&](std::size_t slot) {
+    try {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= count) return;
+        fn(i);
+      }
+    } catch (...) {
+      errors[slot] = std::current_exception();
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+  for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& error : errors)
+    if (error) std::rethrow_exception(error);
+  return threads;
+}
+
+}  // namespace onion

@@ -1,0 +1,25 @@
+// Index-sharded parallelism: the one pool shape this codebase needs,
+// extracted so every embarrassingly parallel sweep (campaign grids in
+// src/scenario/runner.hpp, detector threshold sweeps in
+// src/detection/roc.hpp) shares it instead of growing private thread
+// pools. Work is handed out through an atomic index, so determinism is
+// the caller's job: write result i to slot i and never let cell order
+// or thread count leak into the output.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace onion {
+
+/// Runs fn(0), fn(1), ..., fn(count - 1) across a worker pool.
+/// `threads` == 0 uses the hardware concurrency; the pool is clamped to
+/// [1, count], and a single-thread pool runs inline (no spawn) — same
+/// call sequence, so sequential and parallel runs are interchangeable.
+/// If any invocation throws, the pool drains and the first captured
+/// exception (by worker slot) is rethrown. Returns the pool size used
+/// (0 when count == 0).
+std::size_t parallel_for_index(std::size_t count, std::size_t threads,
+                               const std::function<void(std::size_t)>& fn);
+
+}  // namespace onion

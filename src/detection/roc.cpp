@@ -1,0 +1,176 @@
+#include "detection/roc.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <unordered_set>
+
+#include "common/parallel.hpp"
+#include "crypto/sha256.hpp"
+#include "detection/dga_detector.hpp"
+#include "detection/fastflux_detector.hpp"
+#include "detection/flow_detector.hpp"
+#include "detection/p2p_detector.hpp"
+#include "detection/tor_flagger.hpp"
+
+namespace onion::detection {
+
+namespace {
+
+/// Canonical number rendering for the params tuple: %g is deterministic
+/// for the short decimal grid values this module sweeps.
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+std::string fmt(std::size_t v) { return std::to_string(v); }
+
+/// Ground truth digested once per sweep (the 68 cells share it).
+struct GroundTruth {
+  std::unordered_set<HostId> infected;
+  std::unordered_set<HostId> monitored;
+  std::size_t benign = 0;  // monitored hosts that are not infected
+
+  explicit GroundTruth(const TrafficTrace& trace)
+      : infected(trace.infected.begin(), trace.infected.end()),
+        monitored(trace.hosts.begin(), trace.hosts.end()) {
+    for (const HostId h : monitored)
+      if (infected.count(h) == 0) ++benign;
+  }
+};
+
+/// Scores one verdict against the trace's ground truth. TPR/FPR match
+/// DetectionResult's definitions (rates over infected / benign monitored
+/// hosts); precision adds the count view the ROC CSV reports.
+RocPoint score(std::string detector, std::string params,
+               const DetectionResult& result, const GroundTruth& truth) {
+  RocPoint p;
+  p.detector = std::move(detector);
+  p.params = std::move(params);
+  p.flagged = result.flagged.size();
+  for (const HostId h : result.flagged) {
+    if (truth.infected.count(h) > 0)
+      ++p.true_positives;
+    else if (truth.monitored.count(h) > 0)
+      ++p.false_positives;
+  }
+  p.tpr = truth.infected.empty()
+              ? 0.0
+              : static_cast<double>(p.true_positives) /
+                    static_cast<double>(truth.infected.size());
+  p.fpr = truth.benign == 0
+              ? 0.0
+              : static_cast<double>(p.false_positives) /
+                    static_cast<double>(truth.benign);
+  p.precision = p.flagged == 0
+                    ? 0.0
+                    : static_cast<double>(p.true_positives) /
+                          static_cast<double>(p.flagged);
+  return p;
+}
+
+}  // namespace
+
+Bytes serialize(const RocPoint& p) {
+  Bytes out;
+  out.reserve(8 * 7 + p.detector.size() + p.params.size());
+  put_string(out, p.detector);
+  put_string(out, p.params);
+  put_u64(out, p.flagged);
+  put_u64(out, p.true_positives);
+  put_u64(out, p.false_positives);
+  put_f64(out, p.tpr);
+  put_f64(out, p.fpr);
+  put_f64(out, p.precision);
+  return out;
+}
+
+void RocReport::write_csv(std::FILE* out) const {
+  std::fprintf(out,
+               "detector,params,flagged,true_positives,false_positives,"
+               "tpr,fpr,precision\n");
+  for (const RocPoint& p : points)
+    std::fprintf(out, "%s,\"%s\",%zu,%zu,%zu,%.6f,%.6f,%.6f\n",
+                 p.detector.c_str(), p.params.c_str(), p.flagged,
+                 p.true_positives, p.false_positives, p.tpr, p.fpr,
+                 p.precision);
+}
+
+RocSweep::RocSweep(RocConfig config) : config_(std::move(config)) {
+  // Enumeration order fixes the report's row order and therefore the
+  // fingerprint: family by family, axes row-major as declared.
+  for (const double entropy : config_.dga_entropy)
+    for (const double ratio : config_.dga_nxdomain) {
+      DgaDetectorConfig c;
+      c.entropy_threshold = entropy;
+      c.nxdomain_ratio_threshold = ratio;
+      cells_.push_back({"dga-dns",
+                        "entropy=" + fmt(entropy) + ",nxdomain=" + fmt(ratio),
+                        [c](const TrafficTrace& t) { return detect_dga(t, c); }});
+    }
+  for (const std::size_t ips : config_.flux_distinct_ips)
+    for (const double ttl : config_.flux_ttl) {
+      FluxDetectorConfig c;
+      c.distinct_ips_threshold = ips;
+      c.ttl_threshold = ttl;
+      cells_.push_back({"fast-flux",
+                        "distinct_ips=" + fmt(ips) + ",ttl=" + fmt(ttl),
+                        [c](const TrafficTrace& t) {
+                          return detect_fastflux(t, c);
+                        }});
+    }
+  for (const double size_cv : config_.flow_size_cv)
+    for (const double gap_cv : config_.flow_gap_cv) {
+      FlowDetectorConfig c;
+      c.size_cv_threshold = size_cv;
+      c.gap_cv_threshold = gap_cv;
+      cells_.push_back({"flow-beacon",
+                        "size_cv=" + fmt(size_cv) + ",gap_cv=" + fmt(gap_cv),
+                        [c](const TrafficTrace& t) {
+                          return detect_beacons(t, c);
+                        }});
+    }
+  for (const std::size_t degree : config_.p2p_degree)
+    for (const double inter : config_.p2p_interconnection) {
+      P2pDetectorConfig c;
+      c.min_peer_degree = degree;
+      c.min_peer_interconnection = inter;
+      cells_.push_back({"p2p-mesh",
+                        "degree=" + fmt(degree) + ",interconnection=" +
+                            fmt(inter),
+                        [c](const TrafficTrace& t) { return detect_p2p(t, c); }});
+    }
+  for (const std::size_t min_flows : config_.tor_min_flows)
+    cells_.push_back({"tor-flagger", "min_flows=" + fmt(min_flows),
+                      [min_flows](const TrafficTrace& t) {
+                        return detect_tor_users(t, min_flows);
+                      }});
+}
+
+RocReport RocSweep::run(const TrafficTrace& trace) const {
+  RocReport report;
+  report.points.resize(cells_.size());
+  const auto start = std::chrono::steady_clock::now();
+  const GroundTruth truth(trace);
+
+  // Detectors are pure functions of the (shared, read-only) trace, and
+  // each point lands at its grid index — the sharding is invisible.
+  report.threads_used = parallel_for_index(
+      cells_.size(), config_.threads, [&](std::size_t i) {
+        const Cell& cell = cells_[i];
+        report.points[i] =
+            score(cell.detector, cell.params, cell.detect(trace), truth);
+      });
+
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  crypto::Sha256 hasher;
+  for (const RocPoint& p : report.points) hasher.update(serialize(p));
+  const crypto::Sha256Digest digest = hasher.finalize();
+  report.fingerprint = to_hex(BytesView(digest.data(), digest.size()));
+  return report;
+}
+
+}  // namespace onion::detection

@@ -1,0 +1,100 @@
+// Threshold sweeps over a captured trace: grid-searches every detector
+// family's tunables, scores each operating point against the trace's
+// ground truth (TPR / FPR / precision), and fingerprints the whole
+// sweep with a chained SHA-256 — the detection-side analogue of the
+// scenario engine's snapshot-stream fingerprint, and the unit CI's
+// golden-fingerprint guard diffs. Cells shard across the same
+// atomic-index thread pool campaign grids use (common/parallel.hpp);
+// results land at their grid index, so thread count never leaks into
+// the CSV or the fingerprint.
+//
+// Run against a campaign-replayed trace (detection/replay.hpp) this
+// reproduces the paper's Section II/VI argument as one sweep: every
+// legacy family has operating points with high TPR at near-zero FPR,
+// while for the OnionBot population no threshold of any detector
+// separates bots from the benign Tor users sharing the trace.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "detection/telemetry.hpp"
+
+namespace onion::detection {
+
+/// Threshold grids, one axis pair (or single axis) per detector family.
+/// An empty axis drops the family from the sweep.
+struct RocConfig {
+  std::vector<double> dga_entropy = {2.0, 2.5, 3.0, 3.5};
+  std::vector<double> dga_nxdomain = {0.15, 0.35, 0.55, 0.75};
+
+  std::vector<std::size_t> flux_distinct_ips = {5, 10, 20, 40};
+  std::vector<double> flux_ttl = {120.0, 300.0, 600.0, 1200.0};
+
+  std::vector<double> flow_size_cv = {0.1, 0.25, 0.5, 0.75};
+  std::vector<double> flow_gap_cv = {0.2, 0.45, 0.7, 1.0};
+
+  std::vector<std::size_t> p2p_degree = {2, 3, 4, 6};
+  std::vector<double> p2p_interconnection = {0.01, 0.05, 0.2, 0.5};
+
+  std::vector<std::size_t> tor_min_flows = {1, 3, 10, 30};
+
+  /// Worker pool for the sweep; 0 = hardware concurrency.
+  std::size_t threads = 0;
+};
+
+/// One operating point: a detector family at one threshold tuple,
+/// scored against the trace's ground truth.
+struct RocPoint {
+  std::string detector;  // "dga-dns", "fast-flux", "flow-beacon", ...
+  std::string params;    // canonical "key=value,key=value" tuple
+  std::size_t flagged = 0;
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  double tpr = 0.0;
+  double fpr = 0.0;
+  double precision = 0.0;
+};
+
+/// Canonical serialization of one point (strings length-prefixed,
+/// doubles bit-cast) — the unit the sweep fingerprint hashes.
+Bytes serialize(const RocPoint& p);
+
+/// The sweep's outcome, points in grid order (family by family, axes in
+/// row-major declaration order — never completion order).
+struct RocReport {
+  std::vector<RocPoint> points;
+  /// Chained SHA-256 (hex) over the serialized points. Equal trace +
+  /// equal config reproduce it byte-for-byte at any thread count.
+  std::string fingerprint;
+  std::size_t threads_used = 0;
+  double wall_seconds = 0.0;  // informational; never fingerprinted
+
+  /// One CSV row per point (plus a header).
+  void write_csv(std::FILE* out) const;
+};
+
+/// The grid-search harness: construction enumerates the cells, run()
+/// shards them over a thread pool and scores every operating point.
+class RocSweep {
+ public:
+  explicit RocSweep(RocConfig config = {});
+
+  std::size_t cell_count() const { return cells_.size(); }
+  RocReport run(const TrafficTrace& trace) const;
+
+ private:
+  struct Cell {
+    std::string detector;
+    std::string params;
+    std::function<DetectionResult(const TrafficTrace&)> detect;
+  };
+
+  RocConfig config_;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace onion::detection

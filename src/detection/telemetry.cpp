@@ -2,18 +2,94 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_set>
+
+#include "crypto/sha256.hpp"
 
 namespace onion::detection {
 
+namespace {
+
+/// Appends `src` onto `dst`, skipping ids `dst` already holds;
+/// first-seen order is preserved so composition stays deterministic.
+void append_unique(std::vector<HostId>& dst, const std::vector<HostId>& src) {
+  std::unordered_set<HostId> seen(dst.begin(), dst.end());
+  dst.reserve(dst.size() + src.size());
+  for (const HostId h : src)
+    if (seen.insert(h).second) dst.push_back(h);
+}
+
+Bytes serialize(const DnsRecord& r) {
+  Bytes out;
+  out.reserve(8 * 5 + 1 + r.qname.size());
+  put_u64(out, r.client);
+  put_string(out, r.qname);
+  out.push_back(r.nxdomain ? 1 : 0);
+  put_u64(out, r.ttl);
+  put_u64(out, r.resolved);
+  put_u64(out, r.at);
+  return out;
+}
+
+Bytes serialize(const FlowRecord& f) {
+  Bytes out;
+  out.reserve(8 * 5 + 1);
+  put_u64(out, f.src);
+  put_u64(out, f.dst);
+  put_u64(out, f.dst_port);
+  put_u64(out, f.bytes);
+  out.push_back(f.encrypted ? 1 : 0);
+  put_u64(out, f.at);
+  return out;
+}
+
+Bytes serialize(const std::vector<HostId>& hosts) {
+  Bytes out;
+  out.reserve(8 * (hosts.size() + 1));
+  put_u64(out, hosts.size());
+  for (const HostId h : hosts) put_u64(out, h);
+  return out;
+}
+
+/// Feeds every record of `trace` through `consume` in canonical order;
+/// serialize() and fingerprint() share this walk.
+template <typename Consume>
+void walk_canonical(const TrafficTrace& trace, Consume&& consume) {
+  Bytes header;
+  put_u64(header, trace.dns.size());
+  put_u64(header, trace.flows.size());
+  consume(header);
+  for (const DnsRecord& r : trace.dns) consume(serialize(r));
+  for (const FlowRecord& f : trace.flows) consume(serialize(f));
+  consume(serialize(trace.infected));
+  consume(serialize(trace.hosts));
+  consume(serialize(trace.known_tor_relays));
+}
+
+}  // namespace
+
 void TrafficTrace::append(const TrafficTrace& other) {
+  dns.reserve(dns.size() + other.dns.size());
   dns.insert(dns.end(), other.dns.begin(), other.dns.end());
+  flows.reserve(flows.size() + other.flows.size());
   flows.insert(flows.end(), other.flows.begin(), other.flows.end());
-  infected.insert(infected.end(), other.infected.begin(),
-                  other.infected.end());
-  hosts.insert(hosts.end(), other.hosts.begin(), other.hosts.end());
-  known_tor_relays.insert(known_tor_relays.end(),
-                          other.known_tor_relays.begin(),
-                          other.known_tor_relays.end());
+  append_unique(infected, other.infected);
+  append_unique(hosts, other.hosts);
+  append_unique(known_tor_relays, other.known_tor_relays);
+}
+
+Bytes serialize(const TrafficTrace& trace) {
+  Bytes out;
+  walk_canonical(trace, [&out](const Bytes& chunk) { append(out, chunk); });
+  return out;
+}
+
+std::string fingerprint(const TrafficTrace& trace) {
+  crypto::Sha256 hasher;
+  walk_canonical(trace,
+                 [&hasher](const Bytes& chunk) { hasher.update(chunk); });
+  const crypto::Sha256Digest digest = hasher.finalize();
+  return to_hex(BytesView(digest.data(), digest.size()));
 }
 
 double DetectionResult::true_positive_rate(const TrafficTrace& trace) const {

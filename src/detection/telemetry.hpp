@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/clock.hpp"
 
 namespace onion::detection {
@@ -61,8 +62,23 @@ struct TrafficTrace {
   /// it does through Tor is not).
   std::vector<HostId> known_tor_relays;
 
+  /// Concatenates `other`'s streams onto this trace. Reserves up front
+  /// (multi-population composition must not reallocate quadratically)
+  /// and deduplicates the ground-truth host lists — `hosts`,
+  /// `known_tor_relays`, and `infected` — preserving first-seen order,
+  /// so appending overlapping captures cannot double-count a host in
+  /// the TPR/FPR denominators.
   void append(const TrafficTrace& other);
 };
+
+/// Canonical serialization: fixed field and record order, big-endian
+/// words, length-prefixed strings and lists. Equal bytes iff the traces
+/// are field-identical — the unit the replay-determinism tests compare.
+Bytes serialize(const TrafficTrace& trace);
+
+/// SHA-256 (hex) over the canonical serialization, streamed record by
+/// record so fingerprinting a large trace never materializes the bytes.
+std::string fingerprint(const TrafficTrace& trace);
 
 /// A detector's verdict over a trace.
 struct DetectionResult {

@@ -1,7 +1,5 @@
 #include "detection/traffic.hpp"
 
-#include <array>
-
 #include "common/check.hpp"
 
 namespace onion::detection {
@@ -52,11 +50,20 @@ std::vector<HostId> allocate_hosts(TrafficTrace& trace, HostId& next,
   return out;
 }
 
-/// Emits web-browsing telemetry for one benign host.
-void emit_browsing(TrafficTrace& trace, HostId host, SimDuration window,
-                   Rng& rng) {
-  SimTime t = rng.uniform(5 * kMinute);
-  while (t < window) {
+/// Marks freshly allocated bots as ground-truth infected.
+std::vector<HostId> allocate_bots(TrafficTrace& trace, HostId& next,
+                                  std::size_t count) {
+  const std::vector<HostId> bots = allocate_hosts(trace, next, count);
+  trace.infected.insert(trace.infected.end(), bots.begin(), bots.end());
+  return bots;
+}
+
+}  // namespace
+
+void emit_browsing(TrafficTrace& trace, HostId host, SimTime start,
+                   SimTime stop, Rng& rng) {
+  SimTime t = start + rng.uniform(5 * kMinute);
+  while (t < stop) {
     DnsRecord dns;
     dns.client = host;
     dns.qname = rng.uniform(3) == 0 ? benign_name(rng)
@@ -84,36 +91,42 @@ void emit_browsing(TrafficTrace& trace, HostId host, SimDuration window,
   }
 }
 
-/// Emits Tor-client telemetry: encrypted, cell-quantized flows to a few
-/// guard relays, no meaningful DNS (Tor resolves remotely).
-void emit_tor_client(TrafficTrace& trace, HostId host,
-                     const std::vector<HostId>& relays, SimDuration window,
-                     SimDuration mean_gap, Rng& rng) {
+std::array<HostId, 3> pick_guards(const std::vector<HostId>& relays,
+                                  Rng& rng) {
   ONION_EXPECTS(!relays.empty());
   // Each client sticks to a small guard set, like real Tor.
-  std::array<HostId, 3> guards = {
+  return {
       relays[rng.uniform(relays.size())],
       relays[rng.uniform(relays.size())],
       relays[rng.uniform(relays.size())],
   };
-  SimTime t = rng.uniform(mean_gap);
-  while (t < window) {
-    FlowRecord flow;
-    flow.src = host;
-    flow.dst = guards[rng.uniform(guards.size())];
-    flow.dst_port = 9001;
-    // Tor moves fixed 512-byte cells; flow sizes are cell multiples.
-    flow.bytes = 512 * (1 + rng.uniform(512));
-    flow.encrypted = true;
-    flow.at = t;
-    trace.flows.push_back(flow);
+}
+
+FlowRecord tor_cell_flow(HostId host, HostId guard, SimTime at, Rng& rng) {
+  FlowRecord flow;
+  flow.src = host;
+  flow.dst = guard;
+  flow.dst_port = 9001;
+  // Tor moves fixed 512-byte cells; flow sizes are cell multiples.
+  flow.bytes = 512 * (1 + rng.uniform(512));
+  flow.encrypted = true;
+  flow.at = at;
+  return flow;
+}
+
+void emit_tor_client(TrafficTrace& trace, HostId host,
+                     const std::array<HostId, 3>& guards, SimTime start,
+                     SimTime stop, SimDuration mean_gap, Rng& rng) {
+  SimTime t = start + rng.uniform(mean_gap);
+  while (t < stop) {
+    const HostId guard = guards[rng.uniform(guards.size())];
+    trace.flows.push_back(tor_cell_flow(host, guard, t, rng));
     t += mean_gap / 2 + rng.uniform(mean_gap);
   }
 }
 
-/// Registers `count` public relay IDs in the trace.
-std::vector<HostId> register_relays(TrafficTrace& trace, HostId& next,
-                                    std::size_t count) {
+std::vector<HostId> register_tor_relays(TrafficTrace& trace,
+                                        std::size_t count, HostId& next) {
   std::vector<HostId> relays;
   relays.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -124,44 +137,36 @@ std::vector<HostId> register_relays(TrafficTrace& trace, HostId& next,
   return relays;
 }
 
-/// Shared benign mix: browsing hosts plus legitimate Tor users.
-void emit_benign(TrafficTrace& trace, const TrafficConfig& config,
-                 HostId& next, Rng& rng) {
-  const auto web = allocate_hosts(trace, next, config.benign_web);
-  for (const HostId h : web) emit_browsing(trace, h, config.window, rng);
+BenignPopulation emit_benign(TrafficTrace& trace,
+                             const TrafficConfig& config, HostId& next,
+                             Rng& rng) {
+  BenignPopulation out;
+  out.web_hosts = allocate_hosts(trace, next, config.benign_web);
+  for (const HostId h : out.web_hosts)
+    emit_browsing(trace, h, 0, config.window, rng);
 
   if (config.benign_tor > 0) {
-    const auto relays = register_relays(trace, next, config.tor_relays);
-    const auto tor_users = allocate_hosts(trace, next, config.benign_tor);
-    for (const HostId h : tor_users) {
-      emit_browsing(trace, h, config.window, rng);  // Tor users also browse
-      emit_tor_client(trace, h, relays, config.window, 10 * kMinute, rng);
+    out.relays = register_tor_relays(trace, config.tor_relays, next);
+    out.tor_users = allocate_hosts(trace, next, config.benign_tor);
+    for (const HostId h : out.tor_users) {
+      emit_browsing(trace, h, 0, config.window, rng);  // Tor users browse too
+      emit_tor_client(trace, h, pick_guards(out.relays, rng), 0,
+                      config.window, config.tor_mean_gap, rng);
     }
   }
+  return out;
 }
 
-}  // namespace
-
-TrafficTrace benign_background(const TrafficConfig& config, Rng& rng) {
-  TrafficTrace trace;
-  HostId next = config.first_host;
-  emit_benign(trace, config, next, rng);
-  return trace;
-}
-
-TrafficTrace centralized_http_traffic(const TrafficConfig& config,
-                                      Rng& rng) {
-  TrafficTrace trace;
-  HostId next = config.first_host;
-  emit_benign(trace, config, next, rng);
-
+std::vector<HostId> emit_centralized_bots(TrafficTrace& trace,
+                                          std::size_t bots,
+                                          SimDuration window, HostId& next,
+                                          Rng& rng) {
   const std::uint32_t cnc_ip = 0xc0a80001;
-  const auto bots = allocate_hosts(trace, next, config.bots);
-  trace.infected = bots;
-  for (const HostId bot : bots) {
-    emit_browsing(trace, bot, config.window, rng);  // the user still browses
+  const auto ids = allocate_bots(trace, next, bots);
+  for (const HostId bot : ids) {
+    emit_browsing(trace, bot, 0, window, rng);  // the user still browses
     SimTime t = rng.uniform(5 * kMinute);
-    while (t < config.window) {
+    while (t < window) {
       DnsRecord dns;
       dns.client = bot;
       dns.qname = "update-service.example";  // the one hardcoded domain
@@ -181,21 +186,18 @@ TrafficTrace centralized_http_traffic(const TrafficConfig& config,
       t += 5 * kMinute + rng.uniform(30 * kSecond);  // timer-regular
     }
   }
-  return trace;
+  return ids;
 }
 
-TrafficTrace dga_traffic(const TrafficConfig& config, Rng& rng) {
-  TrafficTrace trace;
-  HostId next = config.first_host;
-  emit_benign(trace, config, next, rng);
-
-  const auto bots = allocate_hosts(trace, next, config.bots);
-  trace.infected = bots;
-  for (const HostId bot : bots) {
-    emit_browsing(trace, bot, config.window, rng);
+std::vector<HostId> emit_dga_bots(TrafficTrace& trace, std::size_t bots,
+                                  SimDuration window, HostId& next,
+                                  Rng& rng) {
+  const auto ids = allocate_bots(trace, next, bots);
+  for (const HostId bot : ids) {
+    emit_browsing(trace, bot, 0, window, rng);
     // Every rendezvous period the bot walks the generated list until one
     // name resolves; law enforcement never registered the first N-1.
-    for (SimTime period = 0; period < config.window; period += 6 * kHour) {
+    for (SimTime period = 0; period < window; period += 6 * kHour) {
       const std::size_t attempts = 40 + rng.uniform(40);
       SimTime t = period + rng.uniform(10 * kMinute);
       for (std::size_t i = 0; i + 1 < attempts; ++i) {
@@ -226,22 +228,20 @@ TrafficTrace dga_traffic(const TrafficConfig& config, Rng& rng) {
       trace.flows.push_back(flow);
     }
   }
-  return trace;
+  return ids;
 }
 
-TrafficTrace fastflux_traffic(const TrafficConfig& config, Rng& rng) {
-  TrafficTrace trace;
-  HostId next = config.first_host;
-  emit_benign(trace, config, next, rng);
-
-  const auto bots = allocate_hosts(trace, next, config.bots);
-  trace.infected = bots;
+std::vector<HostId> emit_fastflux_bots(TrafficTrace& trace,
+                                       std::size_t bots,
+                                       SimDuration window, HostId& next,
+                                       Rng& rng) {
+  const auto ids = allocate_bots(trace, next, bots);
   // The flux pool: hundreds of compromised front IPs, rotated per query.
   const std::size_t pool = 400;
-  for (const HostId bot : bots) {
-    emit_browsing(trace, bot, config.window, rng);
+  for (const HostId bot : ids) {
+    emit_browsing(trace, bot, 0, window, rng);
     SimTime t = rng.uniform(5 * kMinute);
-    while (t < config.window) {
+    while (t < window) {
       DnsRecord dns;
       dns.client = bot;
       dns.qname = "promo-deals.example";  // the fluxed domain
@@ -262,28 +262,25 @@ TrafficTrace fastflux_traffic(const TrafficConfig& config, Rng& rng) {
       t += 10 * kMinute + rng.uniform(2 * kMinute);
     }
   }
-  return trace;
+  return ids;
 }
 
-TrafficTrace p2p_plain_traffic(const TrafficConfig& config, Rng& rng) {
-  TrafficTrace trace;
-  HostId next = config.first_host;
-  emit_benign(trace, config, next, rng);
-
-  const auto bots = allocate_hosts(trace, next, config.bots);
-  trace.infected = bots;
-  for (const HostId bot : bots) emit_browsing(trace, bot, config.window, rng);
+std::vector<HostId> emit_p2p_bots(TrafficTrace& trace, std::size_t bots,
+                                  SimDuration window, HostId& next,
+                                  Rng& rng) {
+  const auto ids = allocate_bots(trace, next, bots);
+  for (const HostId bot : ids) emit_browsing(trace, bot, 0, window, rng);
   // Gossip mesh: each bot keeps pinging a handful of fixed peers with the
   // family's recognizable message sizes (Storm's OVERNET heritage).
-  for (const HostId bot : bots) {
+  for (const HostId bot : ids) {
     std::array<HostId, 4> peers{};
     for (auto& p : peers) {
       do {
-        p = bots[rng.uniform(bots.size())];
-      } while (p == bot && bots.size() > 1);
+        p = ids[rng.uniform(ids.size())];
+      } while (p == bot && ids.size() > 1);
     }
     SimTime t = rng.uniform(kMinute);
-    while (t < config.window) {
+    while (t < window) {
       FlowRecord flow;
       flow.src = bot;
       flow.dst = peers[rng.uniform(peers.size())];
@@ -295,6 +292,46 @@ TrafficTrace p2p_plain_traffic(const TrafficConfig& config, Rng& rng) {
       t += 30 * kSecond + rng.uniform(30 * kSecond);
     }
   }
+  return ids;
+}
+
+TrafficTrace benign_background(const TrafficConfig& config, Rng& rng) {
+  TrafficTrace trace;
+  HostId next = config.first_host;
+  emit_benign(trace, config, next, rng);
+  return trace;
+}
+
+TrafficTrace centralized_http_traffic(const TrafficConfig& config,
+                                      Rng& rng) {
+  TrafficTrace trace;
+  HostId next = config.first_host;
+  emit_benign(trace, config, next, rng);
+  emit_centralized_bots(trace, config.bots, config.window, next, rng);
+  return trace;
+}
+
+TrafficTrace dga_traffic(const TrafficConfig& config, Rng& rng) {
+  TrafficTrace trace;
+  HostId next = config.first_host;
+  emit_benign(trace, config, next, rng);
+  emit_dga_bots(trace, config.bots, config.window, next, rng);
+  return trace;
+}
+
+TrafficTrace fastflux_traffic(const TrafficConfig& config, Rng& rng) {
+  TrafficTrace trace;
+  HostId next = config.first_host;
+  emit_benign(trace, config, next, rng);
+  emit_fastflux_bots(trace, config.bots, config.window, next, rng);
+  return trace;
+}
+
+TrafficTrace p2p_plain_traffic(const TrafficConfig& config, Rng& rng) {
+  TrafficTrace trace;
+  HostId next = config.first_host;
+  emit_benign(trace, config, next, rng);
+  emit_p2p_bots(trace, config.bots, config.window, next, rng);
   return trace;
 }
 
@@ -305,15 +342,17 @@ TrafficTrace onionbot_traffic(const TrafficConfig& config, Rng& rng) {
   // otherwise register relays now.
   emit_benign(trace, config, next, rng);
   std::vector<HostId> relays = trace.known_tor_relays;
-  if (relays.empty()) relays = register_relays(trace, next, config.tor_relays);
+  if (relays.empty())
+    relays = register_tor_relays(trace, config.tor_relays, next);
 
-  const auto bots = allocate_hosts(trace, next, config.bots);
-  trace.infected = bots;
+  const auto bots = allocate_bots(trace, next, config.bots);
   for (const HostId bot : bots) {
-    emit_browsing(trace, bot, config.window, rng);
+    emit_browsing(trace, bot, 0, config.window, rng);
     // Heartbeats, NoN shares, relayed broadcasts: all of it is just more
-    // cells into the guard — same shape as the benign Tor users above.
-    emit_tor_client(trace, bot, relays, config.window, 10 * kMinute, rng);
+    // cells into the guard — same shape (and cadence) as the benign Tor
+    // users above, or the indistinguishability story falls apart.
+    emit_tor_client(trace, bot, pick_guards(relays, rng), 0, config.window,
+                    config.tor_mean_gap, rng);
   }
   return trace;
 }

@@ -19,10 +19,17 @@
 // Benign background mixes normal web browsing and — crucially for the
 // false-positive story — legitimate Tor users, who look exactly like
 // OnionBots from the flow log.
+//
+// Two layers: the classic one-shot generators (each builds benign
+// background plus one infected population), and underneath them the
+// composable population emitters the campaign-replay synthesizer
+// (detection/replay.hpp) stacks into co-resident multi-family traces.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "detection/telemetry.hpp"
@@ -41,6 +48,8 @@ struct TrafficConfig {
   std::size_t benign_tor = 20;
   /// Simulated public Tor relay count (consensus size).
   std::size_t tor_relays = 64;
+  /// Mean gap between a benign Tor user's guard contacts.
+  SimDuration tor_mean_gap = 10 * kMinute;
   /// First HostId to allocate (so traces can be composed).
   HostId first_host = 0;
 };
@@ -67,5 +76,72 @@ TrafficTrace p2p_plain_traffic(const TrafficConfig& config, Rng& rng);
 /// OnionBot: bots speak only to known Tor relays in fixed 512-byte
 /// cells over encrypted channels; no DNS records exist.
 TrafficTrace onionbot_traffic(const TrafficConfig& config, Rng& rng);
+
+/// --- composable population emitters ----------------------------------
+// Each emitter appends one population to an existing trace, allocating
+// monitored-host ids from `next` (advanced past the allocation), so
+// arbitrary mixes — benign + several co-resident botnet families —
+// compose into a single capture without id collisions. The one-shot
+// generators above are thin wrappers over these with identical RNG draw
+// order, so their outputs are unchanged.
+
+/// Who the benign mix allocated — the per-population ground truth the
+/// replay compositor reports FPRs against.
+struct BenignPopulation {
+  std::vector<HostId> web_hosts;
+  std::vector<HostId> tor_users;
+  std::vector<HostId> relays;
+};
+
+/// Benign mix: `config.benign_web` browsing hosts, plus (when
+/// `config.benign_tor > 0`) a `config.tor_relays`-relay registry and
+/// the legitimate Tor users.
+BenignPopulation emit_benign(TrafficTrace& trace,
+                             const TrafficConfig& config, HostId& next,
+                             Rng& rng);
+
+/// Registers `count` public Tor relay ids in the trace (defenders know
+/// the consensus). Relays are destinations, not monitored hosts.
+std::vector<HostId> register_tor_relays(TrafficTrace& trace,
+                                        std::size_t count, HostId& next);
+
+/// Web-browsing telemetry for one already-allocated host, active over
+/// [start, stop).
+void emit_browsing(TrafficTrace& trace, HostId host, SimTime start,
+                   SimTime stop, Rng& rng);
+
+/// A Tor client's sticky guard set (like real Tor, a small fixed set).
+std::array<HostId, 3> pick_guards(const std::vector<HostId>& relays,
+                                  Rng& rng);
+
+/// One encrypted, cell-quantized flow into a guard — the only
+/// observable an OnionBot or a legitimate Tor user ever produces.
+FlowRecord tor_cell_flow(HostId host, HostId guard, SimTime at, Rng& rng);
+
+/// Tor-client telemetry for one host over [start, stop): encrypted,
+/// cell-quantized flows into its guard set, no meaningful DNS (Tor
+/// resolves remotely).
+void emit_tor_client(TrafficTrace& trace, HostId host,
+                     const std::array<HostId, 3>& guards, SimTime start,
+                     SimTime stop, SimDuration mean_gap, Rng& rng);
+
+/// Infected populations, one per legacy family. Each allocates `bots`
+/// fresh monitored hosts (recorded in trace.infected), lets the human
+/// owner keep browsing, and emits the family's C&C signature over
+/// [0, window). Returns the allocated bot ids.
+std::vector<HostId> emit_centralized_bots(TrafficTrace& trace,
+                                          std::size_t bots,
+                                          SimDuration window, HostId& next,
+                                          Rng& rng);
+std::vector<HostId> emit_dga_bots(TrafficTrace& trace, std::size_t bots,
+                                  SimDuration window, HostId& next,
+                                  Rng& rng);
+std::vector<HostId> emit_fastflux_bots(TrafficTrace& trace,
+                                       std::size_t bots,
+                                       SimDuration window, HostId& next,
+                                       Rng& rng);
+std::vector<HostId> emit_p2p_bots(TrafficTrace& trace, std::size_t bots,
+                                  SimDuration window, HostId& next,
+                                  Rng& rng);
 
 }  // namespace onion::detection

@@ -26,9 +26,11 @@ core::DdsrPolicy ddsr_policy(const ScenarioSpec& spec) {
 }
 }  // namespace
 
-CampaignEngine::CampaignEngine(const ScenarioSpec& spec, SnapshotSink& sink)
+CampaignEngine::CampaignEngine(const ScenarioSpec& spec, SnapshotSink& sink,
+                               TraceSink* trace)
     : spec_(spec),
       sink_(sink),
+      trace_(trace),
       rng_(spec.seed),
       metrics_rng_(rng_.split()),
       net_(core::OverlayNetwork::random_regular(
@@ -42,6 +44,7 @@ CampaignEngine::CampaignEngine(const ScenarioSpec& spec, SnapshotSink& sink)
 MetricsSnapshot CampaignEngine::run() {
   ONION_EXPECTS(!ran_);
   ran_ = true;
+  if (trace_ != nullptr) trace_->on_begin(spec_, net_.honest_nodes());
   take_snapshot();  // the t = 0 baseline
   const SimTime horizon = spec_.horizon;
   if (horizon == 0) return last_;
@@ -89,6 +92,7 @@ void CampaignEngine::arm_leave(SimTime t) {
 void CampaignEngine::do_join() {
   ++counters_.joins;
   const NodeId id = net_.add_node(/*honest=*/true);
+  emit(TraceEventKind::Join, id);
   std::vector<NodeId> candidates = net_.honest_nodes();
   std::erase(candidates, id);
   if (candidates.empty()) return;
@@ -97,6 +101,7 @@ void CampaignEngine::do_join() {
   // evicted bot refills from its NoN so the join cannot leave holes.
   const std::size_t want = std::min(spec_.degree, candidates.size());
   for (const NodeId target : rng_.sample(candidates, want)) {
+    emit(TraceEventKind::Peering, id, target);
     NodeId evicted = graph::kInvalidNode;
     net_.request_peering(id, target, &evicted);
     if (evicted != graph::kInvalidNode) net_.refill(evicted);
@@ -109,6 +114,7 @@ void CampaignEngine::do_leave() {
   if (honest.size() <= 1) return;
   const NodeId victim = rng_.pick(honest);
   ++counters_.leaves;
+  emit(TraceEventKind::Leave, victim);
   if (spec_.churn.heal_on_leave) {
     ddsr_.remove_node(victim);
   } else {
@@ -134,6 +140,7 @@ void CampaignEngine::do_takedown(const AttackPhase& phase) {
   if (honest.size() <= 1) return;
   const NodeId victim = pick_victim(phase, honest);
   ++counters_.takedowns;
+  emit(TraceEventKind::Takedown, victim);
   if (phase.heal) {
     ddsr_.remove_node(victim);
   } else {
@@ -189,12 +196,17 @@ void CampaignEngine::arm_soap(std::size_t phase_index, SimTime t) {
       if (honest.empty()) return;
       state.campaign = std::make_unique<mitigation::SoapCampaign>(
           net_, mitigation::SoapConfig{}, rng_);
-      state.campaign->capture(rng_.pick(honest));
+      const NodeId captured = rng_.pick(honest);
+      emit(TraceEventKind::SoapCapture, captured);
+      state.campaign->capture(captured);
     }
     bool progressing = true;
     for (std::size_t r = 0;
          r < ph.soap_rounds_per_tick && progressing; ++r)
       progressing = state.campaign->step();
+    if (trace_ != nullptr)  // contained_count() is O(discovered)
+      emit(TraceEventKind::SoapRound, state.campaign->clones_created(),
+           state.campaign->contained_count());
     if (progressing) arm_soap(phase_index, t + ph.soap_tick);
   });
 }
@@ -260,6 +272,12 @@ MetricsSnapshot CampaignEngine::compute_snapshot() {
     s.soap_contained += state.campaign->contained_count();
   }
   return s;
+}
+
+void CampaignEngine::emit(TraceEventKind kind, std::uint64_t a,
+                          std::uint64_t b) {
+  if (trace_ == nullptr) return;
+  trace_->on_event(CampaignEvent{sim_.now(), kind, a, b});
 }
 
 SimDuration CampaignEngine::exp_gap(double per_hour) {

@@ -20,6 +20,7 @@
 #include "mitigation/soap.hpp"
 #include "scenario/snapshot.hpp"
 #include "scenario/spec.hpp"
+#include "scenario/trace.hpp"
 #include "scenario/tracker.hpp"
 #include "sim/simulator.hpp"
 
@@ -38,7 +39,12 @@ class CampaignEngine {
  public:
   using NodeId = graph::NodeId;
 
-  CampaignEngine(const ScenarioSpec& spec, SnapshotSink& sink);
+  /// `trace`, when given, receives the campaign's event stream (joins,
+  /// leaves, takedowns, bootstrap peering, SOAP activity) in simulator
+  /// order. The tap is passive — it never draws from the RNG streams —
+  /// so running with or without one is byte-identical.
+  CampaignEngine(const ScenarioSpec& spec, SnapshotSink& sink,
+                 TraceSink* trace = nullptr);
 
   /// Executes the campaign: snapshot at t = 0, one per metrics period,
   /// and a final one at the horizon. Returns the final snapshot.
@@ -77,12 +83,16 @@ class CampaignEngine {
   void take_snapshot();
   MetricsSnapshot compute_snapshot();
 
+  /// Forwards to the trace tap (no-op without one).
+  void emit(TraceEventKind kind, std::uint64_t a, std::uint64_t b = 0);
+
   /// Exponential inter-arrival gap for a Poisson process of `per_hour`
   /// events per simulated hour, clamped to >= 1 ms.
   SimDuration exp_gap(double per_hour);
 
   ScenarioSpec spec_;
   SnapshotSink& sink_;
+  TraceSink* trace_;  // optional event tap; may be nullptr
   Rng rng_;          // campaign dynamics: churn, victims, SOAP, overlay
   Rng metrics_rng_;  // metric sampling only; cannot perturb the run
   sim::Simulator sim_;

@@ -1,12 +1,10 @@
 #include "scenario/runner.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <exception>
-#include <thread>
 
 #include "common/bytes.hpp"
+#include "common/parallel.hpp"
 #include "crypto/sha256.hpp"
 
 namespace onion::scenario {
@@ -70,38 +68,13 @@ GridReport CampaignGrid::run(std::size_t threads) const {
     return report;
   }
 
-  if (threads == 0) threads = std::thread::hardware_concurrency();
-  threads = std::clamp<std::size_t>(threads, 1, cells_.size());
-  report.threads_used = threads;
   const auto start = std::chrono::steady_clock::now();
-
-  if (threads == 1) {
-    // Inline fast path: no pool, same results (the determinism tests
-    // compare this against the threaded path).
-    for (std::size_t i = 0; i < cells_.size(); ++i)
-      run_cell(cells_[i], report.cells[i]);
-  } else {
-    std::atomic<std::size_t> next{0};
-    std::vector<std::exception_ptr> errors(threads);
-    auto worker = [&](std::size_t slot) {
-      try {
-        for (;;) {
-          const std::size_t i = next.fetch_add(1);
-          if (i >= cells_.size()) return;
-          run_cell(cells_[i], report.cells[i]);
-        }
-      } catch (...) {
-        errors[slot] = std::current_exception();
-      }
-    };
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t)
-      pool.emplace_back(worker, t);
-    for (std::thread& t : pool) t.join();
-    for (const std::exception_ptr& error : errors)
-      if (error) std::rethrow_exception(error);
-  }
+  // Results land at the cell's grid index, so the sharding (and the
+  // single-thread inline fast path inside parallel_for_index) cannot
+  // leak into the report — the determinism tests compare thread counts.
+  report.threads_used = parallel_for_index(
+      cells_.size(), threads,
+      [&](std::size_t i) { run_cell(cells_[i], report.cells[i]); });
 
   report.wall_seconds = seconds_since(start);
   report.combined_fingerprint = combine_fingerprints(report.cells);

@@ -1,16 +1,6 @@
 #include "scenario/snapshot.hpp"
 
-#include <bit>
-
 namespace onion::scenario {
-
-namespace {
-void put_u64(Bytes& out, std::uint64_t v) { append(out, be64(v)); }
-
-void put_f64(Bytes& out, double v) {
-  put_u64(out, std::bit_cast<std::uint64_t>(v));
-}
-}  // namespace
 
 Bytes serialize(const MetricsSnapshot& s) {
   Bytes out;

@@ -1,0 +1,80 @@
+#include "scenario/trace.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/bytes.hpp"
+#include "common/check.hpp"
+#include "crypto/sha256.hpp"
+
+namespace onion::scenario {
+
+Bytes serialize(const CampaignEvent& e) {
+  Bytes out;
+  out.reserve(8 * 3 + 1);
+  put_u64(out, e.at);
+  out.push_back(static_cast<std::uint8_t>(e.kind));
+  put_u64(out, e.a);
+  put_u64(out, e.b);
+  return out;
+}
+
+void CampaignTrace::on_begin(const ScenarioSpec& spec,
+                             const std::vector<graph::NodeId>& initial) {
+  ONION_EXPECTS(!began_);  // one campaign per trace
+  began_ = true;
+  spec_ = spec;
+  initial_ = initial;
+}
+
+void CampaignTrace::on_event(const CampaignEvent& e) {
+  ONION_EXPECTS(began_);
+  events_.push_back(e);
+}
+
+void CampaignTrace::on_snapshot(const MetricsSnapshot& s) {
+  snapshots_.push_back(s);
+  events_before_.push_back(events_.size());
+}
+
+std::vector<CampaignTrace::Lifetime> CampaignTrace::lifetimes() const {
+  ONION_EXPECTS(began_);
+  // Node ids are allocated monotonically and never reused, so a map
+  // keyed by id yields the sorted order directly.
+  std::map<graph::NodeId, Lifetime> alive;
+  for (const graph::NodeId u : initial_)
+    alive.emplace(u, Lifetime{u, 0, spec_.horizon});
+  for (const CampaignEvent& e : events_) {
+    switch (e.kind) {
+      case TraceEventKind::Join:
+        alive.emplace(static_cast<graph::NodeId>(e.a),
+                      Lifetime{static_cast<graph::NodeId>(e.a), e.at,
+                               spec_.horizon});
+        break;
+      case TraceEventKind::Leave:
+      case TraceEventKind::Takedown: {
+        const auto it = alive.find(static_cast<graph::NodeId>(e.a));
+        ONION_ENSURES(it != alive.end());  // only alive bots can die
+        if (it->second.death == spec_.horizon) it->second.death = e.at;
+        break;
+      }
+      case TraceEventKind::Peering:
+      case TraceEventKind::SoapCapture:
+      case TraceEventKind::SoapRound:
+        break;  // no membership effect
+    }
+  }
+  std::vector<Lifetime> out;
+  out.reserve(alive.size());
+  for (const auto& [node, life] : alive) out.push_back(life);
+  return out;
+}
+
+std::string CampaignTrace::fingerprint() const {
+  crypto::Sha256 hasher;
+  for (const CampaignEvent& e : events_) hasher.update(serialize(e));
+  const crypto::Sha256Digest digest = hasher.finalize();
+  return to_hex(BytesView(digest.data(), digest.size()));
+}
+
+}  // namespace onion::scenario

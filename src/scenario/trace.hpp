@@ -1,0 +1,121 @@
+// The campaign event tap: where snapshot sinks see the overlay's state
+// once per metrics period, a TraceSink sees every discrete thing the
+// campaign *did* — joins, leaves, takedowns, bootstrap peering requests,
+// SOAP captures and rounds — as it happens, in simulator order. A
+// recorded CampaignTrace is the replayable record the telemetry
+// synthesizer (detection/replay.hpp) turns into defender-visible
+// traffic: per-bot lifetimes bound when each bot can emit flows, and
+// the event stream marks when it was busy bootstrapping or under SOAP.
+//
+// The tap is passive. It draws nothing from the engine's RNG streams
+// and mutates nothing, so attaching a TraceSink can never perturb a
+// campaign: snapshot fingerprints with and without a tap are identical
+// (tests/replay_test.cpp enforces this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "graph/graph.hpp"
+#include "scenario/snapshot.hpp"
+#include "scenario/spec.hpp"
+
+namespace onion::scenario {
+
+/// What happened. The CampaignEvent fields `a` and `b` are overloaded
+/// per kind (documented inline); kinds the campaign never fired simply
+/// never appear in the stream.
+enum class TraceEventKind : std::uint8_t {
+  Join,         // a = newcomer node id
+  Leave,        // a = departing node id
+  Takedown,     // a = victim node id
+  Peering,      // a = requester node id, b = target node id (bootstrap)
+  SoapCapture,  // a = captured bot node id
+  SoapRound,    // a = cumulative clones created, b = cumulative contained
+};
+
+/// One campaign event, stamped with simulated time.
+struct CampaignEvent {
+  SimTime at = 0;
+  TraceEventKind kind = TraceEventKind::Join;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+
+  friend bool operator==(const CampaignEvent&,
+                         const CampaignEvent&) = default;
+};
+
+/// Canonical serialization of one event (fixed field order, big-endian
+/// words) — the unit the trace fingerprint hashes.
+Bytes serialize(const CampaignEvent& e);
+
+/// Receives the campaign's event stream. Implementations must not
+/// mutate the campaign; on_begin arrives once, before any event.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_begin(const ScenarioSpec& spec,
+                        const std::vector<graph::NodeId>& initial) = 0;
+  virtual void on_event(const CampaignEvent& e) = 0;
+};
+
+/// Records the whole campaign: spec echo, the initial honest
+/// population, every event, and (when also wired into the engine's
+/// snapshot fanout) the per-snapshot structure stream with its
+/// interleaving preserved. This is the input to detection::replay_trace.
+class CampaignTrace final : public TraceSink, public SnapshotSink {
+ public:
+  /// [birth, death) in simulated time; death == spec().horizon for bots
+  /// still alive at the end.
+  struct Lifetime {
+    graph::NodeId node = graph::kInvalidNode;
+    SimTime birth = 0;
+    SimTime death = 0;
+  };
+
+  // TraceSink.
+  void on_begin(const ScenarioSpec& spec,
+                const std::vector<graph::NodeId>& initial) override;
+  void on_event(const CampaignEvent& e) override;
+
+  // SnapshotSink: records the snapshot plus how many events preceded it,
+  // so differential tests can replay the exact interleaving.
+  void on_snapshot(const MetricsSnapshot& s) override;
+
+  const ScenarioSpec& spec() const { return spec_; }
+  bool began() const { return began_; }
+  const std::vector<graph::NodeId>& initial_nodes() const {
+    return initial_;
+  }
+  const std::vector<CampaignEvent>& events() const { return events_; }
+  const std::vector<MetricsSnapshot>& snapshots() const {
+    return snapshots_;
+  }
+  /// Events recorded before snapshot `i` arrived.
+  std::size_t events_before(std::size_t i) const {
+    return events_before_.at(i);
+  }
+  SimTime horizon() const { return spec_.horizon; }
+
+  /// Per-bot membership intervals, derived from the event stream:
+  /// initial nodes are born at 0, Join events at their timestamp; the
+  /// first Leave/Takedown naming a node ends it, otherwise it lives to
+  /// the horizon. Sorted by node id (node ids are never reused).
+  std::vector<Lifetime> lifetimes() const;
+
+  /// Chained SHA-256 over the serialized event stream (hex) — the
+  /// event-log analogue of HashSink's snapshot fingerprint.
+  std::string fingerprint() const;
+
+ private:
+  ScenarioSpec spec_;
+  bool began_ = false;
+  std::vector<graph::NodeId> initial_;
+  std::vector<CampaignEvent> events_;
+  std::vector<MetricsSnapshot> snapshots_;
+  std::vector<std::size_t> events_before_;
+};
+
+}  // namespace onion::scenario

@@ -62,6 +62,50 @@ TEST(Telemetry, AppendMergesAllStreams) {
   EXPECT_EQ(a.infected.size(), 1u);
 }
 
+TEST(Telemetry, AppendDeduplicatesGroundTruthPreservingOrder) {
+  // Two captures sharing the relay registry and some hosts must not
+  // double-count anything a rate denominator uses.
+  TrafficTrace a;
+  a.hosts = {1, 2, 3};
+  a.infected = {3};
+  a.known_tor_relays = {90, 91};
+  TrafficTrace b;
+  b.hosts = {2, 4, 3, 5};
+  b.infected = {3, 4};
+  b.known_tor_relays = {91, 92};
+  a.append(b);
+  EXPECT_EQ(a.hosts, (std::vector<HostId>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(a.infected, (std::vector<HostId>{3, 4}));
+  EXPECT_EQ(a.known_tor_relays, (std::vector<HostId>{90, 91, 92}));
+  // Scoring a verdict over the merged trace sees each host once.
+  DetectionResult r;
+  r.flagged = {3, 4};
+  EXPECT_DOUBLE_EQ(r.true_positive_rate(a), 1.0);
+  EXPECT_DOUBLE_EQ(r.false_positive_rate(a), 0.0);
+}
+
+TEST(Telemetry, SerializationCoversEveryStream) {
+  TrafficTrace a;
+  a.hosts = {1, 2};
+  a.infected = {2};
+  a.known_tor_relays = {9};
+  a.dns.push_back(DnsRecord{1, "x.example", false, 60, 7, 5});
+  a.flows.push_back(FlowRecord{2, 9, 443, 1024, true, 6});
+  const TrafficTrace b = a;
+  EXPECT_EQ(serialize(a), serialize(b));
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+
+  TrafficTrace c = a;
+  c.flows[0].bytes = 1025;  // any field change must move the bytes
+  EXPECT_NE(serialize(a), serialize(c));
+  TrafficTrace d = a;
+  d.dns[0].qname = "y.example";
+  EXPECT_NE(serialize(a), serialize(d));
+  TrafficTrace e = a;
+  e.known_tor_relays.push_back(10);
+  EXPECT_NE(serialize(a), serialize(e));
+}
+
 // --- workload generators ----------------------------------------------
 
 TEST(Traffic, GeneratorsProduceLabelledHosts) {
