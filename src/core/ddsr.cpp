@@ -25,8 +25,8 @@ void DdsrEngine::remove_node(NodeId u) {
       std::vector<NodeId> shuffled = former;
       rng_.shuffle(shuffled);
       for (std::size_t i = 0; i + 1 < shuffled.size(); i += 2)
-        if (graph_.add_edge(shuffled[i], shuffled[i + 1]))
-          ++stats_.repair_edges_added;
+        connect_edge(shuffled[i], shuffled[i + 1],
+                     stats_.repair_edges_added);
       break;
     }
   }
@@ -54,6 +54,16 @@ void DdsrEngine::repair_clique(const std::vector<NodeId>& former) {
   if (adjacent_.size() < cap) adjacent_.resize(cap, 0);
   for (std::size_t i = 0; i < former.size(); ++i) {
     const NodeId u = former[i];
+    if (connect_) {
+      // Charged path: the connector's peering policy can evict edges
+      // anywhere in the graph (including u's own), so membership tests
+      // go through the graph per request and no scratch bitmap state is
+      // carried across its side effects. Healing is rare relative to
+      // Figure-4-scale repair, so the O(deg) tests are affordable here.
+      for (std::size_t j = i + 1; j < former.size(); ++j)
+        connect_edge(u, former[j], stats_.repair_edges_added);
+      continue;
+    }
     // Mark u's existing neighbors, connect to every unmarked later
     // member, then unmark.
     for (const NodeId w : graph_.neighbors(u)) adjacent_[w] = 1;
@@ -65,6 +75,21 @@ void DdsrEngine::repair_clique(const std::vector<NodeId>& former) {
     }
     for (const NodeId w : graph_.neighbors(u)) adjacent_[w] = 0;
   }
+}
+
+bool DdsrEngine::connect_edge(NodeId a, NodeId b, std::uint64_t& counter) {
+  if (!connect_) {
+    if (!graph_.add_edge(a, b)) return false;  // duplicate: no-op
+    ++counter;
+    return true;
+  }
+  if (a == b || graph_.has_edge(a, b)) return false;
+  if (!connect_(a, b)) {
+    ++stats_.heal_requests_denied;
+    return false;
+  }
+  ++counter;
+  return true;
 }
 
 void DdsrEngine::prune_node(NodeId v, std::vector<NodeId>& lost_edge) {
@@ -133,8 +158,11 @@ void DdsrEngine::refill_node(NodeId v) {
       const auto& pool = with_capacity.empty() ? candidates : with_capacity;
       const NodeId pick =
           pool[static_cast<std::size_t>(rng_.uniform(pool.size()))];
-      graph_.add_edge(u, pick);
-      ++stats_.refill_edges_added;
+      // A charged refill can be denied (PoW/rate limit); the node gives
+      // up for now like OverlayNetwork::refill — a later repair or
+      // defense round may retry. Uncharged adds never fail here
+      // (candidates exclude existing edges).
+      if (!connect_edge(u, pick, stats_.refill_edges_added)) break;
       // A full acceptor evicts its highest-degree neighbor, mirroring
       // Bot::on_peer_request; the victim is queued for its own refill.
       if (policy_.prune && graph_.degree(pick) > policy_.dmax) {

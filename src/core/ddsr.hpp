@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "common/rng.hpp"
 #include "graph/graph.hpp"
@@ -58,6 +59,10 @@ struct DdsrStats {
   std::uint64_t repair_edges_added = 0;
   std::uint64_t prune_edges_removed = 0;
   std::uint64_t refill_edges_added = 0;
+  /// Repair/refill requests a connector (below) refused — nonzero only
+  /// under defense-consistent healing, where PoW/rate limits can turn
+  /// an edge the graph-level protocol would have created into a denial.
+  std::uint64_t heal_requests_denied = 0;
 
   /// Peer messages implied by the counters: each repair, prune, or
   /// refill edge operation is one request/acknowledge exchange in the
@@ -84,6 +89,17 @@ class DdsrEngine {
   /// the simultaneous-takedown model of Figure 6).
   void remove_node_no_repair(graph::NodeId u);
 
+  /// How repair and refill edges come into being. Default (none):
+  /// direct graph mutation — NoN peers are pre-acquainted, so healing
+  /// is free. A connector interposes a peering policy: it is handed the
+  /// two endpoints, returns whether the edge now exists, and owns any
+  /// side effects (PoW charges, rate-limit denials, evictions). The
+  /// scenario engine wires this to OverlayNetwork::request_peering for
+  /// defense-consistent ablations. Pruning stays direct either way —
+  /// dropping a peer ("Forgetting") is not a request anyone can refuse.
+  using Connector = std::function<bool(graph::NodeId, graph::NodeId)>;
+  void set_connector(Connector connect) { connect_ = std::move(connect); }
+
   const DdsrStats& stats() const { return stats_; }
   const DdsrPolicy& policy() const { return policy_; }
 
@@ -91,11 +107,16 @@ class DdsrEngine {
   void prune_node(graph::NodeId v, std::vector<graph::NodeId>& lost_edge);
   void refill_node(graph::NodeId v);
   void repair_clique(const std::vector<graph::NodeId>& former);
+  /// Adds the edge directly or through the connector; updates `counter`
+  /// on success, heal_requests_denied on refusal.
+  bool connect_edge(graph::NodeId a, graph::NodeId b,
+                    std::uint64_t& counter);
 
   graph::Graph& graph_;
   DdsrPolicy policy_;
   Rng& rng_;
   DdsrStats stats_;
+  Connector connect_;  // empty = direct graph mutation
   /// Scratch adjacency bitmap for repair_clique, kept across calls so
   /// the unpruned Figure-4 runs (degrees in the thousands) pay O(1) per
   /// membership test instead of an O(deg) adjacency scan.

@@ -126,9 +126,18 @@ ReplayResult replay_trace(const CampaignTrace& campaign,
         if (soap_captured != graph::kInvalidNode)
           cell_from(soap_captured, e.at);
         break;
+      case TraceEventKind::HealPeering:
+        // Charged DDSR healing is real peer traffic: both the repair
+        // request and its answer ride Tor circuits, exactly like
+        // bootstrap peering above.
+        cell_from(e.a, e.at);
+        cell_from(e.b, e.at);
+        break;
       case TraceEventKind::Join:
       case TraceEventKind::Leave:
       case TraceEventKind::Takedown:
+      case TraceEventKind::WaveStart:       // attacker-side bookkeeping:
+      case TraceEventKind::AdaptiveRefresh: // no bot emits anything
         break;
     }
   }

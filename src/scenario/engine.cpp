@@ -36,9 +36,41 @@ CampaignEngine::CampaignEngine(const ScenarioSpec& spec, SnapshotSink& sink,
       net_(core::OverlayNetwork::random_regular(
           spec.initial_size, spec.degree, overlay_config(spec), rng_)),
       ddsr_(net_.graph_mut(), ddsr_policy(spec), rng_),
-      tracker_(net_),
-      soap_(spec.attacks.size()) {
+      tracker_(net_) {
   ONION_EXPECTS(spec_.metrics.period > 0);
+
+  // Compile the attack schedule: standalone phases first, then the wave
+  // plan unrolled onto an absolute clock — each wave runs for its
+  // duration, then the overlay heals through the quiet gap before the
+  // next wave begins.
+  phases_ = spec_.attacks;
+  wave_base_ = phases_.size();
+  SimTime wave_clock = spec_.waves.start;
+  for (const AttackWave& wave : spec_.waves.waves) {
+    AttackPhase phase = wave.attack;
+    phase.start = wave_clock;
+    phase.stop = wave_clock + wave.duration;
+    phases_.push_back(phase);
+    wave_clock = phase.stop + wave.quiet_after;
+  }
+  wave_takedowns_.resize(spec_.waves.waves.size(), 0);
+  soap_.resize(phases_.size());
+  adaptive_.resize(phases_.size());
+
+  if (spec_.defense.charge_healing) {
+    // Defense-consistent healing: every DDSR repair/refill edge becomes
+    // a peering request against the PoW/rate-limit policy. An eviction
+    // it causes is mended the same way a bootstrap eviction is.
+    ddsr_.set_connector([this](NodeId a, NodeId b) {
+      emit(TraceEventKind::HealPeering, a, b);
+      NodeId evicted = graph::kInvalidNode;
+      const core::PeerDecision decision =
+          net_.request_peering(a, b, &evicted);
+      if (evicted != graph::kInvalidNode) net_.refill(evicted);
+      return decision == core::PeerDecision::AcceptedWithCapacity ||
+             decision == core::PeerDecision::AcceptedEvicted;
+    });
+  }
 }
 
 MetricsSnapshot CampaignEngine::run() {
@@ -49,16 +81,36 @@ MetricsSnapshot CampaignEngine::run() {
   const SimTime horizon = spec_.horizon;
   if (horizon == 0) return last_;
 
+  if (spec_.churn.session_leaves) {
+    // Per-bot sessions: the initial population draws its lifetimes up
+    // front, in node order (the draws happen even for sessions that
+    // outlive the horizon, so the stream position is spec-independent).
+    for (const NodeId u : net_.honest_nodes())
+      arm_session_leave(u, sample_session(spec_.churn.session, rng_));
+  }
   if (spec_.churn.joins_per_hour > 0.0)
     arm_join(exp_gap(spec_.churn.joins_per_hour));
-  if (spec_.churn.leaves_per_hour > 0.0)
+  if (!spec_.churn.session_leaves && spec_.churn.leaves_per_hour > 0.0)
     arm_leave(exp_gap(spec_.churn.leaves_per_hour));
-  for (std::size_t i = 0; i < spec_.attacks.size(); ++i) {
-    const AttackPhase& phase = spec_.attacks[i];
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    const AttackPhase& phase = phases_[i];
     if (phase.stop <= phase.start || phase.start >= horizon) continue;
+    if (i >= wave_base_) {
+      // Wave boundary marker: a no-op event (draws nothing) that stamps
+      // the wave's opening into the trace.
+      const std::size_t wave_index = i - wave_base_;
+      sim_.schedule_at(phase.start, [this, wave_index, i] {
+        emit(TraceEventKind::WaveStart, wave_index,
+             static_cast<std::uint64_t>(phases_[i].kind));
+      });
+    }
     if (phase.kind == AttackKind::SoapInjection) {
       arm_soap(i, phase.start);
     } else if (phase.takedowns_per_hour > 0.0) {
+      if (phase.kind == AttackKind::AdaptiveTakedown &&
+          phase.refresh_period > 0 &&
+          phase.refresh_period != kNeverRefresh)
+        arm_refresh(i, phase.start);
       arm_takedown(i, phase.start + exp_gap(phase.takedowns_per_hour));
     }
   }
@@ -89,6 +141,11 @@ void CampaignEngine::arm_leave(SimTime t) {
   });
 }
 
+void CampaignEngine::arm_session_leave(NodeId bot, SimTime t) {
+  if (t >= spec_.horizon) return;  // the session outlives the campaign
+  sim_.schedule_at(t, [this, bot] { do_session_leave(bot); });
+}
+
 void CampaignEngine::do_join() {
   ++counters_.joins;
   const NodeId id = net_.add_node(/*honest=*/true);
@@ -107,6 +164,9 @@ void CampaignEngine::do_join() {
     if (evicted != graph::kInvalidNode) net_.refill(evicted);
   }
   net_.refill(id);  // top up if some requests were rejected/limited
+  if (spec_.churn.session_leaves)
+    arm_session_leave(
+        id, sim_.now() + sample_session(spec_.churn.session, rng_));
 }
 
 void CampaignEngine::do_leave() {
@@ -122,34 +182,71 @@ void CampaignEngine::do_leave() {
   }
 }
 
+void CampaignEngine::do_session_leave(NodeId bot) {
+  // The session may have been cut short by an attack; only a bot that
+  // is still alive can leave, and never the last one standing.
+  if (!net_.alive(bot)) return;
+  if (net_.honest_nodes().size() <= 1) return;
+  ++counters_.leaves;
+  emit(TraceEventKind::Leave, bot);
+  if (spec_.churn.heal_on_leave) {
+    ddsr_.remove_node(bot);
+  } else {
+    ddsr_.remove_node_no_repair(bot);
+  }
+}
+
 // --- attacks ---------------------------------------------------------
 
 void CampaignEngine::arm_takedown(std::size_t phase_index, SimTime t) {
-  const AttackPhase& phase = spec_.attacks[phase_index];
+  const AttackPhase& phase = phases_[phase_index];
   if (t >= phase.stop || t >= spec_.horizon) return;
   sim_.schedule_at(t, [this, phase_index] {
-    const AttackPhase& ph = spec_.attacks[phase_index];
-    do_takedown(ph);
+    do_takedown(phase_index);
     arm_takedown(phase_index,
-                 sim_.now() + exp_gap(ph.takedowns_per_hour));
+                 sim_.now() + exp_gap(phases_[phase_index].takedowns_per_hour));
   });
 }
 
-void CampaignEngine::do_takedown(const AttackPhase& phase) {
+void CampaignEngine::do_takedown(std::size_t phase_index) {
   const std::vector<NodeId> honest = net_.honest_nodes();
   if (honest.size() <= 1) return;
-  const NodeId victim = pick_victim(phase, honest);
+  const NodeId victim = pick_victim(phase_index, honest);
   ++counters_.takedowns;
+  if (phase_index >= wave_base_)
+    ++wave_takedowns_[phase_index - wave_base_];
   emit(TraceEventKind::Takedown, victim);
-  if (phase.heal) {
+  if (phases_[phase_index].heal) {
     ddsr_.remove_node(victim);
   } else {
     ddsr_.remove_node_no_repair(victim);
   }
 }
 
+namespace {
+/// Index >= score table size means the node joined after the ranking
+/// was computed: unsurveyed, score 0.
+double score_of(const std::vector<double>& score, graph::NodeId u) {
+  return u < score.size() ? score[u] : 0.0;
+}
+
+graph::NodeId best_by_score(const std::vector<double>& score,
+                            const std::vector<graph::NodeId>& honest) {
+  graph::NodeId best = honest.front();
+  double best_score = score_of(score, best);
+  for (const graph::NodeId u : honest) {
+    if (score_of(score, u) > best_score) {
+      best_score = score_of(score, u);
+      best = u;
+    }
+  }
+  return best;
+}
+}  // namespace
+
 CampaignEngine::NodeId CampaignEngine::pick_victim(
-    const AttackPhase& phase, const std::vector<NodeId>& honest) {
+    std::size_t phase_index, const std::vector<NodeId>& honest) {
+  const AttackPhase& phase = phases_[phase_index];
   switch (phase.kind) {
     case AttackKind::RandomTakedown:
       return rng_.pick(honest);
@@ -168,15 +265,18 @@ CampaignEngine::NodeId CampaignEngine::pick_victim(
     case AttackKind::CentralityTakedown: {
       const std::vector<double> bc = graph::betweenness_sampled(
           net_.graph(), phase.betweenness_pivots, rng_);
-      NodeId best = honest.front();
-      double best_score = bc[best];
-      for (const NodeId u : honest) {
-        if (bc[u] > best_score) {
-          best_score = bc[u];
-          best = u;
-        }
-      }
-      return best;
+      return best_by_score(bc, honest);
+    }
+    case AttackKind::AdaptiveTakedown: {
+      AdaptiveState& state = adaptive_[phase_index];
+      // refresh_period 0 re-surveys before every strike — the
+      // refresh-cadence → ∞ limit, byte-identical to Centrality/
+      // TargetedTakedown for the matching metric. Otherwise the first
+      // strike ranks lazily if no scheduled refresh ran yet, and the
+      // cached (stale) table serves until the next cadence refresh.
+      if (!state.ranked || phase.refresh_period == 0)
+        refresh_ranking(phase_index);
+      return best_by_score(state.score, honest);
     }
     case AttackKind::SoapInjection:
       break;  // SOAP phases never pick takedown victims
@@ -185,11 +285,46 @@ CampaignEngine::NodeId CampaignEngine::pick_victim(
   return graph::kInvalidNode;
 }
 
-void CampaignEngine::arm_soap(std::size_t phase_index, SimTime t) {
-  const AttackPhase& phase = spec_.attacks[phase_index];
+void CampaignEngine::refresh_ranking(std::size_t phase_index) {
+  const AttackPhase& phase = phases_[phase_index];
+  AdaptiveState& state = adaptive_[phase_index];
+  switch (phase.rank) {
+    case RankMetric::SampledBetweenness:
+      state.score = graph::betweenness_sampled(
+          net_.graph(), phase.betweenness_pivots, rng_);
+      break;
+    case RankMetric::Degree: {
+      const graph::Graph& g = net_.graph();
+      state.score.assign(g.capacity(), 0.0);
+      for (NodeId u = 0; u < g.capacity(); ++u)
+        if (g.alive(u))
+          state.score[u] = static_cast<double>(g.degree(u));
+      break;
+    }
+  }
+  state.ranked = true;
+}
+
+void CampaignEngine::arm_refresh(std::size_t phase_index, SimTime t) {
+  const AttackPhase& phase = phases_[phase_index];
   if (t >= phase.stop || t >= spec_.horizon) return;
   sim_.schedule_at(t, [this, phase_index, t] {
-    const AttackPhase& ph = spec_.attacks[phase_index];
+    refresh_ranking(phase_index);
+    if (trace_ != nullptr) {  // the top-target scan is trace-only work
+      const std::vector<NodeId> honest = net_.honest_nodes();
+      if (!honest.empty())
+        emit(TraceEventKind::AdaptiveRefresh, phase_index,
+             best_by_score(adaptive_[phase_index].score, honest));
+    }
+    arm_refresh(phase_index, t + phases_[phase_index].refresh_period);
+  });
+}
+
+void CampaignEngine::arm_soap(std::size_t phase_index, SimTime t) {
+  const AttackPhase& phase = phases_[phase_index];
+  if (t >= phase.stop || t >= spec_.horizon) return;
+  sim_.schedule_at(t, [this, phase_index, t] {
+    const AttackPhase& ph = phases_[phase_index];
     SoapPhaseState& state = soap_[phase_index];
     if (!state.campaign) {
       const std::vector<NodeId> honest = net_.honest_nodes();
@@ -271,6 +406,7 @@ MetricsSnapshot CampaignEngine::compute_snapshot() {
     s.soap_clones += state.campaign->clones_created();
     s.soap_contained += state.campaign->contained_count();
   }
+  s.wave_takedowns = wave_takedowns_;
   return s;
 }
 

@@ -1,0 +1,65 @@
+#include "scenario/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace onion::scenario {
+
+double sample_session_hours(const SessionSpec& spec, Rng& rng) {
+  ONION_EXPECTS(spec.min_hours <= spec.max_hours);
+  ONION_EXPECTS(spec.pareto_alpha > 1.0);
+  ONION_EXPECTS(spec.lognormal_sigma >= 0.0);
+
+  // Every branch consumes its model's full draw budget before any
+  // degenerate-parameter shortcut, keeping the stream position
+  // spec-independent per sample.
+  double x = 0.0;
+  switch (spec.model) {
+    case SessionModel::Exponential: {
+      // 1 - u in (0, 1]: log never sees 0.
+      const double u = rng.uniform_real();
+      x = spec.mean_hours > 0.0 ? -spec.mean_hours * std::log1p(-u) : 0.0;
+      break;
+    }
+    case SessionModel::Pareto: {
+      // Scale chosen so the mean hits spec.mean_hours:
+      // E[X] = alpha * x_m / (alpha - 1).
+      const double u = rng.uniform_real();
+      if (spec.mean_hours > 0.0) {
+        const double xm =
+            spec.mean_hours * (spec.pareto_alpha - 1.0) / spec.pareto_alpha;
+        x = xm * std::pow(1.0 - u, -1.0 / spec.pareto_alpha);
+      }
+      break;
+    }
+    case SessionModel::LogNormal: {
+      // Box-Muller (cosine branch only: a fixed two-uniform budget).
+      const double u1 = rng.uniform_real();
+      const double u2 = rng.uniform_real();
+      if (spec.mean_hours > 0.0) {
+        const double z = std::sqrt(-2.0 * std::log1p(-u1)) *
+                         std::cos(2.0 * std::numbers::pi * u2);
+        // mu chosen so the arithmetic mean hits spec.mean_hours:
+        // E[X] = exp(mu + sigma^2 / 2).
+        const double mu = std::log(spec.mean_hours) -
+                          spec.lognormal_sigma * spec.lognormal_sigma / 2.0;
+        x = std::exp(mu + spec.lognormal_sigma * z);
+      }
+      break;
+    }
+  }
+  return std::clamp(x, spec.min_hours, spec.max_hours);
+}
+
+SimDuration sample_session(const SessionSpec& spec, Rng& rng) {
+  const double ms =
+      sample_session_hours(spec, rng) * static_cast<double>(kHour);
+  constexpr double kMaxSession = 9.0e15;  // far past any sane horizon
+  if (!(ms < kMaxSession)) return static_cast<SimDuration>(kMaxSession);
+  return ms < 1.0 ? SimDuration{1} : static_cast<SimDuration>(ms);
+}
+
+}  // namespace onion::scenario

@@ -30,6 +30,13 @@ Bytes serialize(const MetricsSnapshot& s) {
     out.push_back(static_cast<std::uint8_t>(count >> 8));
     out.push_back(static_cast<std::uint8_t>(count));
   }
+  // Wave attribution is appended only when present: a plan-free
+  // snapshot keeps the exact pre-wave byte layout (the committed golden
+  // fingerprints depend on it).
+  if (!s.wave_takedowns.empty()) {
+    put_u64(out, s.wave_takedowns.size());
+    for (const std::uint64_t count : s.wave_takedowns) put_u64(out, count);
+  }
   return out;
 }
 

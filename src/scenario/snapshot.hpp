@@ -47,6 +47,12 @@ struct MetricsSnapshot {
   std::uint64_t repair_messages = 0;  // DdsrStats::maintenance_messages
   std::uint64_t soap_clones = 0;
   std::uint64_t soap_contained = 0;
+  /// wave_takedowns[w] = cumulative victims attributed to wave `w` of
+  /// the spec's WavePlan. Empty unless the campaign runs a wave plan;
+  /// an empty vector serializes to nothing, so plan-free streams (and
+  /// their committed golden fingerprints) are byte-identical to the
+  /// pre-wave encoding.
+  std::vector<std::uint64_t> wave_takedowns;
 
   bool connected() const { return components <= 1; }
 };

@@ -1,11 +1,13 @@
 // Declarative scenario specifications for the campaign engine. A
 // ScenarioSpec describes one seeded experiment — initial overlay, a
-// churn process, scheduled attack phases, defense toggles, and a metrics
-// cadence — without any imperative loop; src/scenario/engine.hpp
-// compiles it onto the discrete-event simulator. The attack vocabulary
-// follows the paper's Section V takedown sweeps and the SOAP campaign of
-// Section VI-B; the defenses are the Section VII-A proof-of-work and
-// rate-limiting knobs already modeled by core/overlay.hpp.
+// churn process, scheduled attack phases and/or an ordered multi-wave
+// plan, defense toggles, and a metrics cadence — without any imperative
+// loop; src/scenario/engine.hpp compiles it onto the discrete-event
+// simulator. The attack vocabulary follows the paper's Section V
+// takedown sweeps and the SOAP campaign of Section VI-B, extended with
+// the adaptive re-targeting attacker a real defender runs against a
+// self-healing overlay; the defenses are the Section VII-A proof-of-work
+// and rate-limiting knobs already modeled by core/overlay.hpp.
 #pragma once
 
 #include <cstdint>
@@ -13,17 +15,28 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "scenario/session.hpp"
 
 namespace onion::scenario {
 
-/// Background membership churn: Poisson joins and leaves, rates in
-/// events per simulated hour. Leaves are "gradual" deaths: the paper's
-/// model where the overlay notices and heals (unless disabled).
+/// Background membership churn: Poisson joins, and leaves from either a
+/// pooled Poisson process or per-bot session lengths. Leaves are
+/// "gradual" deaths: the paper's model where the overlay notices and
+/// heals (unless disabled).
 struct ChurnSpec {
   double joins_per_hour = 0.0;
   double leaves_per_hour = 0.0;
   /// DDSR repair of a leaver's neighborhood (clique + prune + refill).
   bool heal_on_leave = true;
+
+  /// When true, leaves are driven per bot instead of by the pooled
+  /// `leaves_per_hour` process (which is then ignored): every initial
+  /// bot draws a session length from `session` at t = 0, every joiner
+  /// at its join, and leaves when it expires — unless an attack killed
+  /// it first. Heavy-tailed models (Pareto, LogNormal) reproduce the
+  /// measured P2P pattern of many short sessions plus a long-lived core.
+  bool session_leaves = false;
+  SessionSpec session;
 };
 
 /// What an attack phase does while its window is open.
@@ -32,7 +45,19 @@ enum class AttackKind : std::uint8_t {
   TargetedTakedown,    // highest-degree bot first
   CentralityTakedown,  // highest pivot-sampled betweenness first
   SoapInjection,       // clone-based containment (Section VI-B)
+  AdaptiveTakedown,    // re-ranks victims on a refresh cadence (below)
 };
+
+/// How an AdaptiveTakedown attacker scores victims when it (re)ranks.
+enum class RankMetric : std::uint8_t {
+  SampledBetweenness,  // pivot-sampled Brandes betweenness
+  Degree,              // live degree (cheap survey)
+};
+
+/// AttackPhase::refresh_period value meaning "rank once, never refresh":
+/// the attacker surveys the overlay at its first strike and then works
+/// through that stale hit list as the network heals around it.
+constexpr SimDuration kNeverRefresh = ~SimDuration{0};
 
 /// One scheduled attack window [start, stop).
 struct AttackPhase {
@@ -45,21 +70,58 @@ struct AttackPhase {
   /// Whether victims' neighborhoods run DDSR repair (gradual takedown)
   /// or not (the simultaneous-takedown model of Figure 6).
   bool heal = true;
-  /// CentralityTakedown: pivots for the sampled betweenness ranking.
+  /// CentralityTakedown / AdaptiveTakedown(SampledBetweenness): pivots
+  /// for the sampled betweenness ranking.
   std::size_t betweenness_pivots = 64;
+
+  /// AdaptiveTakedown: the victim-ranking metric, and how often the
+  /// attacker re-surveys the healing overlay. 0 re-ranks before every
+  /// strike — with rank == SampledBetweenness that is event-stream-
+  /// identical to CentralityTakedown (the refresh-cadence → ∞ limit;
+  /// tests/scenario_test.cpp enforces the identity byte-for-byte), and
+  /// with rank == Degree identical to TargetedTakedown. kNeverRefresh
+  /// ranks once at the first strike. Any value in between schedules
+  /// refreshes at start, start + refresh_period, ... inside the window,
+  /// each recorded as a TraceEventKind::AdaptiveRefresh.
+  RankMetric rank = RankMetric::SampledBetweenness;
+  SimDuration refresh_period = 0;
 
   /// SoapInjection: campaign cadence and per-tick round count.
   SimDuration soap_tick = kMinute;
   std::size_t soap_rounds_per_tick = 1;
 };
 
+/// One wave of a staged campaign plan: an attack that runs for
+/// `duration`, followed by a quiet period in which the overlay heals
+/// undisturbed before the next wave begins. The wave's attack carries
+/// its own kind/intensity knobs; its start/stop are ignored and set
+/// from the plan clock.
+struct AttackWave {
+  AttackPhase attack;
+  SimDuration duration = 0;
+  SimDuration quiet_after = 0;
+};
+
+/// An ordered takedown→heal→re-takedown plan: waves run back to back
+/// from `start`, separated by their quiet periods. Waves are compiled
+/// into absolute attack windows next to ScenarioSpec::attacks, and each
+/// wave's victims are attributed in MetricsSnapshot::wave_takedowns. A
+/// plan with one wave reproduces the equivalent single-phase run's
+/// event stream exactly (modulo the WaveStart marker; differential in
+/// tests/scenario_test.cpp).
+struct WavePlan {
+  SimTime start = 0;
+  std::vector<AttackWave> waves;
+};
+
 /// Defense toggles (Section VII-A). They gate the overlay's *peering
 /// requests* — bootstrap joins, post-eviction refills, and SOAP clone
-/// injection — which is the surface the paper's PoW/rate-limit defenses
-/// target. DDSR self-healing after a death (clique repair among a dead
-/// bot's former neighbors, who already know each other through NoN)
-/// runs at the graph level and is not charged; routing it through the
-/// peering policy for defense-consistent ablations is a ROADMAP item.
+/// injection. By default DDSR self-healing after a death (clique repair
+/// among a dead bot's former neighbors, who already know each other
+/// through NoN) runs at the graph level and is not charged;
+/// `charge_healing` routes those repair/refill edges through
+/// OverlayNetwork::request_peering too, so PoW/rate-limit ablations
+/// charge honest self-healing the way refill already is.
 struct DefenseSpec {
   /// Peering acceptances per node per round; max() disables the limit.
   std::size_t rate_limit_per_round =
@@ -71,6 +133,15 @@ struct DefenseSpec {
   /// Rate-limit round length (per-round acceptance counters reset on
   /// this cadence).
   SimDuration round = kMinute;
+
+  /// Defense-consistent healing: when true, every DDSR death-repair and
+  /// refill edge is a peering request subject to the PoW/rate-limit
+  /// policy above (denials leave the hole open until a later round;
+  /// DdsrStats::heal_requests_denied counts them, and each request is
+  /// recorded as a TraceEventKind::HealPeering). False preserves the
+  /// original uncharged graph-level repair semantics — and the
+  /// committed golden fingerprints — exactly.
+  bool charge_healing = false;
 };
 
 /// Snapshot cadence and which optional (costlier) metrics to include.
@@ -94,6 +165,7 @@ struct ScenarioSpec {
 
   ChurnSpec churn;
   std::vector<AttackPhase> attacks;
+  WavePlan waves;
   DefenseSpec defense;
   MetricsSpec metrics;
 };

@@ -61,6 +61,9 @@ std::vector<CampaignTrace::Lifetime> CampaignTrace::lifetimes() const {
       case TraceEventKind::Peering:
       case TraceEventKind::SoapCapture:
       case TraceEventKind::SoapRound:
+      case TraceEventKind::WaveStart:
+      case TraceEventKind::AdaptiveRefresh:
+      case TraceEventKind::HealPeering:
         break;  // no membership effect
     }
   }

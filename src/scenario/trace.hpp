@@ -34,6 +34,11 @@ enum class TraceEventKind : std::uint8_t {
   Peering,      // a = requester node id, b = target node id (bootstrap)
   SoapCapture,  // a = captured bot node id
   SoapRound,    // a = cumulative clones created, b = cumulative contained
+  // Appended kinds (serialized values are stable; streams recorded
+  // before these existed simply never contain them):
+  WaveStart,        // a = wave index in the plan, b = AttackKind value
+  AdaptiveRefresh,  // a = phase index, b = top-ranked victim node id
+  HealPeering,      // a = requester, b = target (charged DDSR healing)
 };
 
 /// One campaign event, stamped with simulated time.

@@ -12,6 +12,7 @@
 #include "crypto/elligator_sim.hpp"
 #include "graph/generators.hpp"
 #include "graph/metrics.hpp"
+#include "scenario/session.hpp"
 
 namespace onion {
 namespace {
@@ -440,6 +441,131 @@ INSTANTIATE_TEST_SUITE_P(PayloadSizes, EncodingSweep,
                          ::testing::Values(0, 1, 2, 15, 16, 17, 64, 128,
                                            255, 256, 400,
                                            crypto::kUniformCellCapacity));
+
+// ====================================================================
+// Session-length sampler: mean accuracy, tail-mass ordering,
+// degenerate parameters, determinism in both directions
+// ====================================================================
+
+using scenario::sample_session;
+using scenario::sample_session_hours;
+using scenario::SessionModel;
+using scenario::SessionSpec;
+
+constexpr SessionModel kAllModels[] = {SessionModel::Exponential,
+                                       SessionModel::Pareto,
+                                       SessionModel::LogNormal};
+
+class SessionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SessionSweep, EmpiricalMeanTracksTheSpecForEveryModel) {
+  for (const SessionModel model : kAllModels) {
+    SessionSpec spec;
+    spec.model = model;
+    spec.mean_hours = 2.0;
+    // Finite-variance corners of each family, so the sample mean of a
+    // modest draw count actually settles (Pareto alpha in (1, 2] has
+    // infinite variance by design — covered by the tail test instead).
+    spec.pareto_alpha = 3.0;
+    spec.lognormal_sigma = 0.8;
+    Rng rng(0x5e55 + GetParam() * 131);
+    constexpr std::size_t kDraws = 20'000;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < kDraws; ++i)
+      sum += sample_session_hours(spec, rng);
+    const double mean = sum / static_cast<double>(kDraws);
+    EXPECT_NEAR(mean, spec.mean_hours, spec.mean_hours * 0.15)
+        << "model " << static_cast<int>(model) << " drifted";
+  }
+}
+
+TEST_P(SessionSweep, ParetoCarriesMoreTailMassThanExponential) {
+  // P(X > 5 * mean): exponential e^-5 ~ 0.7%; Pareto(alpha = 1.5)
+  // (x_m / 5)^1.5 ~ 1.7%. The ordering must hold at every seed.
+  const double mean = 1.0;
+  const double cut = 5.0 * mean;
+  constexpr std::size_t kDraws = 20'000;
+  std::size_t exp_tail = 0;
+  std::size_t pareto_tail = 0;
+  for (const bool pareto : {false, true}) {
+    SessionSpec spec;
+    spec.model = pareto ? SessionModel::Pareto : SessionModel::Exponential;
+    spec.mean_hours = mean;
+    spec.pareto_alpha = 1.5;
+    Rng rng(0x7a11 + GetParam());
+    std::size_t& tail = pareto ? pareto_tail : exp_tail;
+    for (std::size_t i = 0; i < kDraws; ++i)
+      if (sample_session_hours(spec, rng) > cut) ++tail;
+  }
+  EXPECT_GT(exp_tail, 0u);  // the cut is reachable by both
+  EXPECT_GT(pareto_tail, exp_tail)
+      << "heavy tail not heavier: pareto " << pareto_tail << " vs exp "
+      << exp_tail;
+}
+
+TEST_P(SessionSweep, SameSeedSameStreamDifferentSeedDiverges) {
+  for (const SessionModel model : kAllModels) {
+    SessionSpec spec;
+    spec.model = model;
+    Rng a(GetParam());
+    Rng b(GetParam());
+    Rng c(GetParam() + 0x9999);
+    bool diverged = false;
+    for (int i = 0; i < 200; ++i) {
+      const double xa = sample_session_hours(spec, a);
+      const double xb = sample_session_hours(spec, b);
+      const double xc = sample_session_hours(spec, c);
+      ASSERT_EQ(xa, xb) << "equal seeds diverged at draw " << i;
+      diverged = diverged || xa != xc;
+    }
+    EXPECT_TRUE(diverged) << "different seeds produced equal streams";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(SessionSampler, DegenerateParametersAreWellDefined) {
+  // Zero rate: a mean of 0 collapses every model to the minimum.
+  for (const SessionModel model : kAllModels) {
+    SessionSpec zero;
+    zero.model = model;
+    zero.mean_hours = 0.0;
+    Rng rng(0xdead);
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_EQ(sample_session_hours(zero, rng), 0.0);
+      EXPECT_EQ(sample_session(zero, rng), SimDuration{1})
+          << "durations are clamped away from 0";
+    }
+  }
+  // min == max pins every sample to that constant, any model.
+  for (const SessionModel model : kAllModels) {
+    SessionSpec pinned;
+    pinned.model = model;
+    pinned.min_hours = 0.25;
+    pinned.max_hours = 0.25;
+    Rng rng(0xbeef);
+    for (int i = 0; i < 32; ++i) {
+      EXPECT_EQ(sample_session_hours(pinned, rng), 0.25);
+      EXPECT_EQ(sample_session(pinned, rng), kHour / 4);
+    }
+  }
+  // Degenerate parameters still consume the model's full draw budget:
+  // the stream position cannot depend on parameter values.
+  for (const SessionModel model : kAllModels) {
+    SessionSpec zero;
+    zero.model = model;
+    zero.mean_hours = 0.0;
+    SessionSpec live;
+    live.model = model;
+    Rng a(42);
+    Rng b(42);
+    (void)sample_session_hours(zero, a);
+    (void)sample_session_hours(live, b);
+    EXPECT_EQ(a.next_u64(), b.next_u64())
+        << "draw budgets diverged for model " << static_cast<int>(model);
+  }
+}
 
 }  // namespace
 }  // namespace onion

@@ -173,6 +173,103 @@ TEST(CampaignTrace, FingerprintIsSeedSensitive) {
 }
 
 // ====================================================================
+// Adaptive multi-wave campaigns through the tap and the replayer
+// ====================================================================
+
+// Every *new* event kind in one campaign: a two-wave adaptive plan with
+// scheduled refreshes, heavy-tailed session churn, and charged healing
+// under an active rate limit + PoW.
+scenario::ScenarioSpec adaptive_waves_spec(std::uint64_t seed) {
+  scenario::ScenarioSpec spec;
+  spec.seed = seed;
+  spec.initial_size = 200;
+  spec.degree = 6;
+  spec.horizon = 2 * kHour;
+  spec.churn.joins_per_hour = 60.0;
+  spec.churn.session_leaves = true;
+  spec.churn.session.model = scenario::SessionModel::Pareto;
+  spec.churn.session.mean_hours = 1.5;
+  spec.churn.session.pareto_alpha = 1.5;
+  scenario::AttackWave wave;
+  wave.attack.kind = AttackKind::AdaptiveTakedown;
+  wave.attack.rank = scenario::RankMetric::SampledBetweenness;
+  wave.attack.refresh_period = 5 * kMinute;
+  wave.attack.betweenness_pivots = 16;
+  wave.attack.takedowns_per_hour = 120.0;
+  wave.duration = 20 * kMinute;
+  wave.quiet_after = 10 * kMinute;
+  spec.waves.start = 10 * kMinute;
+  spec.waves.waves.assign(2, wave);
+  spec.defense.rate_limit_per_round = 3;
+  spec.defense.pow_base_cost = 0.25;
+  spec.defense.pow_growth = 1.0;
+  spec.defense.charge_healing = true;
+  spec.metrics.period = 10 * kMinute;
+  return spec;
+}
+
+TEST(AdaptiveWaveTrace, TapStaysPassiveOnAdaptiveWaveCampaigns) {
+  HashSink untapped;
+  CampaignEngine(adaptive_waves_spec(51), untapped).run();
+
+  CampaignTrace campaign;
+  HashSink tapped;
+  FanoutSink fanout({&campaign, &tapped});
+  CampaignEngine(adaptive_waves_spec(51), fanout, &campaign).run();
+
+  EXPECT_EQ(untapped.hex_digest(), tapped.hex_digest());
+  EXPECT_GT(count_kind(campaign, TraceEventKind::HealPeering), 0u);
+}
+
+TEST(AdaptiveWaveTrace, NewEventKindsArriveInSimulatorOrder) {
+  const scenario::ScenarioSpec spec = adaptive_waves_spec(53);
+  const CampaignTrace campaign = record(spec);
+
+  // Both waves open on schedule; each runs its four scheduled refreshes
+  // (20-minute window at a 5-minute cadence); charged healing fires.
+  EXPECT_EQ(count_kind(campaign, TraceEventKind::WaveStart), 2u);
+  EXPECT_EQ(count_kind(campaign, TraceEventKind::AdaptiveRefresh), 8u);
+  EXPECT_GT(count_kind(campaign, TraceEventKind::HealPeering), 0u);
+  EXPECT_GT(count_kind(campaign, TraceEventKind::Takedown), 0u);
+  for (std::size_t i = 1; i < campaign.events().size(); ++i)
+    EXPECT_LE(campaign.events()[i - 1].at, campaign.events()[i].at);
+
+  // The new kinds carry no membership effect: lifetimes stay exactly
+  // one per initial node plus one per join.
+  const auto lifetimes = campaign.lifetimes();
+  EXPECT_EQ(lifetimes.size(),
+            spec.initial_size + count_kind(campaign, TraceEventKind::Join));
+  // Heal requests happen between live bots at their event times.
+  for (const scenario::CampaignEvent& e : campaign.events()) {
+    if (e.kind != TraceEventKind::HealPeering) continue;
+    EXPECT_NE(e.a, e.b);
+    EXPECT_LE(e.at, spec.horizon);
+  }
+}
+
+TEST(AdaptiveWaveTrace, ReplayOfAdaptiveWaveTraceIsByteDeterministic) {
+  const CampaignTrace campaign = record(adaptive_waves_spec(57));
+  ReplayConfig rc;
+  rc.seed = 3;
+  rc.benign_web = 40;
+  rc.benign_tor = 10;
+  const ReplayResult a = replay_trace(campaign, rc);
+  const ReplayResult b = replay_trace(campaign, rc);
+  EXPECT_EQ(serialize(a.trace), serialize(b.trace));
+  EXPECT_EQ(fingerprint(a.trace), fingerprint(b.trace));
+
+  // Charged healing surfaces as extra guard cells: replaying the same
+  // campaign with the HealPeering events stripped must change the
+  // synthesized telemetry.
+  CampaignTrace stripped;
+  stripped.on_begin(campaign.spec(), campaign.initial_nodes());
+  for (const scenario::CampaignEvent& e : campaign.events())
+    if (e.kind != TraceEventKind::HealPeering) stripped.on_event(e);
+  const ReplayResult without = replay_trace(stripped, rc);
+  EXPECT_LT(without.trace.flows.size(), a.trace.flows.size());
+}
+
+// ====================================================================
 // Replay determinism
 // ====================================================================
 

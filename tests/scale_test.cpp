@@ -71,6 +71,79 @@ TEST(ScaleCampaign, TenThousandNodeReplayIsDeterministic) {
   EXPECT_EQ(first.hex_digest(), second.hex_digest());
 }
 
+TEST(ScaleCampaign, ThreeWaveAdaptiveParetoCampaignAtTenThousand) {
+  // The full new vocabulary at scale: heavy-tailed per-bot sessions
+  // (Pareto: ~45% of the initial population churns out inside the
+  // hour), a three-wave adaptive plan with quiet healing gaps, and
+  // per-wave victim attribution — run twice, fingerprints must match.
+  ScenarioSpec spec;
+  spec.seed = 0x3a3e;
+  spec.initial_size = 10'000;
+  spec.degree = 10;
+  spec.horizon = kHour;
+  spec.churn.joins_per_hour = 500.0;
+  spec.churn.session_leaves = true;
+  spec.churn.session.model = SessionModel::Pareto;
+  spec.churn.session.mean_hours = 2.0;
+  spec.churn.session.pareto_alpha = 1.5;
+  AttackWave wave;
+  wave.attack.kind = AttackKind::AdaptiveTakedown;
+  wave.attack.rank = RankMetric::SampledBetweenness;
+  wave.attack.refresh_period = 2 * kMinute;
+  wave.attack.betweenness_pivots = 16;
+  wave.attack.takedowns_per_hour = 600.0;
+  wave.duration = 10 * kMinute;
+  wave.quiet_after = 5 * kMinute;
+  spec.waves.start = 5 * kMinute;
+  spec.waves.waves.assign(3, wave);
+  spec.metrics.period = 5 * kMinute;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  MemorySink memory;
+  HashSink first;
+  FanoutSink fanout({&memory, &first});
+  CampaignEngine engine(spec, fanout);
+  const MetricsSnapshot end = engine.run();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  EXPECT_EQ(end.time, spec.horizon);
+  ASSERT_EQ(memory.snapshots().size(), 13u);
+  // The heavy tail actually churned: Pareto(mean 2 h, alpha 1.5) has
+  // x_m = 2/3 h, so P(session < 1 h) ~ 46% of the initial population.
+  EXPECT_GT(end.leaves, 3000u);
+  EXPECT_GT(end.joins, 300u);
+  // All three waves landed, and every victim is attributed to one.
+  ASSERT_EQ(end.wave_takedowns.size(), 3u);
+  std::uint64_t attributed = 0;
+  for (const std::uint64_t w : end.wave_takedowns) {
+    EXPECT_GT(w, 50u);
+    attributed += w;
+  }
+  EXPECT_EQ(attributed, end.takedowns);
+  EXPECT_GT(end.takedowns, 200u);
+  // Self-healing keeps the shrinking core together under the combined
+  // churn + adaptive assault.
+  for (const MetricsSnapshot& s : memory.snapshots())
+    EXPECT_GE(s.largest_fraction, 0.99)
+        << "surviving core fragmented at t=" << s.time;
+
+  // Byte-identical replay at scale.
+  HashSink second;
+  CampaignEngine(spec, second).run();
+  EXPECT_EQ(first.hex_digest(), second.hex_digest());
+
+#ifdef NDEBUG
+  // Generous wall-clock budget (measured ~2s in Release; sanitized
+  // Debug builds lean on the 600s ctest timeout instead).
+  EXPECT_LT(wall_seconds, 120.0);
+#else
+  (void)wall_seconds;
+#endif
+}
+
 TEST(ScaleCampaign, FiftyThousandNodeDenseCadenceSmoke) {
   // The ROADMAP's 50k tier, at a snapshot cadence (one per 5 simulated
   // seconds — 721 snapshots) that the per-snapshot O((n+m)·α) sweep made
