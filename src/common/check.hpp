@@ -4,6 +4,7 @@
 // carries the failing expression and location.
 #pragma once
 
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -23,6 +24,15 @@ namespace detail {
   throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
                           file + ":" + std::to_string(line));
 }
+
+[[noreturn]] inline void contract_fail_msg(const char* kind,
+                                           const char* expr,
+                                           const std::string& detail,
+                                           const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " (" +
+                          detail + ") at " + file + ":" +
+                          std::to_string(line));
+}
 }  // namespace detail
 
 }  // namespace onion
@@ -41,6 +51,35 @@ namespace detail {
     if (!(cond))                                                             \
       ::onion::detail::contract_fail("postcondition", #cond, __FILE__,       \
                                      __LINE__);                              \
+  } while (false)
+
+/// Formatted variants: `stream_expr` is an ostream chain evaluated
+/// only on failure, so hot paths pay nothing for a rich message. A graph
+/// contract can name the offending ids instead of just the expression:
+///
+///   ONION_EXPECTS_MSG(alive(u) && alive(v),
+///                     "u=" << u << " v=" << v << " capacity=" << cap);
+#define ONION_EXPECTS_MSG(cond, stream_expr)                                 \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream onion_check_msg_;                                   \
+      onion_check_msg_ << stream_expr;                                       \
+      ::onion::detail::contract_fail_msg("precondition", #cond,              \
+                                         onion_check_msg_.str(), __FILE__,   \
+                                         __LINE__);                          \
+    }                                                                        \
+  } while (false)
+
+/// Postcondition / invariant with a formatted failure message.
+#define ONION_ENSURES_MSG(cond, stream_expr)                                 \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream onion_check_msg_;                                   \
+      onion_check_msg_ << stream_expr;                                       \
+      ::onion::detail::contract_fail_msg("postcondition", #cond,             \
+                                         onion_check_msg_.str(), __FILE__,   \
+                                         __LINE__);                          \
+    }                                                                        \
   } while (false)
 
 /// Precondition checked in Debug builds only: `cond` is not evaluated under

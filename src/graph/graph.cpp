@@ -65,7 +65,7 @@ NodeId Graph::add_node() {
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const {
-  ONION_EXPECTS(alive(u) && alive(v));
+  ONION_EXPECTS_MSG(alive(u) && alive(v), "u=" << u << " v=" << v);
   // Scan the shorter list.
   const auto& list =
       adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u]
@@ -76,7 +76,7 @@ bool Graph::has_edge(NodeId u, NodeId v) const {
 }
 
 bool Graph::add_edge(NodeId u, NodeId v) {
-  ONION_EXPECTS(alive(u) && alive(v));
+  ONION_EXPECTS_MSG(alive(u) && alive(v), "u=" << u << " v=" << v);
   if (u == v || has_edge(u, v)) return false;
   adjacency_[u].push_back(v);
   adjacency_[v].push_back(u);
@@ -87,8 +87,8 @@ bool Graph::add_edge(NodeId u, NodeId v) {
 }
 
 void Graph::add_edge_unchecked(NodeId u, NodeId v) {
-  ONION_EXPECTS(alive(u) && alive(v));
-  ONION_EXPECTS(u != v);
+  ONION_EXPECTS_MSG(alive(u) && alive(v), "u=" << u << " v=" << v);
+  ONION_EXPECTS_MSG(u != v, "self-loop on node " << u);
   ONION_DEBUG_EXPECTS(!has_edge(u, v));
   adjacency_[u].push_back(v);
   adjacency_[v].push_back(u);
@@ -98,7 +98,7 @@ void Graph::add_edge_unchecked(NodeId u, NodeId v) {
 }
 
 bool Graph::remove_edge(NodeId u, NodeId v) {
-  ONION_EXPECTS(alive(u) && alive(v));
+  ONION_EXPECTS_MSG(alive(u) && alive(v), "u=" << u << " v=" << v);
   auto& lu = adjacency_[u];
   const auto it = std::find(lu.begin(), lu.end(), v);
   if (it == lu.end()) return false;
@@ -107,7 +107,9 @@ bool Graph::remove_edge(NodeId u, NodeId v) {
   lu.pop_back();
   auto& lv = adjacency_[v];
   const auto it2 = std::find(lv.begin(), lv.end(), u);
-  ONION_ENSURES(it2 != lv.end());
+  ONION_ENSURES_MSG(it2 != lv.end(),
+                    "asymmetric adjacency: " << u << " lists " << v
+                                             << " but not vice versa");
   *it2 = lv.back();
   lv.pop_back();
   --num_edges_;
@@ -117,7 +119,7 @@ bool Graph::remove_edge(NodeId u, NodeId v) {
 }
 
 void Graph::remove_node(NodeId u) {
-  ONION_EXPECTS(alive(u));
+  ONION_EXPECTS_MSG(alive(u), "node " << u << " is not alive");
   // Detach edge by edge (not in one bulk clear) so the observer sees a
   // consistent graph — correct degrees on both endpoints — at every
   // on_edge_removed. The final adjacency state is identical to a bulk
@@ -128,7 +130,9 @@ void Graph::remove_node(NodeId u) {
     lu.pop_back();
     auto& lv = adjacency_[v];
     const auto it = std::find(lv.begin(), lv.end(), u);
-    ONION_ENSURES(it != lv.end());
+    ONION_ENSURES_MSG(it != lv.end(),
+                      "asymmetric adjacency: " << u << " lists " << v
+                                               << " but not vice versa");
     *it = lv.back();
     lv.pop_back();
     --num_edges_;

@@ -80,7 +80,10 @@ StructuralTracker::~StructuralTracker() { graph_.set_observer(nullptr); }
 
 void StructuralTracker::shift_histogram(std::size_t from, std::size_t to) {
   if (from != kNoBucket) {
-    ONION_ENSURES(from < histogram_.size() && histogram_[from] > 0);
+    ONION_ENSURES_MSG(from < histogram_.size() && histogram_[from] > 0,
+                      "degree bucket " << from << " is empty or out of "
+                                       << "range (histogram size "
+                                       << histogram_.size() << ")");
     --histogram_[from];
   }
   if (to != kNoBucket) {
@@ -184,7 +187,10 @@ void StructuralTracker::rebuild_components() {
 void StructuralTracker::fill(MetricsSnapshot& s, bool with_histogram) {
   // Any mutation this tracker did not observe breaks every counter; the
   // epoch makes that loud instead of silently wrong.
-  ONION_ENSURES(graph_.mutation_epoch() == base_epoch_ + events_seen_);
+  ONION_ENSURES_MSG(graph_.mutation_epoch() == base_epoch_ + events_seen_,
+                    "missed mutations: graph epoch "
+                        << graph_.mutation_epoch() << " != base "
+                        << base_epoch_ << " + observed " << events_seen_);
   if (dirty_) {
     rebuild_components();
     dirty_ = false;

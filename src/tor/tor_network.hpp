@@ -12,6 +12,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -224,7 +225,11 @@ class TorNetwork {
   std::vector<std::unique_ptr<Relay>> relays_;
   Consensus consensus_;
   std::size_t num_endpoints_ = 0;
-  std::unordered_map<OnionAddress, Service, OnionAddressHash> services_;
+  /// Keyed by an ordered map: hourly_maintenance walks every service and
+  /// draws from rng_ while repairing intro points, so the iteration order
+  /// is part of the deterministic replay contract (a hash map's order is
+  /// stdlib-specific — detlint rule D1).
+  std::map<OnionAddress, Service> services_;
   std::unordered_map<EndpointId, std::vector<RelayId>> guards_;
   TorStats stats_;
   double entropy_sum_ = 0.0;

@@ -244,6 +244,38 @@ TEST(Check, MessageNamesExpression) {
   }
 }
 
+TEST(Check, FormattedMessageCarriesTheIds) {
+  const int u = 17;
+  const int v = 42;
+  try {
+    ONION_EXPECTS_MSG(u == v, "u=" << u << " v=" << v);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("u == v"), std::string::npos);
+    EXPECT_NE(what.find("u=17 v=42"), std::string::npos);
+  }
+}
+
+TEST(Check, FormattedStreamNotEvaluatedOnSuccess) {
+  int evaluations = 0;
+  const auto count = [&evaluations] { return ++evaluations; };
+  ONION_EXPECTS_MSG(true, "count=" << count());
+  ONION_ENSURES_MSG(true, "count=" << count());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(Check, EnsuresMsgThrowsPostcondition) {
+  try {
+    ONION_ENSURES_MSG(false, "bucket " << 3);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("postcondition"), std::string::npos);
+    EXPECT_NE(what.find("bucket 3"), std::string::npos);
+  }
+}
+
 TEST(Clock, Conversions) {
   EXPECT_EQ(kSecond, 1000u);
   EXPECT_EQ(kHour, 3'600'000u);

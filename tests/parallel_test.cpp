@@ -1,0 +1,153 @@
+// Contract tests for common/parallel.hpp — the one pool shape every
+// deterministic sweep shares. Exception semantics (the pool must drain
+// and rethrow the first captured exception even when every worker
+// throws), the zero-count and single-thread fast paths, and shared-state
+// stress bodies the ThreadSanitizer CI tier runs race-free. This suite
+// carries the ctest label "tsan" together with the grid smoke below.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "scenario/runner.hpp"
+
+namespace onion {
+namespace {
+
+TEST(ParallelForIndex, ZeroCountFastPathDoesNotInvokeOrSpawn) {
+  std::atomic<int> calls{0};
+  const std::size_t pool =
+      parallel_for_index(0, 8, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(pool, 0u);
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForIndex, SingleThreadRunsInlineInOrder) {
+  // The 1-thread pool must run on the calling thread (no spawn) and in
+  // index order — the property that makes sequential and parallel runs
+  // interchangeable for determinism tests.
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  const std::size_t pool = parallel_for_index(5, 1, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  EXPECT_EQ(pool, 1u);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForIndex, PoolClampsToCount) {
+  std::atomic<int> calls{0};
+  const std::size_t pool =
+      parallel_for_index(3, 16, [&](std::size_t) { ++calls; });
+  EXPECT_LE(pool, 3u);
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ParallelForIndex, SingleThrowerRethrowsAfterDraining) {
+  // One worker throws; the pool must still join every thread, then
+  // rethrow. Every index is either fully executed or never started.
+  std::atomic<int> executed{0};
+  const auto body = [&](std::size_t i) {
+    if (i == 7) throw std::runtime_error("index 7 failed");
+    ++executed;
+  };
+  EXPECT_THROW(parallel_for_index(64, 4, body), std::runtime_error);
+  EXPECT_LE(executed.load(), 63);
+}
+
+TEST(ParallelForIndex, SingleThreadInlinePropagatesImmediately) {
+  std::vector<std::size_t> ran;
+  const auto body = [&](std::size_t i) {
+    if (i == 2) throw std::logic_error("boom");
+    ran.push_back(i);
+  };
+  EXPECT_THROW(parallel_for_index(8, 1, body), std::logic_error);
+  // Inline execution stops at the throwing index; nothing after it ran.
+  EXPECT_EQ(ran, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(ParallelForIndex, ConcurrentThrowersYieldExactlyOneException) {
+  // Every invocation throws, from every worker concurrently. The pool
+  // must drain (all threads joined, no terminate) and surface exactly
+  // one of the captured exceptions; its payload names a real index.
+  const std::size_t count = 32;
+  std::atomic<int> started{0};
+  try {
+    parallel_for_index(count, 8, [&](std::size_t i) {
+      ++started;
+      throw static_cast<int>(i);
+    });
+    FAIL() << "should have rethrown a worker exception";
+  } catch (const int index) {
+    EXPECT_GE(index, 0);
+    EXPECT_LT(static_cast<std::size_t>(index), count);
+  }
+  EXPECT_GE(started.load(), 1);
+  EXPECT_LE(started.load(), static_cast<int>(count));
+}
+
+TEST(ParallelForIndex, SharedAtomicAccumulatorStress) {
+  // TSan-clean by construction: the only shared mutable state is the
+  // atomic. The exact total proves no increment was lost or doubled by
+  // the work-handout index.
+  const std::size_t count = 10'000;
+  std::atomic<std::uint64_t> sum{0};
+  const std::size_t pool = parallel_for_index(count, 8, [&](std::size_t i) {
+    sum.fetch_add(i + 1, std::memory_order_relaxed);
+  });
+  EXPECT_GE(pool, 1u);
+  EXPECT_EQ(sum.load(), count * (count + 1) / 2);
+}
+
+TEST(ParallelForIndex, PerSlotResultsAreComplete) {
+  const std::size_t count = 4096;
+  std::vector<std::uint64_t> results(count, 0);
+  parallel_for_index(count, 0, [&](std::size_t i) { results[i] = i * i; });
+  for (std::size_t i = 0; i < count; ++i) ASSERT_EQ(results[i], i * i);
+}
+
+// --- The labeled multi-thread grid smoke the TSan CI tier runs --------
+
+scenario::ScenarioSpec smoke_spec(std::uint64_t seed) {
+  scenario::ScenarioSpec spec;
+  spec.seed = seed;
+  spec.initial_size = 120;
+  spec.degree = 6;
+  spec.horizon = 8 * kMinute;
+  spec.churn.joins_per_hour = 180.0;
+  spec.churn.leaves_per_hour = 180.0;
+  scenario::AttackPhase takedown;
+  takedown.kind = scenario::AttackKind::RandomTakedown;
+  takedown.start = 2 * kMinute;
+  takedown.stop = 6 * kMinute;
+  takedown.takedowns_per_hour = 90.0;
+  spec.attacks.push_back(takedown);
+  spec.metrics.period = kMinute;
+  return spec;
+}
+
+TEST(TsanGridSmoke, MultiThreadCampaignGridMatchesSerialFingerprint) {
+  // Eight seeded campaign cells sharded over four workers: the full
+  // engine (simulator, tracker, snapshot sinks) runs concurrently under
+  // TSan here, and the combined fingerprint must equal the serial run's
+  // — thread count may never leak into the merged result.
+  scenario::CampaignGrid grid;
+  for (std::uint64_t seed = 900; seed < 908; ++seed)
+    grid.add("smoke" + std::to_string(seed), smoke_spec(seed));
+  const scenario::GridReport serial = grid.run(/*threads=*/1);
+  const scenario::GridReport sharded = grid.run(/*threads=*/4);
+  EXPECT_EQ(serial.threads_used, 1u);
+  EXPECT_EQ(sharded.threads_used, 4u);
+  EXPECT_EQ(serial.combined_fingerprint, sharded.combined_fingerprint);
+  ASSERT_EQ(serial.cells.size(), sharded.cells.size());
+  for (std::size_t i = 0; i < serial.cells.size(); ++i)
+    EXPECT_EQ(serial.cells[i].fingerprint, sharded.cells[i].fingerprint);
+}
+
+}  // namespace
+}  // namespace onion
