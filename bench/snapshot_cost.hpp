@@ -3,19 +3,28 @@
 // bench_report.cpp (the BENCH_scenario.json perf trajectory) must report
 // numbers measured the same way, so the loop lives once, here.
 //
-// Three per-snapshot costs on one live overlay:
-//   sweep        — the from-scratch O((n+m)·α) pass the engine used to
-//                  pay per snapshot (scenario::sweep_structural)
-//   incremental  — StructuralTracker::fill after a pure-growth window
-//                  (joins only): O(changes), independent of graph size
-//   rebuild      — fill after a window containing a deletion: the
-//                  hybrid's worst case, one component rebuild ≈ sweep
+// Four per-snapshot costs on one live overlay:
+//   sweep     — the from-scratch O((n+m)·α) pass the engine used to pay
+//               per snapshot (scenario::sweep_structural)
+//   growth    — StructuralTracker::fill after a pure-growth window
+//               (joins only): O(changes), independent of graph size
+//   deletion  — StructuralTracker::fill after a window that lost a bot:
+//               with fully-dynamic connectivity this is the same O(1)
+//               fill (the split was settled when the edges detached)
+//   rebuild   — the retired hybrid tracker's deletion-window price: one
+//               full union-find component rebuild, measured with the
+//               allocation-free UnionFind::reset storage reuse (the fix
+//               for the 50k regression where a fresh UnionFind per
+//               rebuild made it *slower* than the sweep)
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "core/ddsr.hpp"
+#include "graph/union_find.hpp"
 #include "scenario/tracker.hpp"
 
 namespace onion::bench {
@@ -27,8 +36,9 @@ constexpr int kGrowthJoinsPerWindow = 8;
 struct SnapshotCosts {
   std::size_t nodes = 0;
   double sweep_us = 0.0;
-  double incremental_us = 0.0;
-  double rebuild_us = 0.0;
+  double incremental_us = 0.0;  // growth window
+  double deletion_us = 0.0;     // deletion window, dynamic connectivity
+  double rebuild_us = 0.0;      // deletion window, retired rebuild scheme
 };
 
 namespace detail {
@@ -53,9 +63,45 @@ inline void join(core::OverlayNetwork& net, Rng& rng) {
   }
 }
 
+/// The retired hybrid tracker's rebuild_components(), kept here as the
+/// comparison baseline: union-find over the honest subgraph plus a
+/// component-size pass. Storage persists across calls (UnionFind::reset
+/// + scratch assign), so the measured number is union time, not malloc
+/// time — the allocation-free fix the old in-tracker version lacked.
+class RebuildBaseline {
+ public:
+  /// Returns {components, largest} so callers can checksum the result.
+  std::pair<std::uint64_t, std::uint64_t> run(
+      const core::OverlayNetwork& net) {
+    const graph::Graph& g = net.graph();
+    const std::size_t cap = g.capacity();
+    uf_.reset(cap);
+    scratch_.assign(cap, 0);
+    std::uint64_t components = 0;
+    std::uint64_t largest = 0;
+    for (graph::NodeId u = 0; u < cap; ++u) {
+      if (!g.alive(u) || !net.honest(u)) continue;
+      for (const graph::NodeId v : g.neighbors(u))
+        if (v > u && net.honest(v)) uf_.unite(u, v);
+    }
+    for (graph::NodeId u = 0; u < cap; ++u) {
+      if (!g.alive(u) || !net.honest(u)) continue;
+      const std::uint32_t size =
+          ++scratch_[static_cast<std::size_t>(uf_.find(u))];
+      if (size == 1) ++components;
+      if (size > largest) largest = size;
+    }
+    return {components, largest};
+  }
+
+ private:
+  graph::UnionFind uf_{0};
+  std::vector<std::uint32_t> scratch_;
+};
+
 }  // namespace detail
 
-/// Builds a `nodes`-bot 10-regular overlay and measures the three costs,
+/// Builds a `nodes`-bot 10-regular overlay and measures the four costs,
 /// `rounds` repetitions each. `checksum` accumulates observed metric
 /// values so the compiler cannot elide the measured work.
 inline SnapshotCosts measure_snapshot_costs(std::size_t nodes, int rounds,
@@ -86,7 +132,7 @@ inline SnapshotCosts measure_snapshot_costs(std::size_t nodes, int rounds,
   }
   costs.sweep_us /= rounds;
 
-  // Incremental: pure-growth windows (joins only) then one fill.
+  // Growth: pure-growth windows (joins only) then one fill.
   for (int r = 0; r < rounds; ++r) {
     for (int j = 0; j < kGrowthJoinsPerWindow; ++j) detail::join(net, rng);
     const auto start = Clock::now();
@@ -97,16 +143,28 @@ inline SnapshotCosts measure_snapshot_costs(std::size_t nodes, int rounds,
   }
   costs.incremental_us /= rounds;
 
-  // Rebuild: each window loses one bot (DDSR heals the hole), so the
-  // next fill pays the hybrid's component rebuild.
+  // Deletion window: each round loses one bot (DDSR heals the hole;
+  // the tracker folds the removal in via the observer as it happens),
+  // then the snapshot is billed. The retired scheme's rebuild is
+  // measured on the same post-deletion state for the apples-to-apples
+  // "what did the cliff cost" column.
+  detail::RebuildBaseline baseline;
   for (int r = 0; r < rounds; ++r) {
-    ddsr.remove_node(rng.pick(net.honest_nodes()));
-    const auto start = Clock::now();
+    ddsr.remove_node(
+        static_cast<graph::NodeId>(tracker.honest_at(
+            rng.uniform(tracker.honest_alive()))));
+    const auto fill_start = Clock::now();
     scenario::MetricsSnapshot s;
     tracker.fill(s, true);
-    costs.rebuild_us += detail::us_since(start);
-    checksum += s.honest_edges;
+    costs.deletion_us += detail::us_since(fill_start);
+    checksum += s.honest_edges + s.components;
+
+    const auto rebuild_start = Clock::now();
+    const auto [components, largest] = baseline.run(net);
+    costs.rebuild_us += detail::us_since(rebuild_start);
+    checksum += components + largest;
   }
+  costs.deletion_us /= rounds;
   costs.rebuild_us /= rounds;
   return costs;
 }

@@ -14,6 +14,7 @@ OverlayNetwork OverlayNetwork::random_regular(std::size_t n, std::size_t k,
                                               OverlayConfig config,
                                               Rng& rng) {
   OverlayNetwork net(config, rng);
+  net.reserve(n);
   for (std::size_t i = 0; i < n; ++i) net.add_node(/*honest=*/true);
   const graph::Graph topology = graph::random_regular(n, k, rng);
   for (NodeId u = 0; u < n; ++u)
@@ -22,13 +23,25 @@ OverlayNetwork OverlayNetwork::random_regular(std::size_t n, std::size_t k,
   return net;
 }
 
+void OverlayNetwork::reserve(std::size_t nodes) {
+  graph_.reserve(nodes);
+  honest_.reserve(nodes);
+  declared_.reserve(nodes);
+  requests_seen_.reserve(nodes);
+  accepted_this_round_.reserve(nodes);
+}
+
 NodeId OverlayNetwork::add_node(bool honest, std::size_t declared_degree) {
   // Slot metadata first: graph_.add_node() notifies any attached
   // MutationObserver, and the scenario StructuralTracker classifies the
   // new node (honest vs Sybil) from inside that callback. The new id
   // equals the pre-push size of every slot-parallel vector.
+  ONION_EXPECTS(declared_degree == kTruthful ||
+                declared_degree < kTruthful32);
   honest_.push_back(honest ? 1 : 0);
-  declared_.push_back(declared_degree);
+  declared_.push_back(declared_degree == kTruthful
+                          ? kTruthful32
+                          : static_cast<std::uint32_t>(declared_degree));
   requests_seen_.push_back(0);
   accepted_this_round_.push_back(0);
   const NodeId id = graph_.add_node();
@@ -37,8 +50,8 @@ NodeId OverlayNetwork::add_node(bool honest, std::size_t declared_degree) {
 }
 
 std::size_t OverlayNetwork::declared_degree(NodeId u) const {
-  const std::size_t lie = declared_.at(u);
-  if (lie == kTruthful) return graph_.degree(u);
+  const std::uint32_t lie = declared_.at(u);
+  if (lie == kTruthful32) return graph_.degree(u);
   return lie;
 }
 
@@ -188,6 +201,7 @@ std::size_t OverlayNetwork::honest_components() const {
 
 std::vector<NodeId> OverlayNetwork::honest_nodes() const {
   std::vector<NodeId> out;
+  out.reserve(graph_.num_alive());
   for (NodeId u = 0; u < graph_.capacity(); ++u)
     if (graph_.alive(u) && honest(u)) out.push_back(u);
   return out;

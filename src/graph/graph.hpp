@@ -56,6 +56,14 @@ class Graph {
   /// injection and SuperOnion virtual-node resurrection).
   NodeId add_node();
 
+  /// Pre-sizes the slot tables for `nodes` slots (capacity hint only;
+  /// no nodes are created). Lets 500k-node builds skip the vector
+  /// doubling-and-copy cycles.
+  void reserve(std::size_t nodes) {
+    adjacency_.reserve(nodes);
+    alive_.reserve(nodes);
+  }
+
   /// Number of node slots ever created (alive + deleted).
   std::size_t capacity() const { return adjacency_.size(); }
 

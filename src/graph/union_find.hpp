@@ -17,6 +17,17 @@ class UnionFind {
     std::iota(parent_.begin(), parent_.end(), 0);
   }
 
+  /// Re-initializes to `n` singleton elements, reusing the existing
+  /// storage — unlike `uf = UnionFind(n)`, a warmed instance resets
+  /// without touching the allocator (the micro bench's rebuild baseline
+  /// depends on this to measure union time, not malloc time).
+  void reset(std::size_t n) {
+    parent_.resize(n);
+    size_.assign(n, 1);
+    std::iota(parent_.begin(), parent_.end(), 0);
+    sets_ = n;
+  }
+
   /// Appends one fresh singleton element and returns its index. Lets
   /// incremental users (the scenario StructuralTracker) grow the universe
   /// as graph slots are created instead of rebuilding.
@@ -54,7 +65,13 @@ class UnionFind {
 
   bool same(std::size_t a, std::size_t b) { return find(a) == find(b); }
 
-  /// Number of disjoint sets over the full index range.
+  /// Number of disjoint sets over the FULL index range — every element
+  /// of the universe counts, including slots a caller considers dead
+  /// (graph tombstones, removed bots). Callers tracking a live subset
+  /// must subtract their dead-singleton count (core::OverlayNetwork::
+  /// honest_components does) or count components by live members only
+  /// (scenario::sweep_structural does); reading num_sets() raw over a
+  /// tombstoned slot table silently inflates the component count.
   std::size_t num_sets() const { return sets_; }
 
   /// Size of the set containing x.

@@ -170,9 +170,12 @@ void CampaignEngine::do_join() {
 }
 
 void CampaignEngine::do_leave() {
-  const std::vector<NodeId> honest = net_.honest_nodes();
-  if (honest.size() <= 1) return;
-  const NodeId victim = rng_.pick(honest);
+  // Tracker order statistics instead of materializing honest_nodes():
+  // honest_at(uniform(count)) draws the same bits and lands on the same
+  // bot as rng_.pick over the ascending id vector, in O(log n) not O(n).
+  const std::uint64_t honest_count = tracker_.honest_alive();
+  if (honest_count <= 1) return;
+  const NodeId victim = tracker_.honest_at(rng_.uniform(honest_count));
   ++counters_.leaves;
   emit(TraceEventKind::Leave, victim);
   if (spec_.churn.heal_on_leave) {
@@ -186,7 +189,7 @@ void CampaignEngine::do_session_leave(NodeId bot) {
   // The session may have been cut short by an attack; only a bot that
   // is still alive can leave, and never the last one standing.
   if (!net_.alive(bot)) return;
-  if (net_.honest_nodes().size() <= 1) return;
+  if (tracker_.honest_alive() <= 1) return;
   ++counters_.leaves;
   emit(TraceEventKind::Leave, bot);
   if (spec_.churn.heal_on_leave) {
@@ -209,9 +212,18 @@ void CampaignEngine::arm_takedown(std::size_t phase_index, SimTime t) {
 }
 
 void CampaignEngine::do_takedown(std::size_t phase_index) {
-  const std::vector<NodeId> honest = net_.honest_nodes();
-  if (honest.size() <= 1) return;
-  const NodeId victim = pick_victim(phase_index, honest);
+  const std::uint64_t honest_count = tracker_.honest_alive();
+  if (honest_count <= 1) return;
+  NodeId victim;
+  if (phases_[phase_index].kind == AttackKind::RandomTakedown) {
+    // Same draw, same victim as rng_.pick over honest_nodes() — see
+    // do_leave() — without the O(n) vector per strike. The ranked
+    // attack kinds scan scores over all honest bots anyway, so they
+    // keep the explicit vector.
+    victim = tracker_.honest_at(rng_.uniform(honest_count));
+  } else {
+    victim = pick_victim(phase_index, net_.honest_nodes());
+  }
   ++counters_.takedowns;
   if (phase_index >= wave_base_)
     ++wave_takedowns_[phase_index - wave_base_];
@@ -249,7 +261,7 @@ CampaignEngine::NodeId CampaignEngine::pick_victim(
   const AttackPhase& phase = phases_[phase_index];
   switch (phase.kind) {
     case AttackKind::RandomTakedown:
-      return rng_.pick(honest);
+      break;  // handled in do_takedown via the tracker's order statistics
     case AttackKind::TargetedTakedown: {
       const graph::Graph& g = net_.graph();
       NodeId best = honest.front();
@@ -383,10 +395,10 @@ MetricsSnapshot CampaignEngine::compute_snapshot() {
   s.time = sim_.now();
   const graph::Graph& g = net_.graph();
 
-  // Structural fields come from the per-mutation tracker: O(nodes
-  // affected since the previous snapshot) when the window was pure
-  // growth, one O((n+m)·α) component rebuild when it saw deletions —
-  // byte-identical to the full sweep this replaced (sweep_structural).
+  // Structural fields come from the per-mutation tracker: O(1) plus the
+  // histogram copy, whether or not the window saw deletions (connectivity
+  // is fully dynamic) — byte-identical to the full sweep this replaced
+  // (sweep_structural).
   tracker_.fill(s, spec_.metrics.degree_histogram);
 
   if (spec_.metrics.diameter_sweeps > 0 && s.honest_alive >= 2)

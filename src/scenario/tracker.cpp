@@ -1,5 +1,7 @@
 #include "scenario/tracker.hpp"
 
+#include "graph/union_find.hpp"
+
 namespace onion::scenario {
 
 using graph::NodeId;
@@ -56,9 +58,10 @@ StructuralTracker::StructuralTracker(core::OverlayNetwork& net)
   graph_.set_observer(this);  // throws if another observer is attached
   base_epoch_ = graph_.mutation_epoch();
 
-  // Absorb the current state: the one full pass this tracker ever pays
-  // outside of deletion-window rebuilds.
+  // Absorb the current state: the one full pass this tracker ever pays.
   const std::size_t cap = graph_.capacity();
+  dc_.reset(cap);
+  honest_set_.ensure_size(cap);
   for (NodeId u = 0; u < cap; ++u) {
     if (!graph_.alive(u)) continue;
     if (!net_.honest(u)) {
@@ -66,14 +69,22 @@ StructuralTracker::StructuralTracker(core::OverlayNetwork& net)
       continue;
     }
     ++honest_alive_;
+    dc_.insert_vertex(u);
+    honest_set_.set(u);
     const std::size_t d = graph_.degree(u);
     degree_sum_ += d;
     if (histogram_.size() <= d) histogram_.resize(d + 1, 0);
     ++histogram_[d];
-    for (const NodeId v : graph_.neighbors(u))
-      if (v > u && net_.honest(v)) ++honest_edges_;
   }
-  rebuild_components();
+  // Edges need both endpoints tracked, hence the second pass.
+  for (NodeId u = 0; u < cap; ++u) {
+    if (!graph_.alive(u) || !net_.honest(u)) continue;
+    for (const NodeId v : graph_.neighbors(u))
+      if (v > u && net_.honest(v)) {
+        ++honest_edges_;
+        dc_.insert_edge(u, v);
+      }
+  }
 }
 
 StructuralTracker::~StructuralTracker() { graph_.set_observer(nullptr); }
@@ -90,18 +101,22 @@ void StructuralTracker::shift_histogram(std::size_t from, std::size_t to) {
     if (histogram_.size() <= to) histogram_.resize(to + 1, 0);
     ++histogram_[to];
   }
+  // Keep the sweep's encoding invariant — the vector ends at the highest
+  // populated bucket — so fill() can copy it verbatim. Draining the top
+  // bucket (e.g. taking down the unique max-degree node) trims here, once,
+  // instead of on every snapshot.
+  while (!histogram_.empty() && histogram_.back() == 0) histogram_.pop_back();
 }
 
 void StructuralTracker::on_node_added(NodeId u) {
   ++events_seen_;
-  while (uf_.size() < graph_.capacity()) uf_.add();
+  dc_.ensure_capacity(graph_.capacity());
+  honest_set_.ensure_size(graph_.capacity());
   if (net_.honest(u)) {
     ++honest_alive_;
     shift_histogram(kNoBucket, 0);
-    if (!dirty_) {
-      ++components_;
-      if (largest_ == 0) largest_ = 1;
-    }
+    dc_.insert_vertex(u);
+    honest_set_.set(u);
   } else {
     ++sybil_alive_;
   }
@@ -111,10 +126,12 @@ void StructuralTracker::on_node_removed(NodeId u) {
   ++events_seen_;
   if (net_.honest(u)) {
     // The graph detaches every incident edge before this fires, so the
-    // node sits in the degree-0 bucket by now.
+    // node sits in the degree-0 bucket — and in a singleton component —
+    // by now.
     --honest_alive_;
     shift_histogram(0, kNoBucket);
-    dirty_ = true;
+    dc_.remove_vertex(u);
+    honest_set_.clear(u);
   } else {
     --sybil_alive_;
   }
@@ -136,11 +153,7 @@ void StructuralTracker::on_edge_added(NodeId u, NodeId v) {
   }
   if (hu && hv) {
     ++honest_edges_;
-    if (!dirty_) {
-      if (uf_.unite(u, v)) --components_;
-      const std::uint64_t size = uf_.set_size(u);
-      if (size > largest_) largest_ = size;
-    }
+    dc_.insert_edge(u, v);
   }
 }
 
@@ -160,27 +173,9 @@ void StructuralTracker::on_edge_removed(NodeId u, NodeId v) {
   }
   if (hu && hv) {
     --honest_edges_;
-    // A union-find cannot split; defer to a rebuild at the next fill().
-    dirty_ = true;
-  }
-}
-
-void StructuralTracker::rebuild_components() {
-  const std::size_t cap = graph_.capacity();
-  uf_ = graph::UnionFind(cap);
-  components_ = 0;
-  largest_ = 0;
-  for (NodeId u = 0; u < cap; ++u) {
-    if (!graph_.alive(u) || !net_.honest(u)) continue;
-    for (const NodeId v : graph_.neighbors(u))
-      if (v > u && net_.honest(v)) uf_.unite(u, v);
-  }
-  comp_scratch_.assign(cap, 0);
-  for (NodeId u = 0; u < cap; ++u) {
-    if (!graph_.alive(u) || !net_.honest(u)) continue;
-    const std::uint32_t size = ++comp_scratch_[uf_.find(u)];
-    if (size == 1) ++components_;
-    if (size > largest_) largest_ = size;
+    // The replacement-path search settles the split (or proves there is
+    // none) right now — no dirty flag, no deferred rebuild.
+    dc_.remove_edge(u, v);
   }
 }
 
@@ -191,29 +186,18 @@ void StructuralTracker::fill(MetricsSnapshot& s, bool with_histogram) {
                     "missed mutations: graph epoch "
                         << graph_.mutation_epoch() << " != base "
                         << base_epoch_ << " + observed " << events_seen_);
-  if (dirty_) {
-    rebuild_components();
-    dirty_ = false;
-    ++rebuilds_;
-  }
   s.honest_alive = honest_alive_;
   s.sybil_alive = sybil_alive_;
   s.honest_edges = honest_edges_;
   if (honest_alive_ > 0) {
-    s.components = components_;
-    s.largest_component = largest_;
-    s.largest_fraction = static_cast<double>(largest_) /
+    s.components = dc_.components();
+    s.largest_component = dc_.largest_component();
+    s.largest_fraction = static_cast<double>(s.largest_component) /
                          static_cast<double>(honest_alive_);
     s.average_degree = static_cast<double>(degree_sum_) /
                        static_cast<double>(honest_alive_);
   }
-  if (with_histogram) {
-    // The sweep's histogram ends at the highest populated bucket; ours
-    // may carry trailing zeros after the max-degree node shed edges.
-    s.degree_histogram = histogram_;
-    while (!s.degree_histogram.empty() && s.degree_histogram.back() == 0)
-      s.degree_histogram.pop_back();
-  }
+  if (with_histogram) s.degree_histogram = histogram_;
 }
 
 }  // namespace onion::scenario

@@ -1,29 +1,34 @@
 // Event-driven structural telemetry. A StructuralTracker attaches to the
 // overlay's graph as a graph::MutationObserver and keeps every structural
 // field of MetricsSnapshot — honest/Sybil alive counts, honest-edge count,
-// degree sum, and the honest degree histogram — exact per mutation, so a
-// snapshot costs O(nodes affected since the last one) instead of the
-// O((n+m)·α) slot-table sweep the engine used to pay per snapshot.
+// degree sum, the honest degree histogram, components, and the largest
+// component — exact per mutation, so a snapshot costs O(1) plus the
+// histogram copy instead of the O((n+m)·α) slot-table sweep the engine
+// used to pay per snapshot.
 //
-// Components and the largest component use a hybrid scheme: edge and node
-// *insertions* are folded into an incremental union-find as they happen
-// (a union-find cannot un-merge), while any deletion that can affect
-// honest connectivity — an honest-honest edge removal or an honest node
-// death — only marks the component state dirty. The next fill() then pays
-// one O((n+m)·α) rebuild for the whole window. Pure-growth windows (and
-// windows that only touch Sybils) are O(1); under a dense snapshot
-// cadence most windows between deletions are exactly that, which is what
-// makes per-event-rate telemetry affordable (bench/micro_snapshot.cpp
-// measures the gap; tests/tracker_test.cpp proves equality with the
-// from-scratch sweep).
+// Components and the largest component live in a fully-dynamic
+// connectivity structure (graph::DynamicConnectivity): insertions merge
+// by weighted relabeling, deletions run a bidirectional replacement-path
+// search. There is no dirty flag and no deletion-window rebuild cliff —
+// takedown-heavy campaigns (the paper's Section V resilience sweeps) pay
+// per-event costs proportional to actual structural change, not to
+// graph size. tests/tracker_test.cpp proves byte-equality with the
+// from-scratch sweep across randomized join/leave/takedown/SOAP
+// interleavings; bench/micro_snapshot.cpp measures the deletion-window
+// gap versus both the sweep and the retired union-find rebuild.
+//
+// The tracker also keeps an order-statistics bitmap over honest alive
+// slots, so the engine can draw a uniform honest victim in O(log n)
+// (honest_at(k) == honest_nodes()[k] without building the vector).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/order_stat.hpp"
 #include "core/overlay.hpp"
+#include "graph/dynamic_connectivity.hpp"
 #include "graph/graph.hpp"
-#include "graph/union_find.hpp"
 #include "scenario/snapshot.hpp"
 
 namespace onion::scenario {
@@ -50,27 +55,38 @@ class StructuralTracker final : public graph::MutationObserver {
   StructuralTracker(const StructuralTracker&) = delete;
   StructuralTracker& operator=(const StructuralTracker&) = delete;
 
-  // graph::MutationObserver — each callback is O(1) amortized.
+  // graph::MutationObserver — insertions are O(1) amortized (weighted-
+  // union relabeling); an honest-honest edge removal pays a replacement-
+  // path search bounded by the smaller side of the (potential) split.
   void on_node_added(NodeId u) override;
   void on_node_removed(NodeId u) override;
   void on_edge_added(NodeId u, NodeId v) override;
   void on_edge_removed(NodeId u, NodeId v) override;
 
   /// Writes the structural fields into `s`: byte-identical to
-  /// sweep_structural() on the same state. O(1) plus the histogram copy
-  /// when the window since the last fill() contained no deletions; one
-  /// O((n+m)·α) component rebuild otherwise.
+  /// sweep_structural() on the same state. Always O(1) plus the
+  /// histogram copy — deletions were already folded in when they
+  /// happened, so there is no rebuild path.
   void fill(MetricsSnapshot& s, bool with_histogram);
 
+  /// --- honest-population order statistics ----------------------------
+  /// Number of honest alive nodes.
+  std::uint64_t honest_alive() const { return honest_alive_; }
+  /// Id of the k-th honest alive node in ascending id order — equal to
+  /// net.honest_nodes()[k], in O(log n) and without the O(n) vector.
+  NodeId honest_at(std::uint64_t k) const {
+    return static_cast<NodeId>(honest_set_.select(k));
+  }
+
   /// --- introspection (tests and benches) -----------------------------
-  /// Full component rebuilds paid so far (== snapshots whose preceding
-  /// window contained a connectivity-relevant deletion).
+  /// Full component rebuilds paid so far. Always 0 since the tracker
+  /// went fully dynamic; kept so benches and scale tests can assert the
+  /// deletion-window cliff stays dead.
   std::uint64_t rebuilds() const { return rebuilds_; }
-  /// True iff the next fill() must rebuild components.
-  bool components_dirty() const { return dirty_; }
+  /// The underlying connectivity structure (search-step counters etc.).
+  const graph::DynamicConnectivity& connectivity() const { return dc_; }
 
  private:
-  void rebuild_components();
   /// Moves one honest node between histogram buckets (kNoBucket = none).
   static constexpr std::size_t kNoBucket = ~std::size_t{0};
   void shift_histogram(std::size_t from, std::size_t to);
@@ -83,15 +99,13 @@ class StructuralTracker final : public graph::MutationObserver {
   std::uint64_t sybil_alive_ = 0;
   std::uint64_t honest_edges_ = 0;
   std::uint64_t degree_sum_ = 0;  // honest nodes, all incident edges
-  std::vector<std::uint32_t> histogram_;  // may carry trailing zeros
+  std::vector<std::uint32_t> histogram_;  // trimmed: no trailing zeros
 
-  // Hybrid component state.
-  graph::UnionFind uf_{0};
-  std::uint64_t components_ = 0;
-  std::uint64_t largest_ = 0;
-  bool dirty_ = false;
+  // Fully-dynamic honest-subgraph connectivity.
+  graph::DynamicConnectivity dc_;
+  // Honest alive slots as a rank/select bitmap (engine victim draws).
+  OrderStatSet honest_set_;
   std::uint64_t rebuilds_ = 0;
-  std::vector<std::uint32_t> comp_scratch_;  // rebuild component sizes
 
   // Every mutation since attach must have been observed: fill() asserts
   // graph_.mutation_epoch() == base_epoch_ + events_seen_.

@@ -8,6 +8,7 @@
 #include "common/bytes.hpp"
 #include "common/check.hpp"
 #include "common/clock.hpp"
+#include "common/order_stat.hpp"
 #include "common/rng.hpp"
 
 namespace onion {
@@ -281,6 +282,74 @@ TEST(Clock, Conversions) {
   EXPECT_EQ(kHour, 3'600'000u);
   EXPECT_EQ(kDay, 24 * kHour);
   EXPECT_EQ(to_seconds(2 * kHour), 7200u);
+}
+
+TEST(OrderStat, SetClearCountSelect) {
+  OrderStatSet set(10);
+  EXPECT_EQ(set.count(), 0u);
+  set.set(3);
+  set.set(7);
+  set.set(1);
+  EXPECT_EQ(set.count(), 3u);
+  EXPECT_TRUE(set.test(3));
+  EXPECT_FALSE(set.test(0));
+  EXPECT_EQ(set.select(0), 1u);
+  EXPECT_EQ(set.select(1), 3u);
+  EXPECT_EQ(set.select(2), 7u);
+  set.clear(3);
+  EXPECT_EQ(set.count(), 2u);
+  EXPECT_EQ(set.select(1), 7u);
+  set.set(7);  // idempotent re-set
+  EXPECT_EQ(set.count(), 2u);
+  set.clear(0);  // idempotent clear of an absent slot
+  EXPECT_EQ(set.count(), 2u);
+  EXPECT_THROW(set.select(2), ContractViolation);
+}
+
+TEST(OrderStat, RankMatchesPrefixCounts) {
+  OrderStatSet set(16);
+  for (const std::size_t i : {2u, 3u, 5u, 7u, 11u, 13u}) set.set(i);
+  EXPECT_EQ(set.rank(0), 0u);
+  EXPECT_EQ(set.rank(3), 1u);   // {2}
+  EXPECT_EQ(set.rank(8), 4u);   // {2,3,5,7}
+  EXPECT_EQ(set.rank(16), 6u);
+  EXPECT_EQ(set.rank(99), 6u);  // clamped past capacity
+}
+
+TEST(OrderStat, GrowthMidLifeKeepsPrefixSumsCorrect) {
+  // ensure_size on a warmed tree must seed new Fenwick nodes from the
+  // existing prefix sums (their spans reach back into old indices).
+  OrderStatSet set(5);
+  for (std::size_t i = 0; i < 5; ++i) set.set(i);
+  set.ensure_size(13);
+  EXPECT_EQ(set.count(), 5u);
+  set.set(12);
+  EXPECT_EQ(set.select(4), 4u);
+  EXPECT_EQ(set.select(5), 12u);
+  EXPECT_EQ(set.rank(13), 6u);
+}
+
+TEST(OrderStat, MatchesSortedVectorUnderRandomChurn) {
+  Rng rng(4242);
+  OrderStatSet set(0);
+  std::set<std::size_t> reference;
+  for (int op = 0; op < 2000; ++op) {
+    set.ensure_size((static_cast<std::size_t>(op) / 10 + 1) * 7);
+    const std::size_t i = rng.uniform(set.capacity());
+    if (rng.uniform(2) == 0) {
+      set.set(i);
+      reference.insert(i);
+    } else {
+      set.clear(i);
+      reference.erase(i);
+    }
+    ASSERT_EQ(set.count(), reference.size());
+    if (!reference.empty()) {
+      const std::size_t k = rng.uniform(reference.size());
+      ASSERT_EQ(set.select(k), *std::next(reference.begin(),
+                                          static_cast<std::ptrdiff_t>(k)));
+    }
+  }
 }
 
 }  // namespace

@@ -1,12 +1,15 @@
 // StructuralTracker tests: the differential property sweep (random
 // campaign op interleavings — joins, leaves, takedowns, repair/refill,
-// Sybil injection and retirement — must leave the tracker byte-identical
-// to the from-scratch sweep after every window, across many seeds), the
-// hybrid component scheme's rebuild accounting (pure-growth windows are
-// rebuild-free), and the attach/detach contract.
+// Sybil injection/retirement, and SOAP capture bursts — must leave the
+// tracker byte-identical to the from-scratch sweep after every window,
+// across many seeds), the fully-dynamic component scheme's zero-rebuild
+// contract (deletion windows update connectivity in place), the honest
+// order-statistics used for engine victim draws, and the attach/detach
+// contract.
 #include <gtest/gtest.h>
 
 #include "core/ddsr.hpp"
+#include "mitigation/soap.hpp"
 #include "scenario/tracker.hpp"
 
 namespace onion::scenario {
@@ -40,10 +43,11 @@ DdsrPolicy policy() {
 
 // One random campaign op against the overlay: the same vocabulary the
 // engine drives (join + bootstrap peering, healed leave, unhealed
-// takedown, refill repair, Sybil clone injection, Sybil retirement).
+// takedown, refill repair, Sybil clone injection, Sybil retirement, and
+// a short SOAP capture burst).
 void random_op(OverlayNetwork& net, DdsrEngine& ddsr, Rng& rng) {
   const std::vector<NodeId> honest = net.honest_nodes();
-  switch (rng.uniform(6)) {
+  switch (rng.uniform(7)) {
     case 0: {  // join with bootstrap peering
       const NodeId id = net.add_node(/*honest=*/true);
       const std::size_t want = std::min<std::size_t>(kDegree, honest.size());
@@ -74,6 +78,14 @@ void random_op(OverlayNetwork& net, DdsrEngine& ddsr, Rng& rng) {
       for (NodeId u = 0; u < net.graph().capacity(); ++u)
         if (net.alive(u) && !net.honest(u)) sybils.push_back(u);
       if (!sybils.empty()) net.retire(rng.pick(sybils));
+      break;
+    }
+    case 6: {  // SOAP capture burst: clone injection + eviction churn
+      if (honest.empty()) break;
+      mitigation::SoapCampaign soap(net, mitigation::SoapConfig{}, rng);
+      soap.capture(rng.pick(honest));
+      for (int step = 0; step < 3 && soap.step(); ++step) {
+      }
       break;
     }
   }
@@ -113,10 +125,10 @@ TEST(TrackerDifferential, MatchesSweepWithHistogramDisabled) {
 }
 
 // ====================================================================
-// Hybrid component scheme: when the rebuild is (not) paid
+// Fully-dynamic component scheme: rebuilds are gone for good
 // ====================================================================
 
-TEST(TrackerHybrid, PureGrowthWindowsNeverRebuild) {
+TEST(TrackerDynamic, PureGrowthWindowsNeverRebuild) {
   Rng rng(5);
   OverlayNetwork net = make_overlay(60, rng);
   StructuralTracker tracker(net);
@@ -129,57 +141,129 @@ TEST(TrackerHybrid, PureGrowthWindowsNeverRebuild) {
     const NodeId id = net.add_node(/*honest=*/true);
     for (const NodeId target : rng.sample(honest, 3))
       net.graph_mut().add_edge(id, target);
-    EXPECT_FALSE(tracker.components_dirty());
     tracker.fill(s, true);
   }
-  EXPECT_EQ(tracker.rebuilds(), 0u);  // insertions fold into union-find
+  EXPECT_EQ(tracker.rebuilds(), 0u);
   EXPECT_EQ(s.components, 1u);
   EXPECT_EQ(s.honest_alive, 65u);
 }
 
-TEST(TrackerHybrid, DeletionWindowPaysExactlyOneRebuild) {
+TEST(TrackerDynamic, DeletionWindowsNeedNoRebuildAndStayExact) {
   Rng rng(6);
   OverlayNetwork net = make_overlay(60, rng);
   DdsrEngine ddsr(net.graph_mut(), policy(), rng);
   StructuralTracker tracker(net);
 
+  // Deletions — healed and unhealed, one per window or several — are
+  // folded in as they happen: no dirty flag, no rebuild, and the fill
+  // stays byte-identical to the from-scratch sweep.
   ddsr.remove_node(net.honest_nodes().front());
-  EXPECT_TRUE(tracker.components_dirty());
   MetricsSnapshot s;
   tracker.fill(s, true);
-  EXPECT_EQ(tracker.rebuilds(), 1u);
-  EXPECT_FALSE(tracker.components_dirty());
+  EXPECT_EQ(tracker.rebuilds(), 0u);
+  EXPECT_EQ(serialize(s), serialize(sweep_structural(net, true)));
 
-  // Several deletions inside one window still cost a single rebuild.
   for (int i = 0; i < 4; ++i)
-    ddsr.remove_node(net.honest_nodes().front());
+    ddsr.remove_node_no_repair(net.honest_nodes().front());
   tracker.fill(s, true);
-  EXPECT_EQ(tracker.rebuilds(), 2u);
+  EXPECT_EQ(tracker.rebuilds(), 0u);
+  EXPECT_EQ(serialize(s), serialize(sweep_structural(net, true)));
 
-  // A fill with no intervening mutations stays free.
-  tracker.fill(s, true);
-  EXPECT_EQ(tracker.rebuilds(), 2u);
+  // A fill with no intervening mutations is unchanged too.
+  MetricsSnapshot again;
+  tracker.fill(again, true);
+  EXPECT_EQ(serialize(again), serialize(s));
 }
 
-TEST(TrackerHybrid, SybilOnlyChangesStayRebuildFree) {
+TEST(TrackerDynamic, SybilOnlyChangesNeverTouchConnectivity) {
   Rng rng(7);
   // Spare degree capacity: the clone must be accepted without evicting
   // an honest peer (an eviction would drop an honest-honest edge, which
-  // is a legitimate reason to rebuild).
+  // legitimately exercises the dynamic structure).
   OverlayConfig config;
   config.dmin = kDegree;
   config.dmax = kDegree + 2;
   OverlayNetwork net =
       OverlayNetwork::random_regular(40, kDegree, config, rng);
   StructuralTracker tracker(net);
+  const auto splits_before = tracker.connectivity().splits();
+  const auto merges_before = tracker.connectivity().merges();
   const NodeId clone = net.add_node(/*honest=*/false, 1);
   net.request_peering(clone, net.honest_nodes().front());
   net.retire(clone);  // drops an honest-Sybil edge + a Sybil node
-  EXPECT_FALSE(tracker.components_dirty());
   MetricsSnapshot s;
   tracker.fill(s, true);
   EXPECT_EQ(tracker.rebuilds(), 0u);
+  // Sybil slots never enter the honest connectivity structure at all.
+  EXPECT_EQ(tracker.connectivity().splits(), splits_before);
+  EXPECT_EQ(tracker.connectivity().merges(), merges_before);
   EXPECT_EQ(serialize(s), serialize(sweep_structural(net, true)));
+}
+
+// ====================================================================
+// Regressions: histogram trailing zeros, dead union-find slots
+// ====================================================================
+
+TEST(TrackerRegression, MaxDegreeTakedownsTrimHistogramBytes) {
+  // Taking down the max-degree bot (unhealed, so nobody re-fills into
+  // the top bucket) can leave the incremental histogram with trailing
+  // zero buckets the sweep never emits — the serialized snapshots must
+  // stay byte-identical anyway.
+  Rng rng(11);
+  OverlayNetwork net = make_overlay(60, rng);
+  DdsrEngine ddsr(net.graph_mut(), policy(), rng);
+  StructuralTracker tracker(net);
+  for (int round = 0; round < 6; ++round) {
+    const std::vector<NodeId> honest = net.honest_nodes();
+    if (honest.size() <= 2) break;
+    NodeId top = honest.front();
+    for (const NodeId u : honest)
+      if (net.graph().degree(u) > net.graph().degree(top)) top = u;
+    ddsr.remove_node_no_repair(top);
+    MetricsSnapshot inc;
+    tracker.fill(inc, /*with_histogram=*/true);
+    const MetricsSnapshot sweep = sweep_structural(net, true);
+    ASSERT_EQ(inc.degree_histogram.size(), sweep.degree_histogram.size())
+        << "trailing-zero buckets leaked in round " << round;
+    ASSERT_EQ(serialize(inc), serialize(sweep)) << "round " << round;
+  }
+}
+
+TEST(TrackerRegression, DeadSlotsNeverInflateComponents) {
+  // UnionFind::num_sets() counts the whole universe, dead slots
+  // included; every consumer must compensate. Remove nodes, then check
+  // the tracker, the sweep, and the overlay's own component count agree.
+  Rng rng(12);
+  OverlayNetwork net = make_overlay(40, rng);
+  DdsrEngine ddsr(net.graph_mut(), policy(), rng);
+  StructuralTracker tracker(net);
+  for (int i = 0; i < 10; ++i)
+    ddsr.remove_node(net.honest_nodes().front());
+  MetricsSnapshot s;
+  tracker.fill(s, true);
+  const MetricsSnapshot sweep = sweep_structural(net, true);
+  EXPECT_EQ(s.components, sweep.components);
+  EXPECT_EQ(s.components, net.honest_components());
+  EXPECT_EQ(serialize(s), serialize(sweep));
+}
+
+// ====================================================================
+// Honest order statistics: the engine's victim-draw primitives
+// ====================================================================
+
+TEST(TrackerOrderStat, HonestAtMatchesHonestNodesVector) {
+  Rng rng(13);
+  OverlayNetwork net = make_overlay(80, rng);
+  DdsrEngine ddsr(net.graph_mut(), policy(), rng);
+  StructuralTracker tracker(net);
+  for (int window = 0; window < 20; ++window) {
+    for (int op = 0; op < 5; ++op) random_op(net, ddsr, rng);
+    const std::vector<NodeId> honest = net.honest_nodes();
+    ASSERT_EQ(tracker.honest_alive(), honest.size());
+    for (std::size_t k = 0; k < honest.size(); ++k)
+      ASSERT_EQ(tracker.honest_at(k), honest[k])
+          << "window " << window << " rank " << k;
+  }
 }
 
 // ====================================================================
