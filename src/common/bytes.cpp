@@ -139,6 +139,36 @@ void put_string(Bytes& out, std::string_view s) {
   append(out, to_bytes(s));
 }
 
+std::uint64_t ByteReader::u64() {
+  if (remaining() < 8)
+    throw std::out_of_range("ByteReader: truncated u64 (" +
+                            std::to_string(remaining()) + " bytes left)");
+  const std::uint64_t v = read_be64(data_.subspan(pos_, 8));
+  pos_ += 8;
+  return v;
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::str() {
+  const std::uint64_t len = u64();
+  if (len > remaining())
+    throw std::out_of_range("ByteReader: truncated string (length " +
+                            std::to_string(len) + ", " +
+                            std::to_string(remaining()) + " bytes left)");
+  return to_string(raw(static_cast<std::size_t>(len)));
+}
+
+BytesView ByteReader::raw(std::size_t n) {
+  if (n > remaining())
+    throw std::out_of_range("ByteReader: truncated read (" +
+                            std::to_string(n) + " wanted, " +
+                            std::to_string(remaining()) + " bytes left)");
+  const BytesView view = data_.subspan(pos_, n);
+  pos_ += n;
+  return view;
+}
+
 Bytes xor_bytes(BytesView a, BytesView b) {
   if (a.size() != b.size())
     throw std::invalid_argument("xor_bytes: length mismatch");

@@ -63,6 +63,31 @@ void put_string(Bytes& out, std::string_view s);
 /// Precondition: b.size() >= 8.
 std::uint64_t read_be64(BytesView b);
 
+/// Bounds-checked cursor over a canonical byte stream: the decoding
+/// counterpart of put_u64/put_f64/put_string. Every read validates the
+/// remaining length and throws std::out_of_range on underflow, so a
+/// truncated buffer surfaces as an exception at the exact field, never
+/// as an out-of-bounds access. Decoders (scenario/wire) wrap the throw
+/// in their own error type with frame context.
+class ByteReader {
+ public:
+  explicit ByteReader(BytesView data) : data_(data) {}
+
+  std::uint64_t u64();
+  double f64();  // bit-cast inverse of put_f64: round-trips every value
+  /// Length-prefixed string (inverse of put_string).
+  std::string str();
+  /// The next `n` raw bytes.
+  BytesView raw(std::size_t n);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+
+ private:
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
 /// Byte-wise XOR of equal-length buffers; throws std::invalid_argument on
 /// length mismatch.
 Bytes xor_bytes(BytesView a, BytesView b);

@@ -1,0 +1,61 @@
+#include "common/fileio.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace onion {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& op, const std::string& path) {
+  throw std::runtime_error(op + " failed for " + path + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+Bytes read_file_bytes(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) fail("open", path);
+  Bytes out;
+  std::uint8_t chunk[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof chunk, in)) > 0)
+    out.insert(out.end(), chunk, chunk + got);
+  const bool bad = std::ferror(in) != 0;
+  std::fclose(in);
+  if (bad) fail("read", path);
+  return out;
+}
+
+void write_file_atomic(const std::string& path, BytesView data) {
+  // A pid-unique temp name: concurrent workers assigned disjoint cells
+  // never collide, and a crashed worker's leftover temp is inert (the
+  // coordinator only ever reads final names).
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) fail("open", tmp);
+  const bool wrote =
+      data.empty() ||
+      std::fwrite(data.data(), 1, data.size(), out) == data.size();
+  const bool flushed = std::fflush(out) == 0;
+  // fsync before rename: otherwise a machine crash could leave the new
+  // name pointing at unwritten blocks — exactly the torn frame the
+  // atomic contract exists to rule out.
+  const bool synced = ::fsync(::fileno(out)) == 0;
+  std::fclose(out);
+  if (!(wrote && flushed && synced)) {
+    std::remove(tmp.c_str());
+    fail("write", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("rename", path);
+  }
+}
+
+}  // namespace onion

@@ -1,0 +1,26 @@
+// Crash-safe file plumbing for the multi-process grid transport: a
+// worker must never leave a half-written result frame under the final
+// name (a coordinator could merge it), so every write goes to a
+// process-unique temp file in the same directory and is renamed into
+// place — rename(2) on one filesystem is atomic, readers see either the
+// whole frame or nothing. Frame *content* integrity (torn writes that
+// did get renamed, bit rot) is the wire layer's job via its trailing
+// digest; this layer only guarantees name-level atomicity.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace onion {
+
+/// Whole-file read; throws std::runtime_error (with the path and errno
+/// text) when the file cannot be opened or read.
+Bytes read_file_bytes(const std::string& path);
+
+/// Atomically replaces `path` with `data`: writes `path`.tmp.<pid>,
+/// flushes, then renames over `path`. Throws std::runtime_error on any
+/// I/O failure (the temp file is removed on the error path).
+void write_file_atomic(const std::string& path, BytesView data);
+
+}  // namespace onion

@@ -1,20 +1,45 @@
 #include "scenario/runner.hpp"
 
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <charconv>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
 
 #include "common/bytes.hpp"
+#include "common/check.hpp"
+#include "common/fileio.hpp"
 #include "common/parallel.hpp"
 #include "crypto/sha256.hpp"
+#include "scenario/wire.hpp"
 
 namespace onion::scenario {
 
+namespace fs = std::filesystem;
+
 namespace {
+
+// Distinct worker exit codes, visible in quarantine error messages.
+constexpr int kWorkerCrashExit = 86;   // scripted kCrash fault
+constexpr int kWorkerErrorExit = 97;   // exception escaped the cell loop
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+void sleep_seconds(double seconds) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
 }
 
 void run_cell(const GridCell& cell, CellResult& out) {
@@ -33,20 +58,69 @@ void run_cell(const GridCell& cell, CellResult& out) {
   out.events_executed = engine.events_executed();
 }
 
-std::string combine_fingerprints(const std::vector<CellResult>& cells) {
+std::string frame_path(const std::string& results_dir,
+                       std::uint64_t cell_index) {
+  return results_dir + "/" + cell_frame_filename(cell_index);
+}
+
+/// Reads, decodes, and identity-checks one cell frame. On failure,
+/// `error` says why (missing file, wire defect, or identity mismatch).
+bool try_load_cell(const std::string& path, const GridCell& expected,
+                   CellResult& out, std::string& error) {
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    error = "no result frame";
+    return false;
+  }
+  try {
+    out = wire::decode_cell_result(read_file_bytes(path));
+  } catch (const std::exception& e) {
+    error = e.what();
+    return false;
+  }
+  if (out.label != expected.label || out.seed != expected.spec.seed) {
+    error = "frame identity mismatch: holds (" + out.label + ", seed " +
+            std::to_string(out.seed) + "), expected (" + expected.label +
+            ", seed " + std::to_string(expected.spec.seed) + ")";
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t parse_u64(std::string_view token, std::string_view context) {
+  std::uint64_t value = 0;
+  const auto [ptr, err] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (err != std::errc{} || ptr != token.data() + token.size())
+    throw std::invalid_argument("FaultPlan: bad number '" +
+                                std::string(token) + "' in '" +
+                                std::string(context) + "'");
+  return value;
+}
+
+}  // namespace
+
+std::string combine_cell_fingerprints(const std::vector<CellResult>& cells) {
+  // The static face of the informational-fields contract (see
+  // scenario/wire.hpp): this path consumes only the per-cell snapshot-
+  // stream digests, so wall clocks, retry history, and worker topology
+  // cannot reach a fingerprint.
+  static_assert(!wire::kInformationalFieldsEnterFingerprints,
+                "fingerprints must never cover informational fields; the "
+                "contract lives in scenario/wire.hpp");
   std::vector<std::string> digests;
   digests.reserve(cells.size());
-  for (const CellResult& cell : cells) digests.push_back(cell.fingerprint);
-  // Sorting makes the aggregate a fingerprint of the *set* of campaigns:
-  // reordering cells or rebalancing threads cannot change it.
+  for (const CellResult& cell : cells)
+    if (!cell.fingerprint.empty()) digests.push_back(cell.fingerprint);
+  // Sorting makes the aggregate a fingerprint of the *set* of completed
+  // campaigns: reordering cells, rebalancing threads, or repartitioning
+  // workers cannot change it.
   std::sort(digests.begin(), digests.end());
   crypto::Sha256 hasher;
   for (const std::string& d : digests) hasher.update(to_bytes(d));
   const crypto::Sha256Digest digest = hasher.finalize();
   return to_hex(BytesView(digest.data(), digest.size()));
 }
-
-}  // namespace
 
 CampaignGrid CampaignGrid::seed_sweep(const ScenarioSpec& base,
                                       std::uint64_t first_seed,
@@ -60,11 +134,11 @@ CampaignGrid CampaignGrid::seed_sweep(const ScenarioSpec& base,
   return grid;
 }
 
-GridReport CampaignGrid::run(std::size_t threads) const {
+GridReport CampaignGrid::run(std::size_t threads, ErrorMode errors) const {
   GridReport report;
   report.cells.resize(cells_.size());
   if (cells_.empty()) {
-    report.combined_fingerprint = combine_fingerprints(report.cells);
+    report.combined_fingerprint = combine_cell_fingerprints(report.cells);
     return report;
   }
 
@@ -72,12 +146,331 @@ GridReport CampaignGrid::run(std::size_t threads) const {
   // Results land at the cell's grid index, so the sharding (and the
   // single-thread inline fast path inside parallel_for_index) cannot
   // leak into the report — the determinism tests compare thread counts.
+  std::vector<std::string> cell_errors(cells_.size());
   report.threads_used = parallel_for_index(
-      cells_.size(), threads,
-      [&](std::size_t i) { run_cell(cells_[i], report.cells[i]); });
+      cells_.size(), threads, [&](std::size_t i) {
+        if (errors == ErrorMode::kPropagate) {
+          run_cell(cells_[i], report.cells[i]);
+          return;
+        }
+        try {
+          run_cell(cells_[i], report.cells[i]);
+        } catch (const std::exception& e) {
+          report.cells[i] = CellResult{};  // drop any partial fill
+          report.cells[i].label = cells_[i].label;
+          report.cells[i].seed = cells_[i].spec.seed;
+          cell_errors[i] = e.what();
+        }
+      });
 
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (cell_errors[i].empty()) continue;
+    report.failed_cells.push_back({i, cells_[i].label, cells_[i].spec.seed,
+                                   /*attempts=*/1, cell_errors[i]});
+  }
   report.wall_seconds = seconds_since(start);
-  report.combined_fingerprint = combine_fingerprints(report.cells);
+  report.combined_fingerprint = combine_cell_fingerprints(report.cells);
+  return report;
+}
+
+// --------------------------------------------------------------------
+// Deterministic fault injection
+// --------------------------------------------------------------------
+
+FaultPlan FaultPlan::parse(std::string_view text) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t end = std::min(text.find(';', pos), text.size());
+    const std::string_view token = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.empty()) continue;
+    const std::size_t at = token.find('@');
+    const std::size_t colon = token.find(':', at == std::string_view::npos
+                                                    ? 0
+                                                    : at + 1);
+    if (at == std::string_view::npos || colon == std::string_view::npos)
+      throw std::invalid_argument("FaultPlan: bad token '" +
+                                  std::string(token) +
+                                  "' (want kind@cell:attempt)");
+    const std::string_view kind = token.substr(0, at);
+    FaultSpec fault;
+    if (kind == "crash") {
+      fault.kind = FaultSpec::Kind::kCrash;
+    } else if (kind == "hang") {
+      fault.kind = FaultSpec::Kind::kHang;
+    } else if (kind == "corrupt") {
+      fault.kind = FaultSpec::Kind::kCorrupt;
+    } else {
+      throw std::invalid_argument("FaultPlan: unknown kind '" +
+                                  std::string(kind) +
+                                  "' (crash, hang, or corrupt)");
+    }
+    fault.cell_index = parse_u64(token.substr(at + 1, colon - at - 1), token);
+    fault.attempt = parse_u64(token.substr(colon + 1), token);
+    plan.add(fault);
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  for (const FaultSpec& f : faults_) {
+    if (!out.empty()) out += ';';
+    switch (f.kind) {
+      case FaultSpec::Kind::kCrash: out += "crash"; break;
+      case FaultSpec::Kind::kHang: out += "hang"; break;
+      case FaultSpec::Kind::kCorrupt: out += "corrupt"; break;
+    }
+    out += '@' + std::to_string(f.cell_index) + ':' +
+           std::to_string(f.attempt);
+  }
+  return out;
+}
+
+const FaultSpec* FaultPlan::match(std::uint64_t cell_index,
+                                  std::uint64_t attempt) const {
+  for (const FaultSpec& f : faults_)
+    if (f.cell_index == cell_index && f.attempt == attempt) return &f;
+  return nullptr;
+}
+
+// --------------------------------------------------------------------
+// Worker side
+// --------------------------------------------------------------------
+
+std::string cell_frame_filename(std::uint64_t cell_index) {
+  char name[32];
+  std::snprintf(name, sizeof name, "cell_%06llu.frame",
+                static_cast<unsigned long long>(cell_index));
+  return name;
+}
+
+void run_worker_cells(const CampaignGrid& grid,
+                      const std::vector<CellAssignment>& assignments,
+                      const std::string& results_dir,
+                      const FaultPlan& faults) {
+  ONION_EXPECTS(!results_dir.empty());
+  fs::create_directories(results_dir);
+  for (const CellAssignment& a : assignments) {
+    ONION_EXPECTS_MSG(a.cell_index < grid.size(),
+                      "cell " << a.cell_index << " of a " << grid.size()
+                              << "-cell grid");
+    const FaultSpec* fault = faults.match(a.cell_index, a.attempt);
+    if (fault != nullptr && fault->kind == FaultSpec::Kind::kCrash) {
+      // Scripted crash: die before the frame exists. _Exit skips every
+      // destructor and atexit hook — the closest safe stand-in for a
+      // real SIGSEGV from the transport's point of view.
+      std::_Exit(kWorkerCrashExit);
+    }
+    if (fault != nullptr && fault->kind == FaultSpec::Kind::kHang) {
+      // Scripted hang: block until the coordinator's timeout kills us.
+      // Bounded so an orphaned worker cannot outlive a dead test run.
+      for (int i = 0; i < 6000; ++i) sleep_seconds(0.01);
+      std::_Exit(kWorkerErrorExit);
+    }
+    CellResult result;
+    run_cell(grid.cells()[a.cell_index], result);
+    Bytes framed = wire::encode_cell_result(result);
+    if (fault != nullptr && fault->kind == FaultSpec::Kind::kCorrupt) {
+      // Scripted corruption: flip one payload bit and publish the frame
+      // under the final name — exactly the torn/bit-rotted file the
+      // integrity digest exists to catch.
+      framed[wire::kFrameHeaderBytes +
+             (framed.size() - wire::kFrameHeaderBytes -
+              wire::kFrameDigestBytes) /
+                 2] ^= 0x01;
+    }
+    write_file_atomic(frame_path(results_dir, a.cell_index), framed);
+  }
+}
+
+// --------------------------------------------------------------------
+// Coordinator side
+// --------------------------------------------------------------------
+
+namespace {
+
+struct WorkerProc {
+  pid_t pid = -1;
+  std::vector<CellAssignment> cells;  // executed in this order
+  std::size_t next_unseen = 0;        // first cell without a visible frame
+  std::chrono::steady_clock::time_point last_progress;
+  bool running = true;
+  bool killed = false;
+  int wait_status = 0;
+};
+
+std::string describe_exit(const WorkerProc& w, double timeout_seconds) {
+  if (w.killed)
+    return "worker killed after " + std::to_string(timeout_seconds) +
+           "s without landing a frame";
+  if (WIFEXITED(w.wait_status)) {
+    const int code = WEXITSTATUS(w.wait_status);
+    if (code == 0) return "worker exited cleanly";
+    return "worker exited with status " + std::to_string(code);
+  }
+  if (WIFSIGNALED(w.wait_status))
+    return "worker died on signal " + std::to_string(WTERMSIG(w.wait_status));
+  return "worker ended abnormally";
+}
+
+}  // namespace
+
+GridCoordinator::GridCoordinator(const CampaignGrid& grid,
+                                 GridCoordinatorConfig config)
+    : grid_(grid), config_(std::move(config)) {
+  ONION_EXPECTS(!config_.results_dir.empty());
+  ONION_EXPECTS(config_.workers >= 1);
+  ONION_EXPECTS(config_.max_attempts >= 1);
+  ONION_EXPECTS(config_.cell_timeout_seconds > 0.0);
+  ONION_EXPECTS(config_.poll_interval_seconds > 0.0);
+}
+
+GridReport GridCoordinator::run() {
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<GridCell>& cells = grid_.cells();
+  const std::size_t n = cells.size();
+  fs::create_directories(config_.results_dir);
+
+  GridReport report;
+  report.cells.resize(n);
+  report.threads_used = config_.workers;
+
+  std::vector<std::uint64_t> attempts(n, 0);
+  std::vector<std::size_t> pending;
+
+  // Checkpoint/resume: frames that decode cleanly and name the expected
+  // (label, seed) are final results; anything else (missing, truncated,
+  // corrupt, stale identity) is removed and re-run.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string path = frame_path(config_.results_dir, i);
+    CellResult loaded;
+    std::string error;
+    if (try_load_cell(path, cells[i], loaded, error)) {
+      report.cells[i] = std::move(loaded);
+      ++report.resumed_cells;
+    } else {
+      std::error_code ec;
+      fs::remove(path, ec);  // invalid leftovers must not mask progress
+      pending.push_back(i);
+    }
+  }
+
+  std::size_t round = 0;
+  while (!pending.empty()) {
+    // Partition the outstanding cells round-robin across the workers.
+    const std::size_t spawn = std::min(config_.workers, pending.size());
+    std::vector<WorkerProc> workers(spawn);
+    for (std::size_t k = 0; k < pending.size(); ++k)
+      workers[k % spawn].cells.push_back(
+          {pending[k], attempts[pending[k]]});
+
+    const auto spawned_at = std::chrono::steady_clock::now();
+    for (WorkerProc& w : workers) {
+      const pid_t pid = ::fork();
+      if (pid < 0)
+        throw std::runtime_error("GridCoordinator: fork failed");
+      if (pid == 0) {
+        // Child: run the assigned subset and leave without touching the
+        // parent's state (no destructors, no flushes of inherited
+        // buffers). The identical loop serves the gridworker binary.
+        try {
+          run_worker_cells(grid_, w.cells, config_.results_dir,
+                           config_.faults);
+        } catch (...) {
+          std::_Exit(kWorkerErrorExit);
+        }
+        std::_Exit(0);
+      }
+      w.pid = pid;
+      w.last_progress = spawned_at;
+    }
+
+    // Monitor: a worker writes its frames in assignment order, so the
+    // per-cell wall-clock timeout is "time since the last frame landed".
+    std::size_t live = spawn;
+    while (live > 0) {
+      sleep_seconds(config_.poll_interval_seconds);
+      const auto now = std::chrono::steady_clock::now();
+      for (WorkerProc& w : workers) {
+        if (!w.running) continue;
+        std::error_code ec;
+        while (w.next_unseen < w.cells.size() &&
+               fs::exists(frame_path(config_.results_dir,
+                                     w.cells[w.next_unseen].cell_index),
+                          ec)) {
+          ++w.next_unseen;
+          w.last_progress = now;
+        }
+        int status = 0;
+        if (::waitpid(w.pid, &status, WNOHANG) == w.pid) {
+          w.running = false;
+          w.wait_status = status;
+          --live;
+          continue;
+        }
+        if (std::chrono::duration<double>(now - w.last_progress).count() >
+            config_.cell_timeout_seconds) {
+          ::kill(w.pid, SIGKILL);
+          ::waitpid(w.pid, &status, 0);
+          w.running = false;
+          w.killed = true;
+          w.wait_status = status;
+          --live;
+        }
+      }
+    }
+
+    // Collect: validate every frame this round was responsible for.
+    std::vector<std::size_t> next_pending;
+    for (const WorkerProc& w : workers) {
+      for (const CellAssignment& a : w.cells) {
+        const std::size_t i = static_cast<std::size_t>(a.cell_index);
+        const std::string path = frame_path(config_.results_dir, i);
+        CellResult loaded;
+        std::string error;
+        if (try_load_cell(path, cells[i], loaded, error)) {
+          report.cells[i] = std::move(loaded);
+          continue;
+        }
+        std::error_code ec;
+        fs::remove(path, ec);
+        ++attempts[i];
+        const std::string cause =
+            error + " (" + describe_exit(w, config_.cell_timeout_seconds) +
+            ")";
+        if (attempts[i] >= config_.max_attempts) {
+          // Quarantine: the grid degrades gracefully instead of dying.
+          report.failed_cells.push_back({i, cells[i].label,
+                                         cells[i].spec.seed, attempts[i],
+                                         cause});
+          report.cells[i].label = cells[i].label;
+          report.cells[i].seed = cells[i].spec.seed;
+        } else {
+          next_pending.push_back(i);
+          ++report.retries;
+        }
+      }
+    }
+
+    pending = std::move(next_pending);
+    if (!pending.empty()) {
+      // Bounded exponential backoff before the retry round.
+      const int exponent = static_cast<int>(std::min<std::size_t>(round, 30));
+      sleep_seconds(std::min(
+          std::ldexp(config_.backoff_base_seconds, exponent),
+          config_.backoff_max_seconds));
+      ++round;
+    }
+  }
+
+  std::sort(report.failed_cells.begin(), report.failed_cells.end(),
+            [](const FailedCell& a, const FailedCell& b) {
+              return a.cell_index < b.cell_index;
+            });
+  report.combined_fingerprint = combine_cell_fingerprints(report.cells);
+  report.wall_seconds = seconds_since(start);
   return report;
 }
 

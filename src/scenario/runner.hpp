@@ -7,6 +7,17 @@
 // combined fingerprint hashes the *sorted* per-cell digests, so the
 // report is deterministic across thread counts and invariant to cell
 // order (tests/runner_test.cpp enforces both).
+//
+// Past one process, GridCoordinator runs the same grid across forked
+// worker processes with a results-directory file transport
+// (scenario/wire.hpp frames): per-cell wall-clock timeouts, bounded
+// exponential-backoff retries, quarantine of permanently failing cells
+// into GridReport::failed_cells, and checkpoint/resume over already-
+// valid frames. The combined fingerprint covers exactly the completed
+// cells, so it is invariant to worker count, partition shape, and retry
+// history — a crash-retried 4-worker run merges to the same digest as a
+// single-process run (tests/gridproc_test.cpp injects every failure
+// mode deterministically via FaultPlan and proves it).
 #pragma once
 
 #include <cstdint>
@@ -25,27 +36,62 @@ struct GridCell {
   ScenarioSpec spec;
 };
 
-/// Outcome of one cell. wall_seconds is informational only — it never
-/// enters a fingerprint.
+/// Outcome of one cell. An empty `fingerprint` marks a cell that never
+/// completed (quarantined / captured error) — a completed cell always
+/// carries the 64-hex-char digest, even for a zero-snapshot stream.
+/// wall_seconds is informational only (see scenario/wire.hpp for the
+/// one-place contract).
 struct CellResult {
   std::string label;
   std::uint64_t seed = 0;
   std::string fingerprint;  // hex SHA-256 of the cell's snapshot stream
   std::vector<MetricsSnapshot> series;  // the cell's MemorySink capture
   CampaignCounters counters;
-  std::size_t events_executed = 0;
+  std::uint64_t events_executed = 0;
   double wall_seconds = 0.0;
+};
+
+/// A cell that exhausted its attempts (process mode) or threw under
+/// ErrorMode::kCapture (in-process mode). `attempts` counts executions
+/// that were tried; `error` is the last failure's description.
+struct FailedCell {
+  std::uint64_t cell_index = 0;
+  std::string label;
+  std::uint64_t seed = 0;
+  std::uint64_t attempts = 0;
+  std::string error;
 };
 
 /// Aggregated outcome of a grid run.
 struct GridReport {
   std::vector<CellResult> cells;  // grid order, not completion order
-  /// SHA-256 over the lexicographically sorted per-cell fingerprints:
-  /// equal for any thread count and any cell ordering of the same set
-  /// of campaigns.
+  /// Cells that never produced a valid result, in cell-index order. The
+  /// grid degrades gracefully: `cells` keeps its full size (failed slots
+  /// carry label/seed but an empty fingerprint) and the combined
+  /// fingerprint covers exactly the completed cells.
+  std::vector<FailedCell> failed_cells;
+  /// SHA-256 over the lexicographically sorted fingerprints of the
+  /// *completed* cells: equal for any thread/worker count, any cell
+  /// ordering, any partition shape, and any retry history of the same
+  /// set of completed campaigns.
   std::string combined_fingerprint;
-  std::size_t threads_used = 0;
+  std::uint64_t threads_used = 0;   // workers configured, in process mode
   double wall_seconds = 0.0;
+  /// Process-mode bookkeeping (0 for in-process runs); informational
+  /// only, like wall_seconds.
+  std::uint64_t retries = 0;        // cell re-executions scheduled
+  std::uint64_t resumed_cells = 0;  // valid frames skipped on resume
+};
+
+/// The combined fingerprint over the completed cells of `cells` (empty
+/// fingerprints — failed slots — are skipped). Exposed so merge tools
+/// and tests can recompute the invariant from any partition.
+std::string combine_cell_fingerprints(const std::vector<CellResult>& cells);
+
+/// What CampaignGrid::run does when a cell throws.
+enum class ErrorMode {
+  kPropagate,  // rethrow after the pool drains (the historical contract)
+  kCapture,    // record into failed_cells, complete the remaining cells
 };
 
 /// A batch of independent campaigns and the shard-and-aggregate runner.
@@ -67,12 +113,134 @@ class CampaignGrid {
   const std::vector<GridCell>& cells() const { return cells_; }
 
   /// Runs every cell; `threads` == 0 uses the hardware concurrency. One
-  /// engine per cell, each on whichever pool thread pops its index; an
-  /// exception in any cell is rethrown after the pool drains.
-  GridReport run(std::size_t threads = 0) const;
+  /// engine per cell, each on whichever pool thread pops its index.
+  /// Under kPropagate an exception in any cell is rethrown after the
+  /// pool drains; under kCapture the failing cell lands in
+  /// failed_cells (mirroring the process-level degradation semantics)
+  /// and every other cell still completes.
+  GridReport run(std::size_t threads = 0,
+                 ErrorMode errors = ErrorMode::kPropagate) const;
 
  private:
   std::vector<GridCell> cells_;
+};
+
+// --------------------------------------------------------------------
+// Multi-process grids: deterministic fault injection, the worker entry
+// point, and the crash-tolerant coordinator.
+// --------------------------------------------------------------------
+
+/// One scripted failure: at execution `attempt` (0-based) of grid cell
+/// `cell_index`, the worker misbehaves in `kind`'s way. Because the
+/// trigger is (cell, attempt) — not wall clock or pid — every failure
+/// path is exercised by deterministic tier-1 tests rather than luck.
+struct FaultSpec {
+  enum class Kind {
+    kCrash,    // _exit before writing the frame
+    kHang,     // block past any timeout until killed
+    kCorrupt,  // write a frame with a flipped payload bit
+  };
+  Kind kind = Kind::kCrash;
+  std::uint64_t cell_index = 0;
+  std::uint64_t attempt = 0;
+};
+
+/// A seeded plan of scripted faults, threaded through workers either
+/// in-memory (forked children) or as a flag / the ONION_GRID_FAULTS
+/// env var (tools/gridworker). Text form, round-tripped by
+/// parse/to_string: `crash@2:0;hang@5:1;corrupt@7:0` — kind@cell:attempt.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parses the text form; throws std::invalid_argument with the
+  /// offending token on malformed input. Empty text => empty plan.
+  static FaultPlan parse(std::string_view text);
+  std::string to_string() const;
+
+  void add(FaultSpec fault) { faults_.push_back(fault); }
+  bool empty() const { return faults_.empty(); }
+
+  /// The scripted fault for this (cell, attempt) execution, or nullptr.
+  const FaultSpec* match(std::uint64_t cell_index,
+                         std::uint64_t attempt) const;
+
+ private:
+  std::vector<FaultSpec> faults_;
+};
+
+/// One unit of worker work: run grid cell `cell_index`; `attempt` is the
+/// coordinator's retry counter for that cell (0 first), consumed only by
+/// FaultPlan matching — results are attempt-invariant by construction.
+struct CellAssignment {
+  std::uint64_t cell_index = 0;
+  std::uint64_t attempt = 0;
+};
+
+/// The filename a cell's result frame lands under in a results
+/// directory ("cell_000042.frame").
+std::string cell_frame_filename(std::uint64_t cell_index);
+
+/// The worker loop: runs each assigned cell of `grid` in order and
+/// atomically writes its wire frame (temp + rename) into `results_dir`.
+/// Shared by forked coordinator children and the tools/gridworker
+/// binary, so both transports execute the identical code path. Scripted
+/// faults fire when (cell, attempt) matches `faults`: kCrash calls
+/// _exit, kHang blocks until killed, kCorrupt writes a frame whose
+/// digest cannot verify. Throws std::runtime_error on real I/O errors.
+void run_worker_cells(const CampaignGrid& grid,
+                      const std::vector<CellAssignment>& assignments,
+                      const std::string& results_dir,
+                      const FaultPlan& faults = {});
+
+/// Knobs for the crash-tolerant process coordinator. Defaults are tuned
+/// for real grids; tests shrink the timeouts to keep failure paths fast.
+struct GridCoordinatorConfig {
+  std::string results_dir;     // created if missing; also the checkpoint
+  std::size_t workers = 4;     // forked processes per round (>= 1)
+  /// Executions allowed per cell before quarantine (>= 1).
+  std::uint64_t max_attempts = 3;
+  /// Per-cell wall-clock timeout: a worker that goes this long without
+  /// landing its next frame is SIGKILLed and the unfinished cells retry.
+  double cell_timeout_seconds = 120.0;
+  /// Bounded exponential backoff between retry rounds:
+  /// min(base * 2^round, max) seconds.
+  double backoff_base_seconds = 0.05;
+  double backoff_max_seconds = 2.0;
+  double poll_interval_seconds = 0.01;  // results-dir progress polling
+  /// Deterministic fault injection, inherited by forked workers.
+  FaultPlan faults;
+};
+
+/// Fans a CampaignGrid across forked worker processes and merges the
+/// results-directory frames into one GridReport, surviving worker
+/// crashes, hangs, and corrupt output:
+///
+///   - each round partitions the outstanding cells round-robin across
+///     up to `workers` forked children running run_worker_cells;
+///   - a worker stuck past cell_timeout_seconds is killed, its
+///     unfinished cells rejoin the queue;
+///   - failed / timed-out / corrupt cells retry with bounded
+///     exponential backoff up to max_attempts executions, then are
+///     quarantined into GridReport::failed_cells (graceful degradation:
+///     completed cells still merge and golden-gate);
+///   - an existing results directory is a checkpoint: frames that
+///     decode cleanly and match the grid's (label, seed) are resumed,
+///     not re-run — corrupt or stale frames are re-run and overwritten.
+///
+/// The merged combined fingerprint covers exactly the completed cells,
+/// so it is provably invariant to worker count, partition shape, and
+/// retry history.
+class GridCoordinator {
+ public:
+  GridCoordinator(const CampaignGrid& grid, GridCoordinatorConfig config);
+
+  /// Runs (or resumes) the grid to completion or quarantine.
+  GridReport run();
+
+ private:
+  const CampaignGrid& grid_;
+  GridCoordinatorConfig config_;
 };
 
 }  // namespace onion::scenario

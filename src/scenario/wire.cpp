@@ -1,0 +1,241 @@
+#include "scenario/wire.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace onion::scenario::wire {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw WireError("wire: " + what);
+}
+
+std::uint32_t get_u32(ByteReader& r) {
+  const BytesView b = r.raw(4);
+  return static_cast<std::uint32_t>(b[0]) << 24 |
+         static_cast<std::uint32_t>(b[1]) << 16 |
+         static_cast<std::uint32_t>(b[2]) << 8 |
+         static_cast<std::uint32_t>(b[3]);
+}
+
+/// Payload decoders run behind the frame digest, so a short read means
+/// a bug or a hand-fed buffer — either way it surfaces as a WireError
+/// naming the payload kind, not a bare std::out_of_range.
+template <typename Fn>
+auto decode_payload(const char* what, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const std::out_of_range& e) {
+    bad(std::string(what) + ": " + e.what());
+  }
+}
+
+CellResult read_cell_result(ByteReader& r) {
+  CellResult cell;
+  cell.label = r.str();
+  cell.seed = r.u64();
+  cell.fingerprint = r.str();
+  const std::uint64_t count = r.u64();
+  cell.series.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t len = r.u64();
+    cell.series.push_back(
+        deserialize_snapshot(r.raw(static_cast<std::size_t>(len))));
+  }
+  cell.counters.joins = r.u64();
+  cell.counters.leaves = r.u64();
+  cell.counters.takedowns = r.u64();
+  cell.events_executed = r.u64();
+  cell.wall_seconds = r.f64();
+  return cell;
+}
+
+}  // namespace
+
+Bytes serialize(const CellResult& cell) {
+  Bytes out;
+  put_string(out, cell.label);
+  put_u64(out, cell.seed);
+  put_string(out, cell.fingerprint);
+  // Each snapshot length-prefixed: the canonical snapshot encoding is
+  // not self-delimiting (the wave block is conditional), and the prefix
+  // keeps it that way without touching the fingerprinted layout.
+  put_u64(out, cell.series.size());
+  for (const MetricsSnapshot& s : cell.series) {
+    const Bytes encoded = scenario::serialize(s);
+    put_u64(out, encoded.size());
+    append(out, encoded);
+  }
+  put_u64(out, cell.counters.joins);
+  put_u64(out, cell.counters.leaves);
+  put_u64(out, cell.counters.takedowns);
+  put_u64(out, cell.events_executed);
+  put_f64(out, cell.wall_seconds);  // informational: see header contract
+  return out;
+}
+
+CellResult deserialize_cell_result(BytesView payload) {
+  return decode_payload("cell-result payload", [&] {
+    ByteReader r(payload);
+    CellResult cell = read_cell_result(r);
+    if (!r.done()) bad("cell-result payload: trailing bytes");
+    return cell;
+  });
+}
+
+Bytes serialize(const GridReport& report) {
+  Bytes out;
+  put_u64(out, report.cells.size());
+  for (const CellResult& cell : report.cells) {
+    const Bytes encoded = serialize(cell);
+    put_u64(out, encoded.size());
+    append(out, encoded);
+  }
+  put_u64(out, report.failed_cells.size());
+  for (const FailedCell& failed : report.failed_cells) {
+    put_u64(out, failed.cell_index);
+    put_string(out, failed.label);
+    put_u64(out, failed.seed);
+    put_u64(out, failed.attempts);
+    put_string(out, failed.error);
+  }
+  put_string(out, report.combined_fingerprint);
+  put_u64(out, report.threads_used);    // informational from here down
+  put_f64(out, report.wall_seconds);
+  put_u64(out, report.retries);
+  put_u64(out, report.resumed_cells);
+  return out;
+}
+
+GridReport deserialize_grid_report(BytesView payload) {
+  return decode_payload("grid-report payload", [&] {
+    ByteReader r(payload);
+    GridReport report;
+    const std::uint64_t cells = r.u64();
+    report.cells.reserve(static_cast<std::size_t>(cells));
+    for (std::uint64_t i = 0; i < cells; ++i) {
+      const std::uint64_t len = r.u64();
+      ByteReader cell_reader(r.raw(static_cast<std::size_t>(len)));
+      report.cells.push_back(read_cell_result(cell_reader));
+      if (!cell_reader.done()) bad("grid-report payload: trailing cell bytes");
+    }
+    const std::uint64_t failed = r.u64();
+    report.failed_cells.reserve(static_cast<std::size_t>(failed));
+    for (std::uint64_t i = 0; i < failed; ++i) {
+      FailedCell cell;
+      cell.cell_index = r.u64();
+      cell.label = r.str();
+      cell.seed = r.u64();
+      cell.attempts = r.u64();
+      cell.error = r.str();
+      report.failed_cells.push_back(std::move(cell));
+    }
+    report.combined_fingerprint = r.str();
+    report.threads_used = r.u64();
+    report.wall_seconds = r.f64();
+    report.retries = r.u64();
+    report.resumed_cells = r.u64();
+    if (!r.done()) bad("grid-report payload: trailing bytes");
+    return report;
+  });
+}
+
+MetricsSnapshot deserialize_snapshot(BytesView encoded) {
+  return decode_payload("snapshot", [&] {
+    ByteReader r(encoded);
+    MetricsSnapshot s;
+    s.time = static_cast<SimTime>(r.u64());
+    s.honest_alive = r.u64();
+    s.sybil_alive = r.u64();
+    s.honest_edges = r.u64();
+    s.components = r.u64();
+    s.largest_component = r.u64();
+    s.largest_fraction = r.f64();
+    s.average_degree = r.f64();
+    s.diameter = r.u64();
+    s.joins = r.u64();
+    s.leaves = r.u64();
+    s.takedowns = r.u64();
+    s.repair_edges = r.u64();
+    s.prune_edges = r.u64();
+    s.refill_edges = r.u64();
+    s.repair_messages = r.u64();
+    s.soap_clones = r.u64();
+    s.soap_contained = r.u64();
+    const std::uint64_t bins = r.u64();
+    s.degree_histogram.reserve(static_cast<std::size_t>(bins));
+    for (std::uint64_t i = 0; i < bins; ++i)
+      s.degree_histogram.push_back(get_u32(r));
+    // The conditional trailing block: present iff bytes remain, exactly
+    // mirroring the serializer's empty-guard.
+    if (!r.done()) {
+      const std::uint64_t waves = r.u64();
+      s.wave_takedowns.reserve(static_cast<std::size_t>(waves));
+      for (std::uint64_t i = 0; i < waves; ++i)
+        s.wave_takedowns.push_back(r.u64());
+    }
+    if (!r.done()) bad("snapshot: trailing bytes");
+    return s;
+  });
+}
+
+Bytes frame(std::uint64_t magic, BytesView payload) {
+  Bytes out;
+  out.reserve(kFrameHeaderBytes + payload.size() + kFrameDigestBytes);
+  put_u64(out, magic);
+  put_u64(out, kWireVersion);
+  put_u64(out, payload.size());
+  append(out, payload);
+  const crypto::Sha256Digest digest = crypto::Sha256::hash(payload);
+  append(out, BytesView(digest.data(), digest.size()));
+  return out;
+}
+
+Bytes unframe(std::uint64_t magic, BytesView framed) {
+  if (framed.size() < kFrameHeaderBytes + kFrameDigestBytes)
+    bad("truncated frame: " + std::to_string(framed.size()) +
+        " bytes, header + digest need " +
+        std::to_string(kFrameHeaderBytes + kFrameDigestBytes));
+  ByteReader r(framed);
+  const std::uint64_t got_magic = r.u64();
+  if (got_magic != magic)
+    bad("bad magic " + to_hex(be64(got_magic)) + " (expected " +
+        to_hex(be64(magic)) + ")");
+  const std::uint64_t version = r.u64();
+  if (version != kWireVersion)
+    bad("unsupported wire version " + std::to_string(version) +
+        " (this build speaks version " + std::to_string(kWireVersion) + ")");
+  const std::uint64_t payload_len = r.u64();
+  const std::uint64_t body =
+      framed.size() - kFrameHeaderBytes - kFrameDigestBytes;
+  if (payload_len != body)
+    bad("frame length mismatch: header says " + std::to_string(payload_len) +
+        " payload bytes, frame carries " + std::to_string(body));
+  const BytesView payload = r.raw(static_cast<std::size_t>(payload_len));
+  const BytesView claimed = r.raw(kFrameDigestBytes);
+  const crypto::Sha256Digest actual = crypto::Sha256::hash(payload);
+  if (!std::equal(claimed.begin(), claimed.end(), actual.begin()))
+    bad("integrity digest mismatch: frame truncated or corrupted");
+  return Bytes(payload.begin(), payload.end());
+}
+
+Bytes encode_cell_result(const CellResult& cell) {
+  return frame(kCellResultMagic, serialize(cell));
+}
+
+CellResult decode_cell_result(BytesView framed) {
+  return deserialize_cell_result(unframe(kCellResultMagic, framed));
+}
+
+Bytes encode_grid_report(const GridReport& report) {
+  return frame(kGridReportMagic, serialize(report));
+}
+
+GridReport decode_grid_report(BytesView framed) {
+  return deserialize_grid_report(unframe(kGridReportMagic, framed));
+}
+
+}  // namespace onion::scenario::wire

@@ -1,5 +1,5 @@
 // Unit tests for the common substrate: byte codecs, deterministic RNG,
-// contract macros, clock helpers.
+// contract macros, clock helpers, ByteReader, atomic file I/O.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -8,6 +8,7 @@
 #include "common/bytes.hpp"
 #include "common/check.hpp"
 #include "common/clock.hpp"
+#include "common/fileio.hpp"
 #include "common/order_stat.hpp"
 #include "common/rng.hpp"
 
@@ -350,6 +351,74 @@ TEST(OrderStat, MatchesSortedVectorUnderRandomChurn) {
                                           static_cast<std::ptrdiff_t>(k)));
     }
   }
+}
+
+TEST(ByteReader, RoundTripsThePutHelpers) {
+  Bytes buf;
+  put_u64(buf, 0xdeadbeefcafef00dull);
+  put_f64(buf, -2.5);
+  put_string(buf, "onion");
+  put_string(buf, "");
+  ByteReader r(buf);
+  EXPECT_EQ(r.u64(), 0xdeadbeefcafef00dull);
+  EXPECT_EQ(r.f64(), -2.5);
+  EXPECT_EQ(r.str(), "onion");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, RawViewsWithoutCopying) {
+  const Bytes buf = {1, 2, 3, 4, 5};
+  ByteReader r(buf);
+  const BytesView head = r.raw(2);
+  EXPECT_EQ(head.data(), buf.data());
+  EXPECT_EQ(head.size(), 2u);
+  EXPECT_EQ(r.remaining(), 3u);
+}
+
+TEST(ByteReader, EveryTruncatedReadThrows) {
+  const Bytes seven(7, 0xab);
+  ByteReader u(seven);
+  EXPECT_THROW(u.u64(), std::out_of_range);
+  ByteReader f(seven);
+  EXPECT_THROW(f.f64(), std::out_of_range);
+  ByteReader v(seven);
+  EXPECT_THROW(v.raw(8), std::out_of_range);
+  // A string whose length prefix promises more bytes than remain.
+  Bytes lying;
+  put_u64(lying, 100);
+  ByteReader s(lying);
+  EXPECT_THROW(s.str(), std::out_of_range);
+}
+
+TEST(FileIo, AtomicWriteThenReadRoundTrips) {
+  const std::string path =
+      ::testing::TempDir() + "fileio_roundtrip.bin";
+  const Bytes data = {0x00, 0xff, 0x10, 0x20};
+  write_file_atomic(path, data);
+  EXPECT_EQ(read_file_bytes(path), data);
+  // Overwrite goes through the same temp+rename publication.
+  const Bytes replacement = {0x01};
+  write_file_atomic(path, replacement);
+  EXPECT_EQ(read_file_bytes(path), replacement);
+}
+
+TEST(FileIo, EmptyFileRoundTrips) {
+  const std::string path = ::testing::TempDir() + "fileio_empty.bin";
+  write_file_atomic(path, Bytes{});
+  EXPECT_TRUE(read_file_bytes(path).empty());
+}
+
+TEST(FileIo, MissingFileThrows) {
+  EXPECT_THROW(
+      read_file_bytes(::testing::TempDir() + "fileio_nonexistent.bin"),
+      std::runtime_error);
+}
+
+TEST(FileIo, UnwritableDirectoryThrows) {
+  EXPECT_THROW(write_file_atomic("/nonexistent-dir/out.bin", Bytes{1}),
+               std::runtime_error);
 }
 
 }  // namespace

@@ -338,12 +338,41 @@ enum class TraceEventKind : unsigned char {
 };
 )";
 
+const char* kRunnerHeader = R"(
+#include <cstdint>
+#include <string>
+#include <vector>
+struct CellResult {
+  std::string label;
+  double wall_seconds = 0.0;
+};
+struct FailedCell {
+  std::uint64_t cell_index = 0;
+  std::string error;
+};
+struct GridReport {
+  std::vector<CellResult> cells;
+  std::vector<FailedCell> failed_cells;
+  std::string combined_fingerprint;
+};
+)";
+
+const char* kWireImpl = R"(
+#include "scenario/runner.hpp"
+void serialize(const CellResult& cell) {
+  put(cell.label);
+  put(cell.wall_seconds);
+}
+)";
+
 Config d5_config(const std::string& manifest_text) {
   Config config;
   config.manifest = parse_manifest(manifest_text);
   config.snapshot_header = "src/scenario/snapshot.hpp";
   config.snapshot_impl = "src/scenario/snapshot.cpp";
   config.trace_header = "src/scenario/trace.hpp";
+  config.runner_header = "src/scenario/runner.hpp";
+  config.wire_impl = "src/scenario/wire.cpp";
   return config;
 }
 
@@ -351,6 +380,21 @@ std::vector<SourceFile> d5_files() {
   return {{"src/scenario/snapshot.hpp", kSnapshotHeader},
           {"src/scenario/snapshot.cpp", kSnapshotImplGuarded},
           {"src/scenario/trace.hpp", kTraceHeader}};
+}
+
+/// The wire-schema manifest matching kRunnerHeader exactly.
+const char* kGridManifest =
+    "CellResult.label\n"
+    "CellResult.wall_seconds\n"
+    "FailedCell.cell_index\n"
+    "FailedCell.error\n"
+    "GridReport.cells\n"
+    "GridReport.failed_cells\n"
+    "GridReport.combined_fingerprint\n";
+
+std::vector<SourceFile> d5_grid_files() {
+  return {{"src/scenario/runner.hpp", kRunnerHeader},
+          {"src/scenario/wire.cpp", kWireImpl}};
 }
 
 TEST(DetlintD5, MatchingManifestIsClean) {
@@ -422,6 +466,55 @@ void serialize(const MetricsSnapshot& s) {
   EXPECT_NE(hits[0].message.find("empty"), std::string::npos);
 }
 
+TEST(DetlintD5, GridWireStructsWithMatchingManifestAreClean) {
+  const LintResult r =
+      lint_files(d5_grid_files(), d5_config(kGridManifest));
+  EXPECT_TRUE(violations(r, "D5").empty());
+}
+
+TEST(DetlintD5, UnlistedGridWireFieldFires) {
+  // Drop GridReport.combined_fingerprint from the manifest.
+  const LintResult r = lint_files(
+      d5_grid_files(), d5_config("CellResult.label\n"
+                                 "CellResult.wall_seconds\n"
+                                 "FailedCell.cell_index\n"
+                                 "FailedCell.error\n"
+                                 "GridReport.cells\n"
+                                 "GridReport.failed_cells\n"));
+  const auto hits = violations(r, "D5");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("GridReport::combined_fingerprint"),
+            std::string::npos);
+}
+
+TEST(DetlintD5, StaleGridWireEntryFires) {
+  const LintResult r = lint_files(
+      d5_grid_files(),
+      d5_config(std::string(kGridManifest) + "CellResult.removed_field\n"));
+  const auto hits = violations(r, "D5");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("stale"), std::string::npos);
+  EXPECT_NE(hits[0].message.find("CellResult.removed_field"),
+            std::string::npos);
+}
+
+TEST(DetlintD5, ConditionalGridWireFieldChecksTheWireSerializer) {
+  // Mark CellResult.label conditional: kWireImpl has no empty() guard,
+  // so the violation must cite wire.cpp, not snapshot.cpp.
+  const LintResult r = lint_files(
+      d5_grid_files(), d5_config("CellResult.label conditional\n"
+                                 "CellResult.wall_seconds\n"
+                                 "FailedCell.cell_index\n"
+                                 "FailedCell.error\n"
+                                 "GridReport.cells\n"
+                                 "GridReport.failed_cells\n"
+                                 "GridReport.combined_fingerprint\n"));
+  const auto hits = violations(r, "D5");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("src/scenario/wire.cpp"),
+            std::string::npos);
+}
+
 TEST(DetlintManifest, ParsesFlagsAndComments) {
   const auto entries = parse_manifest(
       "# comment\n"
@@ -444,11 +537,7 @@ TEST(DetlintManifest, RejectsMalformedLines) {
 // --- Output format and counts -----------------------------------------
 
 TEST(DetlintOutput, DiagnosticFormatsAsFileLineRule) {
-  Diagnostic d;
-  d.file = "src/foo/bar.cpp";
-  d.line = 12;
-  d.rule = "D1";
-  d.message = "message text";
+  Diagnostic d{"src/foo/bar.cpp", 12, "D1", "message text", false, ""};
   EXPECT_EQ(d.to_string(), "src/foo/bar.cpp:12: [D1] message text");
   d.suppressed = true;
   d.suppress_reason = "why";

@@ -1,0 +1,216 @@
+// Multi-process grid robustness (fork-based, so deliberately NOT in the
+// ONION_TSAN_SUITES tier — TSan and fork() do not mix). Every failure
+// mode is injected deterministically via FaultPlan — crash before the
+// frame, corrupt frame, hang past the timeout — and each test proves
+// the crash-tolerance contract: the merged combined fingerprint equals
+// the single-process digest no matter the worker count, partition,
+// retry history, or resume path; permanent failures quarantine instead
+// of poisoning the merge.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/fileio.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/wire.hpp"
+
+namespace onion::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+ScenarioSpec tiny_spec(std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.seed = seed;
+  spec.initial_size = 80;
+  spec.degree = 5;
+  spec.horizon = 6 * kMinute;
+  spec.churn.joins_per_hour = 240.0;
+  spec.churn.leaves_per_hour = 240.0;
+  AttackPhase takedown;
+  takedown.kind = AttackKind::RandomTakedown;
+  takedown.start = kMinute;
+  takedown.stop = 5 * kMinute;
+  takedown.takedowns_per_hour = 120.0;
+  spec.attacks.push_back(takedown);
+  spec.metrics.period = kMinute;
+  return spec;
+}
+
+CampaignGrid tiny_grid() {
+  return CampaignGrid::seed_sweep(tiny_spec(0), 500, 4);
+}
+
+/// A fresh per-test results directory under the gtest temp root.
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "gridproc_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+GridCoordinatorConfig fast_config(const std::string& dir) {
+  GridCoordinatorConfig config;
+  config.results_dir = dir;
+  config.workers = 2;
+  config.max_attempts = 3;
+  // Tight enough that a hung worker dies in ~a second, generous enough
+  // that a loaded CI box never times out a healthy 80-bot cell.
+  config.cell_timeout_seconds = 30.0;
+  config.backoff_base_seconds = 0.001;
+  config.backoff_max_seconds = 0.01;
+  config.poll_interval_seconds = 0.002;
+  return config;
+}
+
+TEST(GridProcess, MultiprocessMatchesInProcessFingerprints) {
+  const CampaignGrid grid = tiny_grid();
+  const GridReport in_process = grid.run(2);
+  GridCoordinator coordinator(grid, fast_config(fresh_dir("match")));
+  const GridReport merged = coordinator.run();
+  EXPECT_TRUE(merged.failed_cells.empty());
+  EXPECT_EQ(merged.retries, 0u);
+  EXPECT_EQ(merged.resumed_cells, 0u);
+  ASSERT_EQ(merged.cells.size(), in_process.cells.size());
+  for (std::size_t i = 0; i < merged.cells.size(); ++i) {
+    EXPECT_EQ(merged.cells[i].label, in_process.cells[i].label);
+    EXPECT_EQ(merged.cells[i].fingerprint, in_process.cells[i].fingerprint);
+    ASSERT_EQ(merged.cells[i].series.size(),
+              in_process.cells[i].series.size());
+    for (std::size_t k = 0; k < merged.cells[i].series.size(); ++k)
+      EXPECT_EQ(serialize(merged.cells[i].series[k]),
+                serialize(in_process.cells[i].series[k]));
+  }
+  EXPECT_EQ(merged.combined_fingerprint, in_process.combined_fingerprint);
+}
+
+TEST(GridProcess, EveryFaultKindRetriesToTheSameFingerprint) {
+  const CampaignGrid grid = tiny_grid();
+  const GridReport in_process = grid.run(2);
+  GridCoordinatorConfig config = fast_config(fresh_dir("faults"));
+  // One of each failure mode, all on attempt 0, so round one loses three
+  // cells three different ways and round two repairs them all.
+  config.faults = FaultPlan::parse("crash@1:0;corrupt@2:0;hang@3:0");
+  config.cell_timeout_seconds = 1.0;  // the hang must die quickly
+  GridCoordinator coordinator(grid, config);
+  const GridReport merged = coordinator.run();
+  EXPECT_TRUE(merged.failed_cells.empty());
+  EXPECT_GE(merged.retries, 3u);
+  EXPECT_EQ(merged.combined_fingerprint, in_process.combined_fingerprint);
+}
+
+TEST(GridProcess, PermanentCrashQuarantinesAndMergesTheRest) {
+  const CampaignGrid grid = tiny_grid();
+  GridCoordinatorConfig config = fast_config(fresh_dir("quarantine"));
+  config.faults = FaultPlan::parse("crash@2:0;crash@2:1;crash@2:2");
+  GridCoordinator coordinator(grid, config);
+  const GridReport merged = coordinator.run();
+  ASSERT_EQ(merged.failed_cells.size(), 1u);
+  EXPECT_EQ(merged.failed_cells[0].cell_index, 2u);
+  EXPECT_EQ(merged.failed_cells[0].label, grid.cells()[2].label);
+  EXPECT_EQ(merged.failed_cells[0].seed, grid.cells()[2].spec.seed);
+  EXPECT_EQ(merged.failed_cells[0].attempts, config.max_attempts);
+  EXPECT_FALSE(merged.failed_cells[0].error.empty());
+  // Graceful degradation: the quarantined slot keeps its place with an
+  // empty fingerprint, and the merge covers exactly the completed cells.
+  ASSERT_EQ(merged.cells.size(), grid.size());
+  EXPECT_TRUE(merged.cells[2].fingerprint.empty());
+  GridReport expected = grid.run(2);
+  expected.cells[2].fingerprint.clear();
+  EXPECT_EQ(merged.combined_fingerprint,
+            combine_cell_fingerprints(expected.cells));
+}
+
+TEST(GridProcess, ResumeSkipsEveryValidFrame) {
+  const CampaignGrid grid = tiny_grid();
+  const std::string dir = fresh_dir("resume");
+  const GridReport first = GridCoordinator(grid, fast_config(dir)).run();
+  const GridReport second = GridCoordinator(grid, fast_config(dir)).run();
+  EXPECT_EQ(second.resumed_cells, grid.size());
+  EXPECT_EQ(second.retries, 0u);
+  EXPECT_EQ(second.combined_fingerprint, first.combined_fingerprint);
+}
+
+TEST(GridProcess, ResumeReRunsOnlyTheCorruptedFrame) {
+  const CampaignGrid grid = tiny_grid();
+  const std::string dir = fresh_dir("repair");
+  const GridReport first = GridCoordinator(grid, fast_config(dir)).run();
+  // Flip one payload byte of cell 1's frame; record the other frames so
+  // we can prove they were not rewritten.
+  std::vector<Bytes> before;
+  for (std::uint64_t i = 0; i < grid.size(); ++i)
+    before.push_back(
+        read_file_bytes(dir + "/" + cell_frame_filename(i)));
+  Bytes corrupt = before[1];
+  corrupt[wire::kFrameHeaderBytes + 10] ^= 0x40;
+  write_file_atomic(dir + "/" + cell_frame_filename(1), corrupt);
+
+  const GridReport repaired = GridCoordinator(grid, fast_config(dir)).run();
+  EXPECT_EQ(repaired.resumed_cells, grid.size() - 1);
+  EXPECT_TRUE(repaired.failed_cells.empty());
+  EXPECT_EQ(repaired.combined_fingerprint, first.combined_fingerprint);
+  for (std::uint64_t i = 0; i < grid.size(); ++i) {
+    const Bytes after = read_file_bytes(dir + "/" + cell_frame_filename(i));
+    if (i == 1) {
+      EXPECT_NE(after, corrupt);  // repaired, not left poisoned
+      // The re-run differs only in the informational wall clock: every
+      // deterministic field matches the original frame.
+      const CellResult rerun = wire::decode_cell_result(after);
+      const CellResult original = wire::decode_cell_result(before[1]);
+      EXPECT_EQ(rerun.label, original.label);
+      EXPECT_EQ(rerun.seed, original.seed);
+      EXPECT_EQ(rerun.fingerprint, original.fingerprint);
+      EXPECT_EQ(rerun.events_executed, original.events_executed);
+    } else {
+      EXPECT_EQ(after, before[i]) << "frame " << i << " was rewritten";
+    }
+  }
+}
+
+TEST(GridProcess, WorkerModeShardsMergeLikeTheCoordinator) {
+  // Two hand-partitioned run_worker_cells calls (the gridworker --worker
+  // path) followed by a coordinator pass over the same directory: every
+  // frame resumes, nothing re-runs, same merge.
+  const CampaignGrid grid = tiny_grid();
+  const std::string dir = fresh_dir("shards");
+  run_worker_cells(grid, {{0, 0}, {2, 0}}, dir);
+  run_worker_cells(grid, {{1, 0}, {3, 0}}, dir);
+  const GridReport merged = GridCoordinator(grid, fast_config(dir)).run();
+  EXPECT_EQ(merged.resumed_cells, grid.size());
+  EXPECT_TRUE(merged.failed_cells.empty());
+  EXPECT_EQ(merged.combined_fingerprint,
+            grid.run(2).combined_fingerprint);
+}
+
+TEST(GridProcess, FaultPlanParsesAndRoundTrips) {
+  const std::string text = "crash@2:0;hang@5:1;corrupt@7:0";
+  const FaultPlan plan = FaultPlan::parse(text);
+  EXPECT_EQ(plan.to_string(), text);
+  EXPECT_NE(plan.match(2, 0), nullptr);
+  EXPECT_EQ(plan.match(2, 0)->kind, FaultSpec::Kind::kCrash);
+  EXPECT_NE(plan.match(5, 1), nullptr);
+  EXPECT_EQ(plan.match(5, 1)->kind, FaultSpec::Kind::kHang);
+  EXPECT_NE(plan.match(7, 0), nullptr);
+  EXPECT_EQ(plan.match(7, 0)->kind, FaultSpec::Kind::kCorrupt);
+  EXPECT_EQ(plan.match(2, 1), nullptr);  // attempt matters
+  EXPECT_EQ(plan.match(3, 0), nullptr);
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+  EXPECT_THROW(FaultPlan::parse("explode@2:0"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("crash@x:0"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("crash@2"), std::invalid_argument);
+}
+
+TEST(GridProcess, CoordinatorConfigIsValidated) {
+  const CampaignGrid grid = tiny_grid();
+  GridCoordinatorConfig config = fast_config(fresh_dir("validate"));
+  config.workers = 0;
+  EXPECT_THROW(GridCoordinator(grid, config), ContractViolation);
+  config = fast_config(fresh_dir("validate2"));
+  config.max_attempts = 0;
+  EXPECT_THROW(GridCoordinator(grid, config), ContractViolation);
+}
+
+}  // namespace
+}  // namespace onion::scenario

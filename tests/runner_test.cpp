@@ -6,6 +6,7 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
 #include "scenario/runner.hpp"
 
 namespace onion::scenario {
@@ -113,6 +114,48 @@ TEST(CampaignGrid, EmptyGridProducesAnEmptyDeterministicReport) {
   EXPECT_TRUE(a.cells.empty());
   EXPECT_EQ(a.combined_fingerprint, b.combined_fingerprint);
   EXPECT_FALSE(a.combined_fingerprint.empty());  // SHA-256 of nothing
+}
+
+TEST(CampaignGrid, CaptureModeQuarantinesAThrowingCellAndFinishesTheRest) {
+  // metrics.period == 0 trips the engine's precondition
+  // (ONION_EXPECTS(spec_.metrics.period > 0)) — a deterministic way to
+  // make exactly one cell throw.
+  CampaignGrid grid;
+  for (std::uint64_t seed = 100; seed < 104; ++seed)
+    grid.add("cell" + std::to_string(seed), small_spec(seed));
+  ScenarioSpec broken = small_spec(104);
+  broken.metrics.period = 0;
+  grid.add("broken", broken);
+
+  const GridReport report = grid.run(2, ErrorMode::kCapture);
+  ASSERT_EQ(report.cells.size(), 5u);
+  ASSERT_EQ(report.failed_cells.size(), 1u);
+  EXPECT_EQ(report.failed_cells[0].cell_index, 4u);
+  EXPECT_EQ(report.failed_cells[0].label, "broken");
+  EXPECT_EQ(report.failed_cells[0].seed, 104u);
+  EXPECT_EQ(report.failed_cells[0].attempts, 1u);
+  EXPECT_FALSE(report.failed_cells[0].error.empty());
+  // The failed slot keeps its place with no fingerprint; every healthy
+  // cell completed.
+  EXPECT_TRUE(report.cells[4].fingerprint.empty());
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_FALSE(report.cells[i].fingerprint.empty());
+  // Graceful degradation is exact: the combined fingerprint equals that
+  // of the grid without the broken cell.
+  CampaignGrid healthy;
+  for (std::uint64_t seed = 100; seed < 104; ++seed)
+    healthy.add("cell" + std::to_string(seed), small_spec(seed));
+  EXPECT_EQ(report.combined_fingerprint,
+            healthy.run(2).combined_fingerprint);
+}
+
+TEST(CampaignGrid, PropagateModeStillThrows) {
+  CampaignGrid grid;
+  ScenarioSpec broken = small_spec(1);
+  broken.metrics.period = 0;
+  grid.add("broken", broken);
+  EXPECT_THROW(grid.run(1), ContractViolation);
+  EXPECT_THROW(grid.run(1, ErrorMode::kPropagate), ContractViolation);
 }
 
 TEST(CampaignGrid, MoreThreadsThanCellsIsClamped) {

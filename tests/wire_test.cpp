@@ -1,0 +1,197 @@
+// scenario/wire robustness: round-trip equality for every field,
+// truncation at every byte boundary rejected, every single-byte
+// corruption rejected, unknown versions and foreign magics rejected
+// with clear errors — the "corrupt results are detected, never merged"
+// contract the multi-process grid stands on. Plus the informational-
+// fields contract: wall clocks and retry bookkeeping survive the wire
+// but can never reach a fingerprint.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "scenario/runner.hpp"
+#include "scenario/wire.hpp"
+
+namespace onion::scenario {
+namespace {
+
+MetricsSnapshot sample_snapshot(std::uint64_t salt, bool with_waves) {
+  MetricsSnapshot s;
+  s.time = 30 * kMinute + salt;
+  s.honest_alive = 900 + salt;
+  s.sybil_alive = 11;
+  s.honest_edges = 4200 + salt;
+  s.components = 2;
+  s.largest_component = 890;
+  s.largest_fraction = 0.988;
+  s.average_degree = 9.33 + static_cast<double>(salt);
+  s.diameter = salt % 2 == 0 ? 7 : kNoDiameter;
+  s.degree_histogram = {0, 1, 5, 40, 200};
+  s.joins = 120 + salt;
+  s.leaves = 100;
+  s.takedowns = 25;
+  s.repair_edges = 75;
+  s.prune_edges = 3;
+  s.refill_edges = 18;
+  s.repair_messages = 5000;
+  s.soap_clones = 4;
+  s.soap_contained = 2;
+  if (with_waves) s.wave_takedowns = {10, 0, 15};
+  return s;
+}
+
+CellResult sample_cell(std::uint64_t seed) {
+  CellResult cell;
+  cell.label = "seed=" + std::to_string(seed);
+  cell.seed = seed;
+  cell.fingerprint = std::string(64, 'a');
+  cell.series = {sample_snapshot(seed, false), sample_snapshot(seed + 1, true)};
+  cell.counters.joins = 12 + seed;
+  cell.counters.leaves = 9;
+  cell.counters.takedowns = 4;
+  cell.events_executed = 123456 + seed;
+  cell.wall_seconds = 1.25;
+  return cell;
+}
+
+GridReport sample_report() {
+  GridReport report;
+  report.cells = {sample_cell(7), sample_cell(8), CellResult{}};
+  report.cells[2].label = "seed=9";  // a quarantined slot: no fingerprint
+  report.cells[2].seed = 9;
+  report.failed_cells = {
+      {2, "seed=9", 9, 3, "worker exited with status 86"}};
+  report.combined_fingerprint = std::string(64, 'b');
+  report.threads_used = 4;
+  report.wall_seconds = 2.5;
+  report.retries = 5;
+  report.resumed_cells = 1;
+  return report;
+}
+
+void expect_cells_equal(const CellResult& a, const CellResult& b) {
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (std::size_t i = 0; i < a.series.size(); ++i)
+    EXPECT_EQ(serialize(a.series[i]), serialize(b.series[i]));
+  EXPECT_EQ(a.counters.joins, b.counters.joins);
+  EXPECT_EQ(a.counters.leaves, b.counters.leaves);
+  EXPECT_EQ(a.counters.takedowns, b.counters.takedowns);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.wall_seconds, b.wall_seconds);
+}
+
+TEST(Wire, SnapshotRoundTripsBitForBit) {
+  for (const bool with_waves : {false, true}) {
+    const MetricsSnapshot original = sample_snapshot(3, with_waves);
+    const Bytes encoded = serialize(original);
+    const MetricsSnapshot decoded = wire::deserialize_snapshot(encoded);
+    EXPECT_EQ(serialize(decoded), encoded);
+    EXPECT_EQ(decoded.degree_histogram, original.degree_histogram);
+    EXPECT_EQ(decoded.wave_takedowns, original.wave_takedowns);
+  }
+}
+
+TEST(Wire, CellResultRoundTripsEveryField) {
+  const CellResult original = sample_cell(42);
+  const CellResult decoded =
+      wire::decode_cell_result(wire::encode_cell_result(original));
+  expect_cells_equal(original, decoded);
+}
+
+TEST(Wire, GridReportRoundTripsEveryField) {
+  const GridReport original = sample_report();
+  const GridReport decoded =
+      wire::decode_grid_report(wire::encode_grid_report(original));
+  ASSERT_EQ(decoded.cells.size(), original.cells.size());
+  for (std::size_t i = 0; i < original.cells.size(); ++i)
+    expect_cells_equal(original.cells[i], decoded.cells[i]);
+  ASSERT_EQ(decoded.failed_cells.size(), 1u);
+  EXPECT_EQ(decoded.failed_cells[0].cell_index, 2u);
+  EXPECT_EQ(decoded.failed_cells[0].label, "seed=9");
+  EXPECT_EQ(decoded.failed_cells[0].seed, 9u);
+  EXPECT_EQ(decoded.failed_cells[0].attempts, 3u);
+  EXPECT_EQ(decoded.failed_cells[0].error, "worker exited with status 86");
+  EXPECT_EQ(decoded.combined_fingerprint, original.combined_fingerprint);
+  EXPECT_EQ(decoded.threads_used, original.threads_used);
+  EXPECT_EQ(decoded.wall_seconds, original.wall_seconds);
+  EXPECT_EQ(decoded.retries, original.retries);
+  EXPECT_EQ(decoded.resumed_cells, original.resumed_cells);
+}
+
+TEST(Wire, TruncationAtEveryByteBoundaryIsRejected) {
+  const Bytes framed = wire::encode_cell_result(sample_cell(1));
+  for (std::size_t len = 0; len < framed.size(); ++len) {
+    EXPECT_THROW(wire::decode_cell_result(BytesView(framed.data(), len)),
+                 wire::WireError)
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(Wire, EverySingleByteCorruptionIsRejected) {
+  // Any flipped bit must land in one of the frame's checks: magic,
+  // version, length, or the trailing integrity digest.
+  const Bytes framed = wire::encode_cell_result(sample_cell(2));
+  for (std::size_t i = 0; i < framed.size(); ++i) {
+    Bytes corrupt = framed;
+    corrupt[i] ^= 0x01;
+    EXPECT_THROW(wire::decode_cell_result(corrupt), wire::WireError)
+        << "flip at byte " << i << " decoded";
+  }
+}
+
+TEST(Wire, UnknownVersionIsRejectedWithAClearError) {
+  Bytes framed = wire::encode_cell_result(sample_cell(3));
+  framed[15] = 2;  // the version word's low byte (bytes 8..15, big-endian)
+  try {
+    wire::decode_cell_result(framed);
+    FAIL() << "version-2 frame decoded";
+  } catch (const wire::WireError& e) {
+    EXPECT_NE(std::string(e.what()).find("version 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Wire, ForeignMagicIsRejected) {
+  const Bytes cell_frame = wire::encode_cell_result(sample_cell(4));
+  EXPECT_THROW(wire::decode_grid_report(cell_frame), wire::WireError);
+  const Bytes report_frame = wire::encode_grid_report(sample_report());
+  EXPECT_THROW(wire::decode_cell_result(report_frame), wire::WireError);
+}
+
+TEST(Wire, TrailingGarbageIsRejected) {
+  Bytes framed = wire::encode_cell_result(sample_cell(5));
+  framed.push_back(0x00);
+  EXPECT_THROW(wire::decode_cell_result(framed), wire::WireError);
+}
+
+TEST(Wire, WallSecondsIsSerializedButNeverFingerprinted) {
+  // The one-place contract (scenario/wire.hpp): informational fields
+  // survive the wire bit-exactly but cannot move a fingerprint.
+  CellResult fast = sample_cell(6);
+  CellResult slow = sample_cell(6);
+  fast.wall_seconds = 0.01;
+  slow.wall_seconds = 1e6;
+  EXPECT_NE(wire::encode_cell_result(fast), wire::encode_cell_result(slow));
+  EXPECT_EQ(wire::decode_cell_result(wire::encode_cell_result(slow))
+                .wall_seconds,
+            1e6);
+  EXPECT_EQ(combine_cell_fingerprints({fast}),
+            combine_cell_fingerprints({slow}));
+}
+
+TEST(Wire, CombinedFingerprintSkipsFailedSlots) {
+  const CellResult completed = sample_cell(7);
+  CellResult failed;  // quarantined: label but no fingerprint
+  failed.label = "seed=9";
+  failed.seed = 9;
+  EXPECT_EQ(combine_cell_fingerprints({completed, failed}),
+            combine_cell_fingerprints({completed}));
+  EXPECT_NE(combine_cell_fingerprints({completed}),
+            combine_cell_fingerprints({}));
+}
+
+}  // namespace
+}  // namespace onion::scenario

@@ -720,12 +720,21 @@ class Linter {
     return out;
   }
 
+  /// True for owners declared in runner_header and serialized by
+  /// wire_impl (the multi-process grid wire schema).
+  static bool is_grid_owner(const std::string& owner) {
+    return owner == "CellResult" || owner == "GridReport" ||
+           owner == "FailedCell";
+  }
+
   void rule_d5() {
     if (config_.manifest.empty()) return;
     const FileInfo* snap = find(config_.snapshot_header);
     const FileInfo* trace = find(config_.trace_header);
-    const FileInfo* impl = find(config_.snapshot_impl);
-    if (snap == nullptr && trace == nullptr) return;
+    const FileInfo* runner = find(config_.runner_header);
+    const FileInfo* snap_impl = find(config_.snapshot_impl);
+    const FileInfo* wire_impl = find(config_.wire_impl);
+    if (snap == nullptr && trace == nullptr && runner == nullptr) return;
 
     std::map<std::string, const ManifestEntry*> by_key;
     for (const ManifestEntry& e : config_.manifest)
@@ -733,7 +742,9 @@ class Linter {
     std::set<std::string> seen;
 
     const auto check = [&](const FileInfo* file, const char* owner,
-                           const std::vector<Member>& members) {
+                           const std::vector<Member>& members,
+                           const FileInfo* impl,
+                           const std::string& impl_path) {
       if (file == nullptr) return;
       for (const Member& m : members) {
         const std::string key = std::string(owner) + "." + m.name;
@@ -754,7 +765,7 @@ class Linter {
           report(*file, m.line, "D5",
                  std::string(owner) + "::" + m.name +
                      " is marked `conditional` in the manifest but " +
-                     config_.snapshot_impl +
+                     impl_path +
                      " has no `if (....empty())` guard around it; the "
                      "empty = byte-identical encoding contract is broken");
         }
@@ -762,15 +773,23 @@ class Linter {
     };
     if (snap != nullptr)
       check(snap, "MetricsSnapshot",
-            struct_fields(snap->scan.tokens, "MetricsSnapshot"));
+            struct_fields(snap->scan.tokens, "MetricsSnapshot"), snap_impl,
+            config_.snapshot_impl);
     if (trace != nullptr)
       check(trace, "TraceEventKind",
-            enum_values(trace->scan.tokens, "TraceEventKind"));
+            enum_values(trace->scan.tokens, "TraceEventKind"), snap_impl,
+            config_.snapshot_impl);
+    if (runner != nullptr)
+      for (const char* owner : {"CellResult", "GridReport", "FailedCell"})
+        check(runner, owner, struct_fields(runner->scan.tokens, owner),
+              wire_impl, config_.wire_impl);
 
     for (const ManifestEntry& e : config_.manifest) {
       const std::string key = e.owner + "." + e.name;
       if (seen.count(key)) continue;
-      const FileInfo* file = e.owner == "TraceEventKind" ? trace : snap;
+      const FileInfo* file = e.owner == "TraceEventKind" ? trace
+                             : is_grid_owner(e.owner)    ? runner
+                                                         : snap;
       if (file == nullptr) continue;
       report(*file, 1, "D5",
              "stale manifest entry " + key +

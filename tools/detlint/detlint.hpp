@@ -20,11 +20,13 @@
 //   D4  no compound assignment to captured (shared) state inside a
 //       parallel_for_index body: a data race, and floating-point
 //       accumulation order would depend on the thread schedule
-//   D5  every MetricsSnapshot field and TraceEventKind enumerator must be
-//       listed in the committed serialization manifest; fields marked
-//       `conditional` must keep the "empty = byte-identical" guard in
-//       serialize() (the PR-5 pattern that keeps golden fingerprints
-//       stable across schema growth)
+//   D5  every serialized-schema declaration — MetricsSnapshot fields,
+//       TraceEventKind enumerators, and the multi-process grid wire
+//       structs CellResult / GridReport / FailedCell — must be listed in
+//       the committed serialization manifest; fields marked `conditional`
+//       must keep the "empty = byte-identical" guard in their serializer
+//       (the PR-5 pattern that keeps golden fingerprints stable across
+//       schema growth)
 //
 // Suppression: `// detlint:allow(Dn reason)` on the offending line or the
 // line directly above. A reason is mandatory; suppressions are counted and
@@ -59,7 +61,8 @@ struct SourceFile {
 
 /// One entry of the D5 serialization manifest.
 struct ManifestEntry {
-  std::string owner;   // "MetricsSnapshot" or "TraceEventKind"
+  std::string owner;   // "MetricsSnapshot", "TraceEventKind", "CellResult",
+                       // "GridReport", or "FailedCell"
   std::string name;    // field / enumerator
   bool conditional = false;  // must be guarded in serialize()
 };
@@ -85,6 +88,10 @@ struct Config {
   std::string snapshot_header = "src/scenario/snapshot.hpp";
   std::string snapshot_impl = "src/scenario/snapshot.cpp";
   std::string trace_header = "src/scenario/trace.hpp";
+  /// The multi-process grid wire schema: CellResult / GridReport /
+  /// FailedCell declared in runner_header, serialized by wire_impl.
+  std::string runner_header = "src/scenario/runner.hpp";
+  std::string wire_impl = "src/scenario/wire.cpp";
 };
 
 struct RuleCounts {

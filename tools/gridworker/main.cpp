@@ -1,0 +1,257 @@
+// gridworker — the multi-process campaign-grid CLI.
+//
+// Two roles over one results-directory file transport:
+//
+//   --worker      run an assigned cell subset of a named grid and write
+//                 each CellResult as an atomically-published wire frame
+//                 (the multi-host building block: any scheduler can fan
+//                 shards of --cells across machines sharing a directory)
+//   --coordinate  fork workers locally, enforce per-cell timeouts,
+//                 retry with bounded backoff, quarantine permanent
+//                 failures, resume over already-valid frames, and merge
+//                 everything into one GridReport frame
+//
+// The merged combined fingerprint is invariant to worker count,
+// partition shape, and retry history, so CI golden-gates a 4-worker
+// crash-injected run against the single-process digest
+// (tests/goldens/grid_small8.txt).
+//
+//   ./build/tools/gridworker/gridworker --grid small8 --coordinate
+//       --workers 4 --faults 'crash@2:0' --results-dir /tmp/grid
+//
+// Scripted faults come from --faults or the ONION_GRID_FAULTS env var
+// (flag wins): `crash@2:0;hang@5:1;corrupt@7:0` = kind@cell:attempt.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/fileio.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/wire.hpp"
+
+using namespace onion;
+using namespace onion::scenario;
+
+namespace {
+
+ScenarioSpec small8_base() {
+  ScenarioSpec spec;
+  spec.initial_size = 150;
+  spec.degree = 6;
+  spec.horizon = 10 * kMinute;
+  spec.churn.joins_per_hour = 240.0;
+  spec.churn.leaves_per_hour = 240.0;
+  AttackPhase takedown;
+  takedown.kind = AttackKind::RandomTakedown;
+  takedown.start = 2 * kMinute;
+  takedown.stop = 8 * kMinute;
+  takedown.takedowns_per_hour = 120.0;
+  spec.attacks.push_back(takedown);
+  spec.metrics.period = kMinute;
+  return spec;
+}
+
+ScenarioSpec sweep8_base() {
+  ScenarioSpec spec;
+  spec.initial_size = 1500;
+  spec.degree = 10;
+  spec.horizon = kHour;
+  spec.churn.joins_per_hour = 150.0;
+  spec.churn.leaves_per_hour = 150.0;
+  AttackPhase takedown;
+  takedown.kind = AttackKind::RandomTakedown;
+  takedown.start = 15 * kMinute;
+  takedown.stop = 45 * kMinute;
+  takedown.takedowns_per_hour = 300.0;
+  spec.attacks.push_back(takedown);
+  spec.metrics.period = 5 * kMinute;
+  return spec;
+}
+
+struct NamedGrid {
+  const char* name;
+  const char* description;
+  CampaignGrid (*build)();
+};
+
+const NamedGrid kGrids[] = {
+    {"small8",
+     "8-seed sweep, 150-bot churn+takedown 10-minute campaign (CI gate)",
+     [] { return CampaignGrid::seed_sweep(small8_base(), 100, 8); }},
+    {"sweep8",
+     "8-seed sweep, 1500-bot churn+takedown hour "
+     "(examples/campaign_grid.cpp)",
+     [] { return CampaignGrid::seed_sweep(sweep8_base(), 0xA0, 8); }},
+};
+
+CampaignGrid named_grid(const std::string& name) {
+  for (const NamedGrid& g : kGrids)
+    if (name == g.name) return g.build();
+  throw std::invalid_argument("unknown grid '" + name +
+                              "' (try --list-grids)");
+}
+
+/// `--cells 0,3:1,5` — cell indices with an optional `:attempt` suffix
+/// (attempt 0 when omitted; only FaultPlan matching consumes it).
+std::vector<CellAssignment> parse_cells(const std::string& text) {
+  std::vector<CellAssignment> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t end = std::min(text.find(',', pos), text.size());
+    const std::string token = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.empty()) continue;
+    CellAssignment a;
+    const std::size_t colon = token.find(':');
+    a.cell_index = std::stoull(token.substr(0, colon));
+    if (colon != std::string::npos)
+      a.attempt = std::stoull(token.substr(colon + 1));
+    out.push_back(a);
+  }
+  return out;
+}
+
+int usage(std::FILE* out) {
+  std::fprintf(out,
+               "gridworker — crash-tolerant multi-process campaign grids\n"
+               "\n"
+               "  gridworker --grid NAME --results-dir DIR --coordinate\n"
+               "      [--workers N] [--max-attempts K] [--timeout SEC]\n"
+               "      [--backoff-base SEC] [--backoff-max SEC]"
+               " [--faults PLAN]\n"
+               "  gridworker --grid NAME --results-dir DIR --worker\n"
+               "      --cells 0,3:1,5 [--faults PLAN]\n"
+               "  gridworker --show-report --results-dir DIR\n"
+               "  gridworker --list-grids\n"
+               "\n"
+               "Faults (kind@cell:attempt, ';'-separated; e.g."
+               " 'crash@2:0;hang@5:1')\n"
+               "default from $ONION_GRID_FAULTS when --faults is absent.\n");
+  return out == stderr ? 2 : 0;
+}
+
+void print_report(const std::string& grid_name, const GridReport& report) {
+  std::printf("grid: %s\n", grid_name.c_str());
+  std::printf("cells: %zu\n", report.cells.size());
+  std::printf("completed: %zu\n",
+              report.cells.size() - report.failed_cells.size());
+  std::printf("failed: %zu\n", report.failed_cells.size());
+  std::printf("retries: %llu\n",
+              static_cast<unsigned long long>(report.retries));
+  std::printf("resumed: %llu\n",
+              static_cast<unsigned long long>(report.resumed_cells));
+  std::printf("workers: %llu\n",
+              static_cast<unsigned long long>(report.threads_used));
+  for (const FailedCell& f : report.failed_cells)
+    std::printf("quarantined: cell %llu (%s, seed %llu) after %llu "
+                "attempts: %s\n",
+                static_cast<unsigned long long>(f.cell_index),
+                f.label.c_str(),
+                static_cast<unsigned long long>(f.seed),
+                static_cast<unsigned long long>(f.attempts),
+                f.error.c_str());
+  std::printf("combined_fingerprint: %s\n",
+              report.combined_fingerprint.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string grid_name;
+  std::string results_dir;
+  std::string cells_text;
+  std::string faults_text;
+  bool have_faults_flag = false;
+  bool coordinate = false;
+  bool worker = false;
+  bool show_report = false;
+  GridCoordinatorConfig config;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc)
+          throw std::invalid_argument(arg + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--grid") grid_name = value();
+      else if (arg == "--results-dir") results_dir = value();
+      else if (arg == "--coordinate") coordinate = true;
+      else if (arg == "--worker") worker = true;
+      else if (arg == "--show-report") show_report = true;
+      else if (arg == "--cells") cells_text = value();
+      else if (arg == "--workers") config.workers = std::stoull(value());
+      else if (arg == "--max-attempts")
+        config.max_attempts = std::stoull(value());
+      else if (arg == "--timeout")
+        config.cell_timeout_seconds = std::stod(value());
+      else if (arg == "--backoff-base")
+        config.backoff_base_seconds = std::stod(value());
+      else if (arg == "--backoff-max")
+        config.backoff_max_seconds = std::stod(value());
+      else if (arg == "--faults") {
+        faults_text = value();
+        have_faults_flag = true;
+      } else if (arg == "--list-grids") {
+        for (const NamedGrid& g : kGrids)
+          std::printf("%-8s %s\n", g.name, g.description);
+        return 0;
+      } else if (arg == "--help" || arg == "-h") {
+        return usage(stdout);
+      } else {
+        std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+        return usage(stderr);
+      }
+    }
+
+    if (show_report) {
+      if (results_dir.empty()) return usage(stderr);
+      const GridReport report = wire::decode_grid_report(
+          read_file_bytes(results_dir + "/grid_report.frame"));
+      print_report("(from grid_report.frame)", report);
+      return report.failed_cells.empty() ? 0 : 1;
+    }
+
+    if (grid_name.empty() || results_dir.empty() ||
+        coordinate == worker)  // exactly one role
+      return usage(stderr);
+
+    if (!have_faults_flag) {
+      const char* env = std::getenv("ONION_GRID_FAULTS");
+      if (env != nullptr) faults_text = env;
+    }
+    config.faults = FaultPlan::parse(faults_text);
+    config.results_dir = results_dir;
+
+    const CampaignGrid grid = named_grid(grid_name);
+
+    if (worker) {
+      const std::vector<CellAssignment> assignments =
+          parse_cells(cells_text);
+      if (assignments.empty()) {
+        std::fprintf(stderr, "--worker needs a non-empty --cells list\n");
+        return 2;
+      }
+      run_worker_cells(grid, assignments, results_dir, config.faults);
+      std::printf("wrote %zu cell frame(s) into %s\n", assignments.size(),
+                  results_dir.c_str());
+      return 0;
+    }
+
+    GridCoordinator coordinator(grid, config);
+    const GridReport report = coordinator.run();
+    // The merged report is itself a resumable artifact: decode it later
+    // with --show-report (or any wire consumer) without re-running.
+    write_file_atomic(results_dir + "/grid_report.frame",
+                      wire::encode_grid_report(report));
+    print_report(grid_name, report);
+    return report.failed_cells.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gridworker: %s\n", e.what());
+    return 2;
+  }
+}
