@@ -7,6 +7,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/check.hpp"
+
 namespace onion {
 
 namespace {
@@ -30,6 +32,51 @@ Bytes read_file_bytes(const std::string& path) {
   std::fclose(in);
   if (bad) fail("read", path);
   return out;
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)),
+      tmp_(path_ + ".tmp." + std::to_string(::getpid())) {
+  out_ = std::fopen(tmp_.c_str(), "wb");
+  if (out_ == nullptr) fail("open", tmp_);
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (out_ != nullptr) {
+    std::fclose(out_);
+    std::remove(tmp_.c_str());  // uncommitted: leave no partial file
+  }
+}
+
+void AtomicFileWriter::append(BytesView data) {
+  ONION_EXPECTS(out_ != nullptr);  // commit() ends the writer's life
+  if (data.empty()) return;
+  if (std::fwrite(data.data(), 1, data.size(), out_) != data.size()) {
+    std::fclose(out_);
+    out_ = nullptr;
+    std::remove(tmp_.c_str());
+    fail("write", tmp_);
+  }
+  bytes_written_ += data.size();
+}
+
+void AtomicFileWriter::commit() {
+  ONION_EXPECTS(out_ != nullptr);
+  const bool flushed = std::fflush(out_) == 0;
+  // fsync before rename, same contract as write_file_atomic: the final
+  // name must never point at unwritten blocks after a machine crash.
+  const bool synced = ::fsync(::fileno(out_)) == 0;
+  std::fclose(out_);
+  out_ = nullptr;
+  if (!(flushed && synced)) {
+    std::remove(tmp_.c_str());
+    fail("flush", tmp_);
+  }
+  if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_.c_str());
+    fail("rename", path_);
+  }
+  committed_ = true;
 }
 
 void write_file_atomic(const std::string& path, BytesView data) {

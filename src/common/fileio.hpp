@@ -8,6 +8,7 @@
 // digest; this layer only guarantees name-level atomicity.
 #pragma once
 
+#include <cstdio>
 #include <string>
 
 #include "common/bytes.hpp"
@@ -22,5 +23,39 @@ Bytes read_file_bytes(const std::string& path);
 /// flushes, then renames over `path`. Throws std::runtime_error on any
 /// I/O failure (the temp file is removed on the error path).
 void write_file_atomic(const std::string& path, BytesView data);
+
+/// Streaming variant of write_file_atomic for producers whose output is
+/// too large (or too incremental) to buffer whole — the trace spooler
+/// appends frames as a campaign runs. Bytes accumulate in
+/// `path`.tmp.<pid>; commit() flushes, fsyncs, and renames into place.
+/// A writer destroyed without commit() removes the temp file, so the
+/// final name only ever appears complete: readers see the whole stream
+/// or nothing.
+class AtomicFileWriter {
+ public:
+  /// Opens the temp file; throws std::runtime_error on failure.
+  explicit AtomicFileWriter(std::string path);
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+  /// Abandons (removes the temp) when not committed.
+  ~AtomicFileWriter();
+
+  /// Appends raw bytes; throws std::runtime_error on a short write.
+  void append(BytesView data);
+
+  /// Flush + fsync + rename over the final path. At most once; the
+  /// writer accepts no further appends afterwards.
+  void commit();
+
+  bool committed() const { return committed_; }
+  std::size_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::string path_;
+  std::string tmp_;
+  std::FILE* out_ = nullptr;
+  std::size_t bytes_written_ = 0;
+  bool committed_ = false;
+};
 
 }  // namespace onion

@@ -7,8 +7,6 @@
 
 namespace onion::detection {
 
-namespace {
-/// Coefficient of variation; 0 for degenerate input.
 double coefficient_of_variation(const std::vector<double>& xs) {
   if (xs.size() < 2) return 0.0;
   double sum = 0.0;
@@ -20,7 +18,6 @@ double coefficient_of_variation(const std::vector<double>& xs) {
   var /= static_cast<double>(xs.size() - 1);
   return std::sqrt(var) / mean;
 }
-}  // namespace
 
 std::vector<ChannelFeatures> channel_features(const TrafficTrace& trace,
                                               std::size_t min_flows) {

@@ -18,9 +18,18 @@
 // point that mitigation collapses into blocking Tor wholesale.
 #pragma once
 
+#include <vector>
+
 #include "detection/telemetry.hpp"
 
 namespace onion::detection {
+
+/// Coefficient of variation (stddev/mean, sample variance); 0 for
+/// degenerate input (< 2 samples or non-positive mean). Exported so the
+/// streaming flow scorer (detection/replay_grid.hpp) computes CVs with
+/// the *same arithmetic* as this batch detector — the differential
+/// tests assert exact flagged-set equality, not approximate.
+double coefficient_of_variation(const std::vector<double>& xs);
 
 struct FlowDetectorConfig {
   /// Minimum flows on a (src,dst) pair before judging it.

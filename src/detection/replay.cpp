@@ -13,6 +13,7 @@ namespace {
 using scenario::CampaignEvent;
 using scenario::CampaignTrace;
 using scenario::TraceEventKind;
+using scenario::TraceSource;
 
 /// One mapped campaign bot: its monitored-host identity, sticky guard
 /// set, and observation-clamped lifetime.
@@ -25,7 +26,7 @@ struct BotState {
 
 }  // namespace
 
-ReplayResult replay_trace(const CampaignTrace& campaign,
+ReplayResult replay_trace(const TraceSource& campaign,
                           const ReplayConfig& config) {
   ONION_EXPECTS(campaign.began());
   const SimDuration window =
@@ -64,7 +65,7 @@ ReplayResult replay_trace(const CampaignTrace& campaign,
 
   if (config.max_onion_bots == 0) return out;  // legacy/benign-only rows
 
-  std::vector<CampaignTrace::Lifetime> lifetimes = campaign.lifetimes();
+  std::vector<scenario::BotLifetime> lifetimes = campaign.lifetimes();
   if (lifetimes.size() > config.max_onion_bots)
     lifetimes.resize(config.max_onion_bots);  // oldest bots first
   if (lifetimes.empty()) return out;
@@ -82,7 +83,7 @@ ReplayResult replay_trace(const CampaignTrace& campaign,
   std::vector<BotState> bots;
   bots.reserve(lifetimes.size());
   out.onion_bots.reserve(lifetimes.size());
-  for (const CampaignTrace::Lifetime& life : lifetimes) {
+  for (const scenario::BotLifetime& life : lifetimes) {
     if (life.birth >= window) continue;  // never observable: no host
     BotState b;
     b.host = next++;
@@ -113,7 +114,7 @@ ReplayResult replay_trace(const CampaignTrace& campaign,
         b.host, b.guards[rng.uniform(b.guards.size())], at, rng));
   };
   graph::NodeId soap_captured = graph::kInvalidNode;
-  for (const CampaignEvent& e : campaign.events()) {
+  campaign.for_each_event([&](const CampaignEvent& e) {
     switch (e.kind) {
       case TraceEventKind::Peering:
         cell_from(e.a, e.at);
@@ -140,8 +141,30 @@ ReplayResult replay_trace(const CampaignTrace& campaign,
       case TraceEventKind::AdaptiveRefresh: // no bot emits anything
         break;
     }
-  }
+  });
   return out;
+}
+
+ReplayResult replay_trace(const CampaignTrace& campaign,
+                          const ReplayConfig& config) {
+  return replay_trace(static_cast<const TraceSource&>(campaign), config);
+}
+
+GroundTruth replay_ground_truth(const ReplayResult& result) {
+  GroundTruth truth;
+  const auto add = [&truth](const char* name,
+                            const std::vector<HostId>& hosts) {
+    if (!hosts.empty())
+      truth.populations.push_back(GroundTruth::Population{name, hosts});
+  };
+  add("onion", result.onion_bots);
+  add("centralized", result.centralized_bots);
+  add("dga", result.dga_bots);
+  add("fastflux", result.fastflux_bots);
+  add("p2p", result.p2p_bots);
+  add("benign_web", result.benign_web_hosts);
+  add("benign_tor", result.benign_tor_users);
+  return truth;
 }
 
 double flagged_fraction(const DetectionResult& result,

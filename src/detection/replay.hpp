@@ -29,6 +29,7 @@
 #include <limits>
 #include <vector>
 
+#include "detection/roc.hpp"
 #include "detection/telemetry.hpp"
 #include "detection/traffic.hpp"
 #include "scenario/trace.hpp"
@@ -92,7 +93,15 @@ struct ReplayResult {
 /// Synthesizes the defender's capture from a recorded campaign. The
 /// campaign must have begun (CampaignEngine::run delivers on_begin);
 /// a trace with no events is fine — a static overlay replays as pure
-/// steady-state heartbeat traffic.
+/// steady-state heartbeat traffic. Takes any TraceSource — the
+/// in-memory CampaignTrace or a streamed trace_io::TraceReader produce
+/// byte-identical TrafficTraces for the same recorded campaign (the
+/// synthesis consumes the event stream in two forward passes:
+/// lifetimes(), then the event-driven cell emission).
+ReplayResult replay_trace(const scenario::TraceSource& campaign,
+                          const ReplayConfig& config);
+
+/// Back-compat spelling; forwards to the TraceSource overload.
 ReplayResult replay_trace(const scenario::CampaignTrace& campaign,
                           const ReplayConfig& config);
 
@@ -101,5 +110,12 @@ ReplayResult replay_trace(const scenario::CampaignTrace& campaign,
 /// population.
 double flagged_fraction(const DetectionResult& result,
                         const std::vector<HostId>& population);
+
+/// Folds a replay's per-population host lists into the ROC layer's
+/// named GroundTruth, so RocSweep::run(trace, truth) resolves every
+/// family on one sweep. Population order is fixed (onion, centralized,
+/// dga, fastflux, p2p, benign_web, benign_tor — empty ones omitted), so
+/// the family-resolved fingerprint is a function of the replay alone.
+GroundTruth replay_ground_truth(const ReplayResult& result);
 
 }  // namespace onion::detection

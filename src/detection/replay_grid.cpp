@@ -1,0 +1,428 @@
+#include "detection/replay_grid.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "crypto/sha256.hpp"
+#include "detection/traffic.hpp"
+
+namespace onion::detection {
+
+namespace {
+
+using scenario::CampaignEvent;
+using scenario::TraceEventKind;
+using scenario::TraceSource;
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+/// Streams one host's flows from a scratch trace. Grouping is by
+/// ascending source id (std::map), so the feed order is deterministic
+/// regardless of emission interleaving.
+void feed_grouped(const TrafficTrace& scratch, FlowSink& sink,
+                  std::uint64_t& flows) {
+  std::map<HostId, std::vector<const FlowRecord*>> by_src;
+  for (const FlowRecord& f : scratch.flows) by_src[f.src].push_back(&f);
+  for (const auto& [src, records] : by_src) {
+    for (const FlowRecord* f : records) sink.on_flow(*f);
+    flows += records.size();
+    sink.on_host_done(src);
+  }
+}
+
+}  // namespace
+
+StreamPopulations replay_trace_streaming(const TraceSource& campaign,
+                                         const ReplayConfig& config,
+                                         FlowSink& sink) {
+  ONION_EXPECTS(campaign.began());
+  const SimDuration window =
+      config.window > 0 ? config.window : campaign.horizon();
+  ONION_EXPECTS(window > 0);
+
+  Rng rng(config.seed);
+  StreamPopulations out;
+  HostId next = config.first_host;
+
+  // Stage 1 — benign background and legacy families, exactly as
+  // replay_trace composes them (same emitters, same RNG draw order, so
+  // the population host ids match the batch path's). These populations
+  // are config-bounded, so a scratch trace holds them comfortably; what
+  // must never be materialized is the campaign population below.
+  ReplayResult pops;
+  TrafficTrace& scratch = pops.trace;
+  TrafficConfig bg;
+  bg.window = window;
+  bg.benign_web = config.benign_web;
+  bg.benign_tor = config.benign_tor;
+  bg.tor_relays = config.tor_relays;
+  bg.tor_mean_gap = config.benign_tor_mean_gap;
+  const BenignPopulation benign = emit_benign(scratch, bg, next, rng);
+  pops.benign_web_hosts = benign.web_hosts;
+  pops.benign_tor_users = benign.tor_users;
+  if (config.centralized_bots > 0)
+    pops.centralized_bots = emit_centralized_bots(
+        scratch, config.centralized_bots, window, next, rng);
+  if (config.dga_bots > 0)
+    pops.dga_bots =
+        emit_dga_bots(scratch, config.dga_bots, window, next, rng);
+  if (config.fastflux_bots > 0)
+    pops.fastflux_bots =
+        emit_fastflux_bots(scratch, config.fastflux_bots, window, next, rng);
+  if (config.p2p_bots > 0)
+    pops.p2p_bots =
+        emit_p2p_bots(scratch, config.p2p_bots, window, next, rng);
+
+  // Campaign population setup (host ids assigned before any feeding so
+  // the relay registry is complete when the sink first sees a flow).
+  std::vector<scenario::BotLifetime> lifetimes;
+  std::vector<HostId> relays = benign.relays;
+  if (config.max_onion_bots > 0) {
+    lifetimes = campaign.lifetimes();
+    if (lifetimes.size() > config.max_onion_bots)
+      lifetimes.resize(config.max_onion_bots);  // oldest bots first
+    lifetimes.erase(
+        std::remove_if(lifetimes.begin(), lifetimes.end(),
+                       [&](const scenario::BotLifetime& life) {
+                         return life.birth >= window;  // never observable
+                       }),
+        lifetimes.end());
+    if (!lifetimes.empty() && relays.empty()) {
+      ONION_EXPECTS(config.tor_relays > 0);
+      relays = register_tor_relays(scratch, config.tor_relays, next);
+    }
+  }
+
+  sink.on_relays(scratch.known_tor_relays);
+  feed_grouped(scratch, sink, out.flows);
+
+  if (!lifetimes.empty()) {
+    // Host ids and per-bot event times up front: one forward event pass
+    // collects only the cell-emitting events' timestamps (bootstrap and
+    // healing peerings, SOAP rounds) — bounded by campaign activity,
+    // never by the churn-dominated event count.
+    std::map<graph::NodeId, HostId> bot_host;
+    std::map<graph::NodeId, std::pair<SimTime, SimTime>> bot_window;
+    pops.onion_bots.reserve(lifetimes.size());
+    for (const scenario::BotLifetime& life : lifetimes) {
+      const HostId host = next++;
+      pops.onion_bots.push_back(host);
+      bot_host.emplace(life.node, host);
+      bot_window.emplace(life.node,
+                         std::make_pair(std::min<SimTime>(life.birth, window),
+                                        std::min<SimTime>(life.death, window)));
+    }
+    std::map<graph::NodeId, std::vector<SimTime>> cell_times;
+    const auto note = [&](std::uint64_t node, SimTime at) {
+      const auto it = bot_window.find(static_cast<graph::NodeId>(node));
+      if (it == bot_window.end()) return;  // subsampled out
+      if (at < it->second.first || at >= it->second.second) return;
+      cell_times[it->first].push_back(at);
+    };
+    graph::NodeId soap_captured = graph::kInvalidNode;
+    campaign.for_each_event([&](const CampaignEvent& e) {
+      switch (e.kind) {
+        case TraceEventKind::Peering:
+        case TraceEventKind::HealPeering:
+          note(e.a, e.at);
+          note(e.b, e.at);
+          break;
+        case TraceEventKind::SoapCapture:
+          soap_captured = static_cast<graph::NodeId>(e.a);
+          break;
+        case TraceEventKind::SoapRound:
+          if (soap_captured != graph::kInvalidNode)
+            note(soap_captured, e.at);
+          break;
+        case TraceEventKind::Join:
+        case TraceEventKind::Leave:
+        case TraceEventKind::Takedown:
+        case TraceEventKind::WaveStart:
+        case TraceEventKind::AdaptiveRefresh:
+          break;
+      }
+    });
+
+    // Stage 2 — one bot at a time: synthesize, feed, release. This is
+    // the O(window) loop; the per-bot scratch never outlives the bot.
+    TrafficTrace bot_scratch;
+    for (const scenario::BotLifetime& life : lifetimes) {
+      const HostId host = bot_host.at(life.node);
+      const auto [birth, death] = bot_window.at(life.node);
+      const std::array<HostId, 3> guards = pick_guards(relays, rng);
+      bot_scratch.flows.clear();
+      bot_scratch.dns.clear();
+      emit_browsing(bot_scratch, host, birth, death, rng);
+      emit_tor_client(bot_scratch, host, guards, birth, death,
+                      config.onion_mean_gap, rng);
+      const auto times = cell_times.find(life.node);
+      if (times != cell_times.end()) {
+        for (const SimTime at : times->second)
+          bot_scratch.flows.push_back(tor_cell_flow(
+              host, guards[rng.uniform(guards.size())], at, rng));
+        cell_times.erase(times);
+      }
+      for (const FlowRecord& f : bot_scratch.flows) sink.on_flow(f);
+      out.flows += bot_scratch.flows.size();
+      sink.on_host_done(host);
+    }
+  }
+
+  out.truth = replay_ground_truth(pops);
+  out.known_tor_relays = scratch.known_tor_relays;
+  for (const GroundTruth::Population& pop : out.truth.populations) {
+    const bool is_benign =
+        pop.name == "benign_web" || pop.name == "benign_tor";
+    auto& dst = is_benign ? out.monitored : out.infected;
+    dst.insert(dst.end(), pop.hosts.begin(), pop.hosts.end());
+  }
+  std::sort(out.infected.begin(), out.infected.end());
+  out.monitored.insert(out.monitored.end(), out.infected.begin(),
+                       out.infected.end());
+  std::sort(out.monitored.begin(), out.monitored.end());
+  return out;
+}
+
+void feed_trace(const TrafficTrace& trace, FlowSink& sink) {
+  sink.on_relays(trace.known_tor_relays);
+  std::uint64_t flows = 0;
+  feed_grouped(trace, sink, flows);
+}
+
+FlowScorer::FlowScorer(FlowScorerConfig config)
+    : config_(std::move(config)),
+      beacon_sets_(config_.beacon_thresholds.size()),
+      tor_sets_(config_.tor_min_flows.size()) {}
+
+void FlowScorer::on_relays(const std::vector<HostId>& relays) {
+  relays_ = std::set<HostId>(relays.begin(), relays.end());
+}
+
+void FlowScorer::on_flow(const FlowRecord& f) {
+  ONION_EXPECTS(!finished_);
+  Series& s = channels_[{f.src, f.dst}];
+  s.sizes.push_back(static_cast<double>(f.bytes));
+  s.times.push_back(static_cast<double>(f.at));
+  ++flows_;
+}
+
+void FlowScorer::on_host_done(HostId host) { finalize_host(host); }
+
+void FlowScorer::finalize_host(HostId host) {
+  std::size_t tor_flows = 0;
+  auto it = channels_.lower_bound({host, 0});
+  while (it != channels_.end() && it->first.first == host) {
+    Series& s = it->second;
+    const std::size_t count = s.sizes.size();
+    // Same arithmetic as channel_features: sizes CV as emitted, gaps CV
+    // over the sorted timestamps — bitwise-equal to the batch detector.
+    const double size_cv = coefficient_of_variation(s.sizes);
+    std::sort(s.times.begin(), s.times.end());
+    std::vector<double> gaps;
+    gaps.reserve(count > 0 ? count - 1 : 0);
+    for (std::size_t i = 1; i < s.times.size(); ++i)
+      gaps.push_back(s.times[i] - s.times[i - 1]);
+    const double gap_cv = coefficient_of_variation(gaps);
+    for (std::size_t k = 0; k < config_.beacon_thresholds.size(); ++k) {
+      const FlowDetectorConfig& c = config_.beacon_thresholds[k];
+      if (count >= c.min_flows && size_cv < c.size_cv_threshold &&
+          gap_cv < c.gap_cv_threshold)
+        beacon_sets_[k].insert(host);
+    }
+    if (relays_.count(it->first.second) > 0) tor_flows += count;
+    it = channels_.erase(it);
+  }
+  for (std::size_t k = 0; k < config_.tor_min_flows.size(); ++k)
+    if (tor_flows >= config_.tor_min_flows[k] && tor_flows > 0)
+      tor_sets_[k].insert(host);
+}
+
+void FlowScorer::finish() {
+  ONION_EXPECTS(!finished_);
+  while (!channels_.empty())
+    finalize_host(channels_.begin()->first.first);
+  beacon_flagged_.reserve(beacon_sets_.size());
+  for (const std::set<HostId>& s : beacon_sets_)
+    beacon_flagged_.emplace_back(s.begin(), s.end());
+  tor_flagged_.reserve(tor_sets_.size());
+  for (const std::set<HostId>& s : tor_sets_)
+    tor_flagged_.emplace_back(s.begin(), s.end());
+  finished_ = true;
+}
+
+const std::vector<std::vector<HostId>>& FlowScorer::beacon_flagged() const {
+  ONION_EXPECTS(finished_);
+  return beacon_flagged_;
+}
+
+const std::vector<std::vector<HostId>>& FlowScorer::tor_flagged() const {
+  ONION_EXPECTS(finished_);
+  return tor_flagged_;
+}
+
+Bytes serialize(const ReplayGridPoint& p) {
+  Bytes out;
+  out.reserve(8 * 10 + p.detector.size() + p.params.size());
+  put_u64(out, p.campaign);
+  put_u64(out, p.replay_seed);
+  put_string(out, p.detector);
+  put_string(out, p.params);
+  put_u64(out, p.flows);
+  put_u64(out, p.flagged);
+  put_u64(out, p.true_positives);
+  put_u64(out, p.false_positives);
+  put_f64(out, p.tpr);
+  put_f64(out, p.fpr);
+  put_u64(out, p.families.size());
+  for (const RocFamilyCount& f : p.families) {
+    put_string(out, f.family);
+    put_u64(out, f.flagged);
+    put_u64(out, f.population);
+  }
+  return out;
+}
+
+void ReplayGridReport::write_csv(std::FILE* out) const {
+  std::fprintf(out,
+               "campaign,replay_seed,detector,params,flows,flagged,"
+               "true_positives,false_positives,tpr,fpr,families\n");
+  for (const ReplayGridPoint& p : points) {
+    std::fprintf(out, "%zu,%llu,%s,\"%s\",%llu,%zu,%zu,%zu,%.6f,%.6f,\"",
+                 p.campaign, static_cast<unsigned long long>(p.replay_seed),
+                 p.detector.c_str(), p.params.c_str(),
+                 static_cast<unsigned long long>(p.flows), p.flagged,
+                 p.true_positives, p.false_positives, p.tpr, p.fpr);
+    for (std::size_t i = 0; i < p.families.size(); ++i)
+      std::fprintf(out, "%s%s=%zu/%zu", i == 0 ? "" : ";",
+                   p.families[i].family.c_str(), p.families[i].flagged,
+                   p.families[i].population);
+    std::fprintf(out, "\"\n");
+  }
+}
+
+ReplayGrid::ReplayGrid(ReplayGridConfig config)
+    : config_(std::move(config)) {}
+
+std::size_t ReplayGrid::points_per_cell() const {
+  return config_.flow_size_cv.size() * config_.flow_gap_cv.size() +
+         config_.tor_min_flows.size();
+}
+
+ReplayGridReport ReplayGrid::run(
+    const std::vector<const TraceSource*>& campaigns) const {
+  ReplayGridReport report;
+  const std::size_t ppc = points_per_cell();
+  const std::size_t cells =
+      campaigns.size() * config_.replay_seeds.size();
+  report.points.resize(cells * ppc);
+  const auto start = std::chrono::steady_clock::now();
+
+  // Shared scorer shape for every cell (thresholds are config, not
+  // state): built once so each worker only carries stream state.
+  FlowScorerConfig scorer_config;
+  for (const double size_cv : config_.flow_size_cv)
+    for (const double gap_cv : config_.flow_gap_cv) {
+      FlowDetectorConfig c;
+      c.min_flows = config_.flow_min_flows;
+      c.size_cv_threshold = size_cv;
+      c.gap_cv_threshold = gap_cv;
+      scorer_config.beacon_thresholds.push_back(c);
+    }
+  scorer_config.tor_min_flows = config_.tor_min_flows;
+
+  report.threads_used = parallel_for_index(
+      cells, config_.threads, [&](std::size_t cell) {
+        const std::size_t campaign_index =
+            cell / config_.replay_seeds.size();
+        const std::uint64_t seed =
+            config_.replay_seeds[cell % config_.replay_seeds.size()];
+        ReplayConfig replay = config_.replay;
+        replay.seed = seed;
+        FlowScorer scorer(scorer_config);
+        const StreamPopulations pops = replay_trace_streaming(
+            *campaigns[campaign_index], replay, scorer);
+        scorer.finish();
+
+        const std::set<HostId> infected(pops.infected.begin(),
+                                        pops.infected.end());
+        const std::set<HostId> monitored(pops.monitored.begin(),
+                                         pops.monitored.end());
+        const std::size_t benign = pops.monitored.size() - pops.infected.size();
+        const auto score = [&](std::string detector, std::string params,
+                               const std::vector<HostId>& flagged) {
+          ReplayGridPoint p;
+          p.campaign = campaign_index;
+          p.replay_seed = seed;
+          p.detector = std::move(detector);
+          p.params = std::move(params);
+          p.flows = pops.flows;
+          p.flagged = flagged.size();
+          for (const HostId h : flagged) {
+            if (infected.count(h) > 0)
+              ++p.true_positives;
+            else if (monitored.count(h) > 0)
+              ++p.false_positives;
+          }
+          p.tpr = infected.empty()
+                      ? 0.0
+                      : static_cast<double>(p.true_positives) /
+                            static_cast<double>(infected.size());
+          p.fpr = benign == 0 ? 0.0
+                              : static_cast<double>(p.false_positives) /
+                                    static_cast<double>(benign);
+          p.families.reserve(pops.truth.populations.size());
+          for (const GroundTruth::Population& pop :
+               pops.truth.populations) {
+            RocFamilyCount f;
+            f.family = pop.name;
+            f.population = pop.hosts.size();
+            // Both sides ascending: membership via binary search.
+            for (const HostId h : pop.hosts)
+              if (std::binary_search(flagged.begin(), flagged.end(), h))
+                ++f.flagged;
+            p.families.push_back(std::move(f));
+          }
+          return p;
+        };
+
+        std::size_t at = cell * ppc;
+        for (std::size_t k = 0; k < scorer_config.beacon_thresholds.size();
+             ++k) {
+          const FlowDetectorConfig& c = scorer_config.beacon_thresholds[k];
+          report.points[at++] = score(
+              "flow-beacon",
+              "size_cv=" + fmt(c.size_cv_threshold) +
+                  ",gap_cv=" + fmt(c.gap_cv_threshold),
+              scorer.beacon_flagged()[k]);
+        }
+        for (std::size_t k = 0; k < scorer_config.tor_min_flows.size();
+             ++k)
+          report.points[at++] = score(
+              "tor-flagger",
+              "min_flows=" + std::to_string(scorer_config.tor_min_flows[k]),
+              scorer.tor_flagged()[k]);
+      });
+
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  crypto::Sha256 hasher;
+  for (const ReplayGridPoint& p : report.points)
+    hasher.update(serialize(p));
+  const crypto::Sha256Digest digest = hasher.finalize();
+  report.fingerprint = to_hex(BytesView(digest.data(), digest.size()));
+  return report;
+}
+
+ReplayGridReport ReplayGrid::run(const TraceSource& campaign) const {
+  return run(std::vector<const TraceSource*>{&campaign});
+}
+
+}  // namespace onion::detection

@@ -1,0 +1,206 @@
+// Replay-level ROC grids over streamed campaign traces: the sweep that
+// lets a recorded 500k-node campaign be scored end-to-end without ever
+// materializing its event log (scenario/trace_io.hpp streams it) *or*
+// its TrafficTrace (the synthesizer here feeds flows host-by-host into
+// a streaming scorer and releases each host as soon as it is scored).
+//
+// Three pieces:
+//
+//   FlowSink / replay_trace_streaming
+//     The O(window) twin of detection::replay_trace: same populations,
+//     same emitters, but flows stream into a sink grouped by source
+//     host instead of accumulating in a trace. Peak memory is one
+//     host's flows plus the population tables — never the capture.
+//     NOTE: the streamed capture is its own deterministic artifact, not
+//     byte-identical to replay_trace's (the batch path draws event-cell
+//     randomness in global event order; the streaming path draws it
+//     per-bot). Equal (campaign, config) still reproduce the streamed
+//     capture — and every grid fingerprint — exactly.
+//
+//   FlowScorer
+//     A FlowSink evaluating every configured flow-beacon threshold and
+//     tor-flagger threshold in one pass. Per-channel features use the
+//     exported coefficient_of_variation, so its verdicts are *equal* —
+//     not approximately — to detect_beacons / detect_tor_users fed the
+//     same flows (tests/replay_grid_test.cpp asserts set equality).
+//
+//   ReplayGrid
+//     Shards campaign × replay-seed cells across common/parallel.hpp
+//     (each cell scoring its full detector-threshold axis in one
+//     streamed pass) into a fingerprinted ReplayGridReport; points land
+//     at their grid index, so thread count never moves the fingerprint.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "detection/flow_detector.hpp"
+#include "detection/replay.hpp"
+#include "scenario/trace.hpp"
+
+namespace onion::detection {
+
+/// Receives a streamed capture. Flows arrive grouped by source host:
+/// all of a host's flows, then on_host_done(host) — after which no more
+/// flows for that host may arrive. on_relays announces the public Tor
+/// relay registry before any flow.
+class FlowSink {
+ public:
+  virtual ~FlowSink() = default;
+  virtual void on_relays(const std::vector<HostId>& relays) = 0;
+  virtual void on_flow(const FlowRecord& f) = 0;
+  virtual void on_host_done(HostId host) = 0;
+};
+
+/// The per-population host tables a streamed replay produces instead of
+/// a TrafficTrace: everything the grid needs to score verdicts, nothing
+/// proportional to the capture.
+struct StreamPopulations {
+  /// Named per-family populations, same fixed order as
+  /// replay_ground_truth (empty populations omitted).
+  GroundTruth truth;
+  std::vector<HostId> infected;   // union of every bot family, ascending
+  std::vector<HostId> monitored;  // infected + benign, ascending
+  std::vector<HostId> known_tor_relays;
+  std::uint64_t flows = 0;  // total flows streamed into the sink
+};
+
+/// Streams the synthesized defender's capture into `sink` and returns
+/// the population tables. Same population layout and host-id assignment
+/// as replay_trace (benign, then legacy families, then campaign bots in
+/// node-id order), any TraceSource (two forward event passes).
+StreamPopulations replay_trace_streaming(
+    const scenario::TraceSource& campaign, const ReplayConfig& config,
+    FlowSink& sink);
+
+/// Feeds an already-materialized trace into a sink, grouping flows by
+/// source host (ascending) — the bridge differential tests use to run
+/// the streaming scorer over a batch capture.
+void feed_trace(const TrafficTrace& trace, FlowSink& sink);
+
+/// Every threshold the one-pass scorer evaluates.
+struct FlowScorerConfig {
+  /// Flow-beacon operating points (min_flows/size_cv/gap_cv each).
+  std::vector<FlowDetectorConfig> beacon_thresholds;
+  /// Tor-flagger min-flow thresholds.
+  std::vector<std::size_t> tor_min_flows;
+};
+
+/// One-pass streaming scorer: buffers per-channel size/time series only
+/// for hosts not yet finalized, and collapses each host to verdicts at
+/// its on_host_done. Call finish() after the stream ends (it finalizes
+/// any hosts fed without an on_host_done, so raw ungrouped traces work
+/// too); flagged sets are valid afterwards, sorted ascending like the
+/// batch detectors'.
+class FlowScorer final : public FlowSink {
+ public:
+  explicit FlowScorer(FlowScorerConfig config);
+
+  void on_relays(const std::vector<HostId>& relays) override;
+  void on_flow(const FlowRecord& f) override;
+  void on_host_done(HostId host) override;
+  void finish();
+
+  std::uint64_t flows_scored() const { return flows_; }
+  /// Flagged hosts per beacon threshold (index-parallel with the
+  /// config's beacon_thresholds), ascending.
+  const std::vector<std::vector<HostId>>& beacon_flagged() const;
+  /// Flagged hosts per tor min-flows threshold, ascending.
+  const std::vector<std::vector<HostId>>& tor_flagged() const;
+
+ private:
+  struct Series {
+    std::vector<double> sizes;
+    std::vector<double> times;
+  };
+  void finalize_host(HostId host);
+
+  FlowScorerConfig config_;
+  std::set<HostId> relays_;
+  /// Open (not yet finalized) hosts' channels, keyed (src, dst).
+  std::map<std::pair<HostId, HostId>, Series> channels_;
+  std::uint64_t flows_ = 0;
+  bool finished_ = false;
+  std::vector<std::set<HostId>> beacon_sets_;
+  std::vector<std::set<HostId>> tor_sets_;
+  std::vector<std::vector<HostId>> beacon_flagged_;
+  std::vector<std::vector<HostId>> tor_flagged_;
+};
+
+/// The replay-level grid: which campaigns' recorded traces to sweep is
+/// run()'s argument; this config fixes the replay knobs, the seed axis,
+/// and the detector-threshold axes.
+struct ReplayGridConfig {
+  /// Telemetry-noise realizations per campaign.
+  std::vector<std::uint64_t> replay_seeds = {1, 2};
+  /// Replay knobs shared by every cell (seed is overridden per cell).
+  ReplayConfig replay;
+
+  /// Flow-beacon axes (row-major size_cv × gap_cv, like RocConfig).
+  std::vector<double> flow_size_cv = {0.1, 0.25, 0.5, 0.75};
+  std::vector<double> flow_gap_cv = {0.2, 0.45, 0.7, 1.0};
+  std::size_t flow_min_flows = 12;
+  /// Tor-flagger axis.
+  std::vector<std::size_t> tor_min_flows = {1, 3, 10, 30};
+
+  /// Worker pool; 0 = hardware concurrency.
+  std::size_t threads = 0;
+};
+
+/// One scored operating point of one (campaign, seed) cell.
+struct ReplayGridPoint {
+  std::size_t campaign = 0;  // index into run()'s campaign list
+  std::uint64_t replay_seed = 0;
+  std::string detector;  // "flow-beacon" | "tor-flagger"
+  std::string params;    // canonical "key=value,..." tuple
+  std::uint64_t flows = 0;  // flows the cell streamed (deterministic)
+  std::size_t flagged = 0;
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;
+  double tpr = 0.0;
+  double fpr = 0.0;
+  /// Per-population counts in GroundTruth order — the family resolution
+  /// the paper's argument needs (tor-flagger's benign_tor FPR).
+  std::vector<RocFamilyCount> families;
+};
+
+/// Canonical serialization of one point — the unit the grid fingerprint
+/// hashes.
+Bytes serialize(const ReplayGridPoint& p);
+
+/// The grid's outcome, points in grid order: campaign-major, then seed,
+/// then flow-beacon thresholds row-major, then the tor axis.
+struct ReplayGridReport {
+  std::vector<ReplayGridPoint> points;
+  /// Chained SHA-256 (hex) over the serialized points; equal campaigns
+  /// + equal config reproduce it at any thread count.
+  std::string fingerprint;
+  std::size_t threads_used = 0;
+  double wall_seconds = 0.0;  // informational; never fingerprinted
+
+  /// One CSV row per point (plus a header).
+  void write_csv(std::FILE* out) const;
+};
+
+class ReplayGrid {
+ public:
+  explicit ReplayGrid(ReplayGridConfig config = {});
+
+  /// Points every run produces per (campaign, seed) cell.
+  std::size_t points_per_cell() const;
+  /// Sweeps every campaign × seed cell; each cell streams one replay
+  /// through a FlowScorer evaluating the full threshold axes.
+  ReplayGridReport run(
+      const std::vector<const scenario::TraceSource*>& campaigns) const;
+  /// Single-campaign convenience.
+  ReplayGridReport run(const scenario::TraceSource& campaign) const;
+
+ private:
+  ReplayGridConfig config_;
+};
+
+}  // namespace onion::detection

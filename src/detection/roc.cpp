@@ -27,12 +27,12 @@ std::string fmt(double v) {
 std::string fmt(std::size_t v) { return std::to_string(v); }
 
 /// Ground truth digested once per sweep (the 68 cells share it).
-struct GroundTruth {
+struct TruthIndex {
   std::unordered_set<HostId> infected;
   std::unordered_set<HostId> monitored;
   std::size_t benign = 0;  // monitored hosts that are not infected
 
-  explicit GroundTruth(const TrafficTrace& trace)
+  explicit TruthIndex(const TrafficTrace& trace)
       : infected(trace.infected.begin(), trace.infected.end()),
         monitored(trace.hosts.begin(), trace.hosts.end()) {
     // Pure count over the set: the sum is iteration-order independent,
@@ -45,18 +45,33 @@ struct GroundTruth {
 
 /// Scores one verdict against the trace's ground truth. TPR/FPR match
 /// DetectionResult's definitions (rates over infected / benign monitored
-/// hosts); precision adds the count view the ROC CSV reports.
+/// hosts); precision adds the count view the ROC CSV reports. When
+/// `families` names populations, each gets its flagged count appended —
+/// the per-family resolution rides the same detector verdict.
 RocPoint score(std::string detector, std::string params,
-               const DetectionResult& result, const GroundTruth& truth) {
+               const DetectionResult& result, const TruthIndex& truth,
+               const GroundTruth& families) {
   RocPoint p;
   p.detector = std::move(detector);
   p.params = std::move(params);
   p.flagged = result.flagged.size();
+  std::unordered_set<HostId> flagged_hosts;
+  flagged_hosts.reserve(result.flagged.size());
   for (const HostId h : result.flagged) {
+    flagged_hosts.insert(h);
     if (truth.infected.count(h) > 0)
       ++p.true_positives;
     else if (truth.monitored.count(h) > 0)
       ++p.false_positives;
+  }
+  p.families.reserve(families.populations.size());
+  for (const GroundTruth::Population& pop : families.populations) {
+    RocFamilyCount f;
+    f.family = pop.name;
+    f.population = pop.hosts.size();
+    for (const HostId h : pop.hosts)
+      if (flagged_hosts.count(h) > 0) ++f.flagged;
+    p.families.push_back(std::move(f));
   }
   p.tpr = truth.infected.empty()
               ? 0.0
@@ -86,18 +101,42 @@ Bytes serialize(const RocPoint& p) {
   put_f64(out, p.tpr);
   put_f64(out, p.fpr);
   put_f64(out, p.precision);
+  // Per-family block present iff the sweep was family-resolved: legacy
+  // aggregate points keep their exact historical encoding, so committed
+  // ROC fingerprints cannot move. D5-manifested as conditional.
+  if (!p.families.empty()) {
+    put_u64(out, p.families.size());
+    for (const RocFamilyCount& f : p.families) {
+      put_string(out, f.family);
+      put_u64(out, f.flagged);
+      put_u64(out, f.population);
+    }
+  }
   return out;
 }
 
 void RocReport::write_csv(std::FILE* out) const {
   std::fprintf(out,
                "detector,params,flagged,true_positives,false_positives,"
-               "tpr,fpr,precision\n");
-  for (const RocPoint& p : points)
-    std::fprintf(out, "%s,\"%s\",%zu,%zu,%zu,%.6f,%.6f,%.6f\n",
+               "tpr,fpr,precision");
+  // Family-resolved sweeps widen the schema; every point carries the
+  // same population list (run() scores one GroundTruth), so the header
+  // comes from the first point. Aggregate sweeps print the legacy CSV
+  // byte-for-byte.
+  if (!points.empty())
+    for (const RocFamilyCount& f : points.front().families)
+      std::fprintf(out, ",%s_flagged,%s_population", f.family.c_str(),
+                   f.family.c_str());
+  std::fprintf(out, "\n");
+  for (const RocPoint& p : points) {
+    std::fprintf(out, "%s,\"%s\",%zu,%zu,%zu,%.6f,%.6f,%.6f",
                  p.detector.c_str(), p.params.c_str(), p.flagged,
                  p.true_positives, p.false_positives, p.tpr, p.fpr,
                  p.precision);
+    for (const RocFamilyCount& f : p.families)
+      std::fprintf(out, ",%zu,%zu", f.flagged, f.population);
+    std::fprintf(out, "\n");
+  }
 }
 
 RocSweep::RocSweep(RocConfig config) : config_(std::move(config)) {
@@ -152,18 +191,23 @@ RocSweep::RocSweep(RocConfig config) : config_(std::move(config)) {
 }
 
 RocReport RocSweep::run(const TrafficTrace& trace) const {
+  return run(trace, GroundTruth{});
+}
+
+RocReport RocSweep::run(const TrafficTrace& trace,
+                        const GroundTruth& truth) const {
   RocReport report;
   report.points.resize(cells_.size());
   const auto start = std::chrono::steady_clock::now();
-  const GroundTruth truth(trace);
+  const TruthIndex index(trace);
 
   // Detectors are pure functions of the (shared, read-only) trace, and
   // each point lands at its grid index — the sharding is invisible.
   report.threads_used = parallel_for_index(
       cells_.size(), config_.threads, [&](std::size_t i) {
         const Cell& cell = cells_[i];
-        report.points[i] =
-            score(cell.detector, cell.params, cell.detect(trace), truth);
+        report.points[i] = score(cell.detector, cell.params,
+                                 cell.detect(trace), index, truth);
       });
 
   report.wall_seconds =

@@ -46,6 +46,29 @@ struct RocConfig {
   std::size_t threads = 0;
 };
 
+/// One population's slice of an operating point: how many of its hosts
+/// the detector flagged, out of how many were monitored. Populations
+/// come from the replay's ground truth (detection/replay.hpp), so a
+/// single sweep resolves per-family TPR (bot families) and per-source
+/// FPR (benign web vs benign Tor) without re-running any detector.
+struct RocFamilyCount {
+  std::string family;  // "onion", "dga", "benign_tor", ...
+  std::size_t flagged = 0;
+  std::size_t population = 0;
+};
+
+/// Named host populations scored alongside the aggregate TPR/FPR. Order
+/// is preserved into RocPoint::families (and so into the fingerprint);
+/// an empty truth (the default) reproduces the legacy aggregate-only
+/// sweep byte-for-byte.
+struct GroundTruth {
+  struct Population {
+    std::string name;
+    std::vector<HostId> hosts;
+  };
+  std::vector<Population> populations;
+};
+
 /// One operating point: a detector family at one threshold tuple,
 /// scored against the trace's ground truth.
 struct RocPoint {
@@ -57,6 +80,10 @@ struct RocPoint {
   double tpr = 0.0;
   double fpr = 0.0;
   double precision = 0.0;
+  /// Per-population counts, in GroundTruth order; empty on aggregate
+  /// sweeps and serialized only when present, so legacy points (and the
+  /// goldens hashing them) encode exactly as before.
+  std::vector<RocFamilyCount> families;
 };
 
 /// Canonical serialization of one point (strings length-prefixed,
@@ -84,7 +111,11 @@ class RocSweep {
   explicit RocSweep(RocConfig config = {});
 
   std::size_t cell_count() const { return cells_.size(); }
+  /// Aggregate sweep: TPR/FPR against trace.infected vs the benign rest.
   RocReport run(const TrafficTrace& trace) const;
+  /// Family-resolved sweep: as above, plus per-population flagged counts
+  /// (RocPoint::families) for every named population in `truth`.
+  RocReport run(const TrafficTrace& trace, const GroundTruth& truth) const;
 
  private:
   struct Cell {

@@ -37,25 +37,26 @@ void CampaignTrace::on_snapshot(const MetricsSnapshot& s) {
   events_before_.push_back(events_.size());
 }
 
-std::vector<CampaignTrace::Lifetime> CampaignTrace::lifetimes() const {
-  ONION_EXPECTS(began_);
+std::vector<BotLifetime> TraceSource::lifetimes() const {
+  ONION_EXPECTS(began());
+  const SimTime horizon = spec().horizon;
   // Node ids are allocated monotonically and never reused, so a map
   // keyed by id yields the sorted order directly.
-  std::map<graph::NodeId, Lifetime> alive;
-  for (const graph::NodeId u : initial_)
-    alive.emplace(u, Lifetime{u, 0, spec_.horizon});
-  for (const CampaignEvent& e : events_) {
+  std::map<graph::NodeId, BotLifetime> alive;
+  for (const graph::NodeId u : initial_nodes())
+    alive.emplace(u, BotLifetime{u, 0, horizon});
+  for_each_event([&](const CampaignEvent& e) {
     switch (e.kind) {
       case TraceEventKind::Join:
         alive.emplace(static_cast<graph::NodeId>(e.a),
-                      Lifetime{static_cast<graph::NodeId>(e.a), e.at,
-                               spec_.horizon});
+                      BotLifetime{static_cast<graph::NodeId>(e.a), e.at,
+                                  horizon});
         break;
       case TraceEventKind::Leave:
       case TraceEventKind::Takedown: {
         const auto it = alive.find(static_cast<graph::NodeId>(e.a));
         ONION_ENSURES(it != alive.end());  // only alive bots can die
-        if (it->second.death == spec_.horizon) it->second.death = e.at;
+        if (it->second.death == horizon) it->second.death = e.at;
         break;
       }
       case TraceEventKind::Peering:
@@ -66,8 +67,8 @@ std::vector<CampaignTrace::Lifetime> CampaignTrace::lifetimes() const {
       case TraceEventKind::HealPeering:
         break;  // no membership effect
     }
-  }
-  std::vector<Lifetime> out;
+  });
+  std::vector<BotLifetime> out;
   out.reserve(alive.size());
   for (const auto& [node, life] : alive) out.push_back(life);
   return out;

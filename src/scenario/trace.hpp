@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -66,19 +67,55 @@ class TraceSink {
   virtual void on_event(const CampaignEvent& e) = 0;
 };
 
+/// [birth, death) in simulated time; death == the campaign horizon for
+/// bots still alive at the end.
+struct BotLifetime {
+  graph::NodeId node = graph::kInvalidNode;
+  SimTime birth = 0;
+  SimTime death = 0;
+};
+
+/// A recorded campaign, abstracted from where the record lives: the
+/// in-memory CampaignTrace below and the on-disk trace_io::TraceReader
+/// both implement it, so consumers (detection::replay_trace, the replay
+/// grid) are indifferent to whether the event log is a vector or a
+/// chunk-streamed file. Event iteration is forward-only and must visit
+/// the stream in recorded order; implementations may hold O(window)
+/// state, never O(events).
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  /// The spec echo delivered by on_begin (valid once began()).
+  virtual const ScenarioSpec& spec() const = 0;
+  /// The initial honest population, in allocation order.
+  virtual const std::vector<graph::NodeId>& initial_nodes() const = 0;
+  /// Whether a campaign was recorded (on_begin arrived).
+  virtual bool began() const = 0;
+  /// Visits every recorded event in simulator order.
+  virtual void for_each_event(
+      const std::function<void(const CampaignEvent&)>& fn) const = 0;
+
+  SimTime horizon() const { return spec().horizon; }
+
+  /// Per-bot membership intervals, derived from the event stream in one
+  /// forward pass: initial nodes are born at 0, Join events at their
+  /// timestamp; the first Leave/Takedown naming a node ends it,
+  /// otherwise it lives to the horizon. Sorted by node id (node ids are
+  /// never reused).
+  std::vector<BotLifetime> lifetimes() const;
+};
+
 /// Records the whole campaign: spec echo, the initial honest
 /// population, every event, and (when also wired into the engine's
 /// snapshot fanout) the per-snapshot structure stream with its
 /// interleaving preserved. This is the input to detection::replay_trace.
-class CampaignTrace final : public TraceSink, public SnapshotSink {
+class CampaignTrace final : public TraceSink,
+                           public SnapshotSink,
+                           public TraceSource {
  public:
-  /// [birth, death) in simulated time; death == spec().horizon for bots
-  /// still alive at the end.
-  struct Lifetime {
-    graph::NodeId node = graph::kInvalidNode;
-    SimTime birth = 0;
-    SimTime death = 0;
-  };
+  /// Pre-TraceSource spelling of the lifetime record.
+  using Lifetime = BotLifetime;
 
   // TraceSink.
   void on_begin(const ScenarioSpec& spec,
@@ -89,11 +126,17 @@ class CampaignTrace final : public TraceSink, public SnapshotSink {
   // so differential tests can replay the exact interleaving.
   void on_snapshot(const MetricsSnapshot& s) override;
 
-  const ScenarioSpec& spec() const { return spec_; }
-  bool began() const { return began_; }
-  const std::vector<graph::NodeId>& initial_nodes() const {
+  // TraceSource.
+  const ScenarioSpec& spec() const override { return spec_; }
+  bool began() const override { return began_; }
+  const std::vector<graph::NodeId>& initial_nodes() const override {
     return initial_;
   }
+  void for_each_event(const std::function<void(const CampaignEvent&)>& fn)
+      const override {
+    for (const CampaignEvent& e : events_) fn(e);
+  }
+
   const std::vector<CampaignEvent>& events() const { return events_; }
   const std::vector<MetricsSnapshot>& snapshots() const {
     return snapshots_;
@@ -102,13 +145,6 @@ class CampaignTrace final : public TraceSink, public SnapshotSink {
   std::size_t events_before(std::size_t i) const {
     return events_before_.at(i);
   }
-  SimTime horizon() const { return spec_.horizon; }
-
-  /// Per-bot membership intervals, derived from the event stream:
-  /// initial nodes are born at 0, Join events at their timestamp; the
-  /// first Leave/Takedown naming a node ends it, otherwise it lives to
-  /// the horizon. Sorted by node id (node ids are never reused).
-  std::vector<Lifetime> lifetimes() const;
 
   /// Chained SHA-256 over the serialized event stream (hex) — the
   /// event-log analogue of HashSink's snapshot fingerprint.

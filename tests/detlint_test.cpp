@@ -368,11 +368,20 @@ void serialize(const CellResult& cell) {
 Config d5_config(const std::string& manifest_text) {
   Config config;
   config.manifest = parse_manifest(manifest_text);
-  config.snapshot_header = "src/scenario/snapshot.hpp";
-  config.snapshot_impl = "src/scenario/snapshot.cpp";
-  config.trace_header = "src/scenario/trace.hpp";
-  config.runner_header = "src/scenario/runner.hpp";
-  config.wire_impl = "src/scenario/wire.cpp";
+  // The fixture subset of the schema table; absent headers are skipped,
+  // so binding only what each test feeds keeps diagnostics focused.
+  config.d5_owners = {
+      {"MetricsSnapshot", false, "src/scenario/snapshot.hpp",
+       "src/scenario/snapshot.cpp"},
+      {"TraceEventKind", true, "src/scenario/trace.hpp",
+       "src/scenario/snapshot.cpp"},
+      {"CellResult", false, "src/scenario/runner.hpp",
+       "src/scenario/wire.cpp"},
+      {"GridReport", false, "src/scenario/runner.hpp",
+       "src/scenario/wire.cpp"},
+      {"FailedCell", false, "src/scenario/runner.hpp",
+       "src/scenario/wire.cpp"},
+  };
   return config;
 }
 
@@ -513,6 +522,108 @@ TEST(DetlintD5, ConditionalGridWireFieldChecksTheWireSerializer) {
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_NE(hits[0].message.find("src/scenario/wire.cpp"),
             std::string::npos);
+}
+
+// --- D5 via the schema table (trace_io-style owners) ------------------
+
+const char* kTraceIoHeader = R"(
+#include <cstdint>
+struct TraceFooter {
+  std::uint64_t event_count = 0;
+  std::uint64_t chunk_count = 0;
+};
+)";
+
+const char* kRocHeaderFixture = R"(
+#include <string>
+#include <vector>
+struct RocPoint {
+  std::string detector;
+  std::vector<int> families;
+};
+)";
+
+const char* kRocImplGuarded = R"(
+#include "detection/roc.hpp"
+void serialize(const RocPoint& p) {
+  put(p.detector);
+  if (!p.families.empty()) put(p.families);
+}
+)";
+
+const char* kRocImplUnguarded = R"(
+#include "detection/roc.hpp"
+void serialize(const RocPoint& p) {
+  put(p.detector);
+  put(p.families);
+}
+)";
+
+/// Binds fixture owners through the schema table the way the tree run
+/// binds trace_io / roc — proves rule D5 is table-driven, not special-
+/// cased per owner.
+Config d5_table_config(const std::string& manifest_text) {
+  Config config;
+  config.manifest = parse_manifest(manifest_text);
+  config.d5_owners = {
+      {"TraceFooter", false, "src/scenario/trace_io.hpp",
+       "src/scenario/trace_io.cpp"},
+      {"RocPoint", false, "src/detection/roc.hpp",
+       "src/detection/roc.cpp"},
+  };
+  return config;
+}
+
+TEST(DetlintD5, TableBoundOwnerUnlistedFieldFires) {
+  const LintResult r = lint_files(
+      {{"src/scenario/trace_io.hpp", kTraceIoHeader}},
+      d5_table_config("TraceFooter.event_count\n"));
+  const auto hits = violations(r, "D5");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("TraceFooter::chunk_count"),
+            std::string::npos);
+}
+
+TEST(DetlintD5, TableBoundConditionalFieldHonorsGuard) {
+  const std::string manifest =
+      "RocPoint.detector\n"
+      "RocPoint.families conditional\n";
+  const LintResult guarded = lint_files(
+      {{"src/detection/roc.hpp", kRocHeaderFixture},
+       {"src/detection/roc.cpp", kRocImplGuarded}},
+      d5_table_config(manifest));
+  EXPECT_TRUE(violations(guarded, "D5").empty());
+
+  const LintResult unguarded = lint_files(
+      {{"src/detection/roc.hpp", kRocHeaderFixture},
+       {"src/detection/roc.cpp", kRocImplUnguarded}},
+      d5_table_config(manifest));
+  const auto hits = violations(unguarded, "D5");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("src/detection/roc.cpp"),
+            std::string::npos);
+}
+
+TEST(DetlintD5, StaleEntryForTableBoundOwnerFires) {
+  const LintResult r = lint_files(
+      {{"src/scenario/trace_io.hpp", kTraceIoHeader}},
+      d5_table_config("TraceFooter.event_count\n"
+                      "TraceFooter.chunk_count\n"
+                      "TraceFooter.removed_field\n"));
+  const auto hits = violations(r, "D5");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("stale"), std::string::npos);
+}
+
+TEST(DetlintD5, EntryForUnboundOwnerIsSkipped) {
+  // An owner with no binding (or whose header is absent) cannot be
+  // proven stale from a partial file set.
+  const LintResult r = lint_files(
+      {{"src/scenario/trace_io.hpp", kTraceIoHeader}},
+      d5_table_config("TraceFooter.event_count\n"
+                      "TraceFooter.chunk_count\n"
+                      "SomeOtherOwner.some_field\n"));
+  EXPECT_TRUE(violations(r, "D5").empty());
 }
 
 TEST(DetlintManifest, ParsesFlagsAndComments) {

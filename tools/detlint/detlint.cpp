@@ -720,39 +720,32 @@ class Linter {
     return out;
   }
 
-  /// True for owners declared in runner_header and serialized by
-  /// wire_impl (the multi-process grid wire schema).
-  static bool is_grid_owner(const std::string& owner) {
-    return owner == "CellResult" || owner == "GridReport" ||
-           owner == "FailedCell";
-  }
-
   void rule_d5() {
     if (config_.manifest.empty()) return;
-    const FileInfo* snap = find(config_.snapshot_header);
-    const FileInfo* trace = find(config_.trace_header);
-    const FileInfo* runner = find(config_.runner_header);
-    const FileInfo* snap_impl = find(config_.snapshot_impl);
-    const FileInfo* wire_impl = find(config_.wire_impl);
-    if (snap == nullptr && trace == nullptr && runner == nullptr) return;
 
     std::map<std::string, const ManifestEntry*> by_key;
     for (const ManifestEntry& e : config_.manifest)
       by_key[e.owner + "." + e.name] = &e;
     std::set<std::string> seen;
 
-    const auto check = [&](const FileInfo* file, const char* owner,
-                           const std::vector<Member>& members,
-                           const FileInfo* impl,
-                           const std::string& impl_path) {
-      if (file == nullptr) return;
+    // Schema table walk: every owner whose header is in the linted set
+    // has its declared members diffed against the manifest, and its
+    // `conditional` entries checked for the serializer guard in the
+    // owner's bound impl.
+    for (const D5Owner& binding : config_.d5_owners) {
+      const FileInfo* file = find(binding.header);
+      if (file == nullptr) continue;
+      const FileInfo* impl = find(binding.impl);
+      const std::vector<Member> members =
+          binding.is_enum ? enum_values(file->scan.tokens, binding.owner)
+                          : struct_fields(file->scan.tokens, binding.owner);
       for (const Member& m : members) {
-        const std::string key = std::string(owner) + "." + m.name;
+        const std::string key = binding.owner + "." + m.name;
         seen.insert(key);
         const auto it = by_key.find(key);
         if (it == by_key.end()) {
           report(*file, m.line, "D5",
-                 std::string(owner) + "::" + m.name +
+                 binding.owner + "::" + m.name +
                      " is not in tools/detlint/serialized_fields.txt: new "
                      "serialized schema entries must keep committed golden "
                      "fingerprints byte-identical (serialize the field "
@@ -763,33 +756,27 @@ class Linter {
         if (it->second->conditional && impl != nullptr &&
             !guarded_in_serializer(impl->scan.tokens, m.name)) {
           report(*file, m.line, "D5",
-                 std::string(owner) + "::" + m.name +
+                 binding.owner + "::" + m.name +
                      " is marked `conditional` in the manifest but " +
-                     impl_path +
+                     binding.impl +
                      " has no `if (....empty())` guard around it; the "
                      "empty = byte-identical encoding contract is broken");
         }
       }
-    };
-    if (snap != nullptr)
-      check(snap, "MetricsSnapshot",
-            struct_fields(snap->scan.tokens, "MetricsSnapshot"), snap_impl,
-            config_.snapshot_impl);
-    if (trace != nullptr)
-      check(trace, "TraceEventKind",
-            enum_values(trace->scan.tokens, "TraceEventKind"), snap_impl,
-            config_.snapshot_impl);
-    if (runner != nullptr)
-      for (const char* owner : {"CellResult", "GridReport", "FailedCell"})
-        check(runner, owner, struct_fields(runner->scan.tokens, owner),
-              wire_impl, config_.wire_impl);
+    }
 
     for (const ManifestEntry& e : config_.manifest) {
       const std::string key = e.owner + "." + e.name;
       if (seen.count(key)) continue;
-      const FileInfo* file = e.owner == "TraceEventKind" ? trace
-                             : is_grid_owner(e.owner)    ? runner
-                                                         : snap;
+      // Stale entries report at the owner's bound header; entries for
+      // owners without a binding (or whose header is not in the linted
+      // set) are skipped — a partial file set cannot prove staleness.
+      const FileInfo* file = nullptr;
+      for (const D5Owner& binding : config_.d5_owners)
+        if (binding.owner == e.owner) {
+          file = find(binding.header);
+          break;
+        }
       if (file == nullptr) continue;
       report(*file, 1, "D5",
              "stale manifest entry " + key +

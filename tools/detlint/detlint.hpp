@@ -20,10 +20,12 @@
 //   D4  no compound assignment to captured (shared) state inside a
 //       parallel_for_index body: a data race, and floating-point
 //       accumulation order would depend on the thread schedule
-//   D5  every serialized-schema declaration — MetricsSnapshot fields,
-//       TraceEventKind enumerators, and the multi-process grid wire
-//       structs CellResult / GridReport / FailedCell — must be listed in
-//       the committed serialization manifest; fields marked `conditional`
+//   D5  every serialized-schema declaration — each owner in the
+//       Config::d5_owners table: snapshot fields, trace event kinds, the
+//       grid wire structs, the streaming trace-file schema (TraceHeader/
+//       TraceFooter plus the whole ScenarioSpec tree its header echoes),
+//       and the ROC / replay-grid point structs — must be listed in the
+//       committed serialization manifest; fields marked `conditional`
 //       must keep the "empty = byte-identical" guard in their serializer
 //       (the PR-5 pattern that keeps golden fingerprints stable across
 //       schema growth)
@@ -61,10 +63,23 @@ struct SourceFile {
 
 /// One entry of the D5 serialization manifest.
 struct ManifestEntry {
-  std::string owner;   // "MetricsSnapshot", "TraceEventKind", "CellResult",
-                       // "GridReport", or "FailedCell"
+  std::string owner;   // a schema owner from Config::d5_owners, e.g.
+                       // "MetricsSnapshot", "TraceEventKind", "RocPoint",
+                       // "ScenarioSpec", "TraceFooter"
   std::string name;    // field / enumerator
   bool conditional = false;  // must be guarded in serialize()
+};
+
+/// One D5 schema owner: a serialized struct (or enum) type, the header
+/// declaring it, and the TU holding its serializer — where the
+/// conditional `if (....empty())` guards are looked for. Growing the
+/// serialized surface is one row here plus manifest entries; rule D5
+/// iterates this table, nothing is hard-coded per owner.
+struct D5Owner {
+  std::string owner;
+  bool is_enum = false;
+  std::string header;
+  std::string impl;
 };
 
 struct Config {
@@ -84,14 +99,60 @@ struct Config {
   /// D5 manifest (parsed from tools/detlint/serialized_fields.txt in tree
   /// runs). Empty disables D5.
   std::vector<ManifestEntry> manifest;
-  /// Where D5 looks for the declarations and the serializer guards.
-  std::string snapshot_header = "src/scenario/snapshot.hpp";
-  std::string snapshot_impl = "src/scenario/snapshot.cpp";
-  std::string trace_header = "src/scenario/trace.hpp";
-  /// The multi-process grid wire schema: CellResult / GridReport /
-  /// FailedCell declared in runner_header, serialized by wire_impl.
-  std::string runner_header = "src/scenario/runner.hpp";
-  std::string wire_impl = "src/scenario/wire.cpp";
+  /// The serialized-schema table D5 checks the manifest against. Owners
+  /// whose header is absent from the linted file set are skipped, so
+  /// fixture-based unit tests can bind any subset.
+  std::vector<D5Owner> d5_owners = {
+      // Snapshot stream and campaign events.
+      {"MetricsSnapshot", false, "src/scenario/snapshot.hpp",
+       "src/scenario/snapshot.cpp"},
+      {"TraceEventKind", true, "src/scenario/trace.hpp",
+       "src/scenario/snapshot.cpp"},
+      // Multi-process grid wire schema.
+      {"CellResult", false, "src/scenario/runner.hpp",
+       "src/scenario/wire.cpp"},
+      {"GridReport", false, "src/scenario/runner.hpp",
+       "src/scenario/wire.cpp"},
+      {"FailedCell", false, "src/scenario/runner.hpp",
+       "src/scenario/wire.cpp"},
+      // Streaming trace-file schema (header/footer frames plus the full
+      // ScenarioSpec echo the header carries — growing any spec struct
+      // without updating the trace_io codec fails here).
+      {"TraceHeader", false, "src/scenario/trace_io.hpp",
+       "src/scenario/trace_io.cpp"},
+      {"TraceFooter", false, "src/scenario/trace_io.hpp",
+       "src/scenario/trace_io.cpp"},
+      {"ScenarioSpec", false, "src/scenario/spec.hpp",
+       "src/scenario/trace_io.cpp"},
+      {"ChurnSpec", false, "src/scenario/spec.hpp",
+       "src/scenario/trace_io.cpp"},
+      {"AttackKind", true, "src/scenario/spec.hpp",
+       "src/scenario/trace_io.cpp"},
+      {"RankMetric", true, "src/scenario/spec.hpp",
+       "src/scenario/trace_io.cpp"},
+      {"AttackPhase", false, "src/scenario/spec.hpp",
+       "src/scenario/trace_io.cpp"},
+      {"AttackWave", false, "src/scenario/spec.hpp",
+       "src/scenario/trace_io.cpp"},
+      {"WavePlan", false, "src/scenario/spec.hpp",
+       "src/scenario/trace_io.cpp"},
+      {"DefenseSpec", false, "src/scenario/spec.hpp",
+       "src/scenario/trace_io.cpp"},
+      {"MetricsSpec", false, "src/scenario/spec.hpp",
+       "src/scenario/trace_io.cpp"},
+      {"SessionModel", true, "src/scenario/session.hpp",
+       "src/scenario/trace_io.cpp"},
+      {"SessionSpec", false, "src/scenario/session.hpp",
+       "src/scenario/trace_io.cpp"},
+      // ROC sweep points (family columns are conditional) and the
+      // replay-level grid points.
+      {"RocPoint", false, "src/detection/roc.hpp",
+       "src/detection/roc.cpp"},
+      {"RocFamilyCount", false, "src/detection/roc.hpp",
+       "src/detection/roc.cpp"},
+      {"ReplayGridPoint", false, "src/detection/replay_grid.hpp",
+       "src/detection/replay_grid.cpp"},
+  };
 };
 
 struct RuleCounts {
