@@ -307,6 +307,14 @@ void ReplayGridReport::write_csv(std::FILE* out) const {
   }
 }
 
+std::string combine_replay_points(
+    const std::vector<ReplayGridPoint>& points) {
+  crypto::Sha256 hasher;
+  for (const ReplayGridPoint& p : points) hasher.update(serialize(p));
+  const crypto::Sha256Digest digest = hasher.finalize();
+  return to_hex(BytesView(digest.data(), digest.size()));
+}
+
 ReplayGrid::ReplayGrid(ReplayGridConfig config)
     : config_(std::move(config)) {}
 
@@ -315,17 +323,15 @@ std::size_t ReplayGrid::points_per_cell() const {
          config_.tor_min_flows.size();
 }
 
-ReplayGridReport ReplayGrid::run(
-    const std::vector<const TraceSource*>& campaigns) const {
-  ReplayGridReport report;
-  const std::size_t ppc = points_per_cell();
-  const std::size_t cells =
-      campaigns.size() * config_.replay_seeds.size();
-  report.points.resize(cells * ppc);
+ReplayGridCell ReplayGrid::run_cell(const TraceSource& campaign,
+                                    std::uint64_t cell_index) const {
+  const std::size_t seeds = config_.replay_seeds.size();
+  ReplayGridCell cell;
+  cell.cell_index = cell_index;
+  cell.campaign = cell_index / seeds;
+  cell.replay_seed = config_.replay_seeds[cell_index % seeds];
   const auto start = std::chrono::steady_clock::now();
 
-  // Shared scorer shape for every cell (thresholds are config, not
-  // state): built once so each worker only carries stream state.
   FlowScorerConfig scorer_config;
   for (const double size_cv : config_.flow_size_cv)
     for (const double gap_cv : config_.flow_gap_cv) {
@@ -337,87 +343,96 @@ ReplayGridReport ReplayGrid::run(
     }
   scorer_config.tor_min_flows = config_.tor_min_flows;
 
+  ReplayConfig replay = config_.replay;
+  replay.seed = cell.replay_seed;
+  FlowScorer scorer(scorer_config);
+  const StreamPopulations pops =
+      replay_trace_streaming(campaign, replay, scorer);
+  scorer.finish();
+
+  const std::set<HostId> infected(pops.infected.begin(),
+                                  pops.infected.end());
+  const std::set<HostId> monitored(pops.monitored.begin(),
+                                   pops.monitored.end());
+  const std::size_t benign = pops.monitored.size() - pops.infected.size();
+  const auto score = [&](std::string detector, std::string params,
+                         const std::vector<HostId>& flagged) {
+    ReplayGridPoint p;
+    p.campaign = static_cast<std::size_t>(cell.campaign);
+    p.replay_seed = cell.replay_seed;
+    p.detector = std::move(detector);
+    p.params = std::move(params);
+    p.flows = pops.flows;
+    p.flagged = flagged.size();
+    for (const HostId h : flagged) {
+      if (infected.count(h) > 0)
+        ++p.true_positives;
+      else if (monitored.count(h) > 0)
+        ++p.false_positives;
+    }
+    p.tpr = infected.empty()
+                ? 0.0
+                : static_cast<double>(p.true_positives) /
+                      static_cast<double>(infected.size());
+    p.fpr = benign == 0 ? 0.0
+                        : static_cast<double>(p.false_positives) /
+                              static_cast<double>(benign);
+    p.families.reserve(pops.truth.populations.size());
+    for (const GroundTruth::Population& pop : pops.truth.populations) {
+      RocFamilyCount f;
+      f.family = pop.name;
+      f.population = pop.hosts.size();
+      // Both sides ascending: membership via binary search.
+      for (const HostId h : pop.hosts)
+        if (std::binary_search(flagged.begin(), flagged.end(), h))
+          ++f.flagged;
+      p.families.push_back(std::move(f));
+    }
+    return p;
+  };
+
+  cell.points.reserve(points_per_cell());
+  for (std::size_t k = 0; k < scorer_config.beacon_thresholds.size(); ++k) {
+    const FlowDetectorConfig& c = scorer_config.beacon_thresholds[k];
+    cell.points.push_back(score("flow-beacon",
+                                "size_cv=" + fmt(c.size_cv_threshold) +
+                                    ",gap_cv=" + fmt(c.gap_cv_threshold),
+                                scorer.beacon_flagged()[k]));
+  }
+  for (std::size_t k = 0; k < scorer_config.tor_min_flows.size(); ++k)
+    cell.points.push_back(score(
+        "tor-flagger",
+        "min_flows=" + std::to_string(scorer_config.tor_min_flows[k]),
+        scorer.tor_flagged()[k]));
+  cell.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return cell;
+}
+
+ReplayGridReport ReplayGrid::run(
+    const std::vector<const TraceSource*>& campaigns) const {
+  ReplayGridReport report;
+  const std::size_t ppc = points_per_cell();
+  const std::size_t cells = cell_count(campaigns.size());
+  report.points.resize(cells * ppc);
+  const auto start = std::chrono::steady_clock::now();
+
   report.threads_used = parallel_for_index(
       cells, config_.threads, [&](std::size_t cell) {
-        const std::size_t campaign_index =
-            cell / config_.replay_seeds.size();
-        const std::uint64_t seed =
-            config_.replay_seeds[cell % config_.replay_seeds.size()];
-        ReplayConfig replay = config_.replay;
-        replay.seed = seed;
-        FlowScorer scorer(scorer_config);
-        const StreamPopulations pops = replay_trace_streaming(
-            *campaigns[campaign_index], replay, scorer);
-        scorer.finish();
-
-        const std::set<HostId> infected(pops.infected.begin(),
-                                        pops.infected.end());
-        const std::set<HostId> monitored(pops.monitored.begin(),
-                                         pops.monitored.end());
-        const std::size_t benign = pops.monitored.size() - pops.infected.size();
-        const auto score = [&](std::string detector, std::string params,
-                               const std::vector<HostId>& flagged) {
-          ReplayGridPoint p;
-          p.campaign = campaign_index;
-          p.replay_seed = seed;
-          p.detector = std::move(detector);
-          p.params = std::move(params);
-          p.flows = pops.flows;
-          p.flagged = flagged.size();
-          for (const HostId h : flagged) {
-            if (infected.count(h) > 0)
-              ++p.true_positives;
-            else if (monitored.count(h) > 0)
-              ++p.false_positives;
-          }
-          p.tpr = infected.empty()
-                      ? 0.0
-                      : static_cast<double>(p.true_positives) /
-                            static_cast<double>(infected.size());
-          p.fpr = benign == 0 ? 0.0
-                              : static_cast<double>(p.false_positives) /
-                                    static_cast<double>(benign);
-          p.families.reserve(pops.truth.populations.size());
-          for (const GroundTruth::Population& pop :
-               pops.truth.populations) {
-            RocFamilyCount f;
-            f.family = pop.name;
-            f.population = pop.hosts.size();
-            // Both sides ascending: membership via binary search.
-            for (const HostId h : pop.hosts)
-              if (std::binary_search(flagged.begin(), flagged.end(), h))
-                ++f.flagged;
-            p.families.push_back(std::move(f));
-          }
-          return p;
-        };
-
-        std::size_t at = cell * ppc;
-        for (std::size_t k = 0; k < scorer_config.beacon_thresholds.size();
-             ++k) {
-          const FlowDetectorConfig& c = scorer_config.beacon_thresholds[k];
-          report.points[at++] = score(
-              "flow-beacon",
-              "size_cv=" + fmt(c.size_cv_threshold) +
-                  ",gap_cv=" + fmt(c.gap_cv_threshold),
-              scorer.beacon_flagged()[k]);
-        }
-        for (std::size_t k = 0; k < scorer_config.tor_min_flows.size();
-             ++k)
-          report.points[at++] = score(
-              "tor-flagger",
-              "min_flows=" + std::to_string(scorer_config.tor_min_flows[k]),
-              scorer.tor_flagged()[k]);
+        // Points land at the cell's grid slice, so the sharding cannot
+        // leak into the report — and the process transport reruns the
+        // identical run_cell, so both paths agree by construction.
+        ReplayGridCell result = run_cell(
+            *campaigns[cell / config_.replay_seeds.size()], cell);
+        for (std::size_t k = 0; k < ppc; ++k)
+          report.points[cell * ppc + k] = std::move(result.points[k]);
       });
 
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  crypto::Sha256 hasher;
-  for (const ReplayGridPoint& p : report.points)
-    hasher.update(serialize(p));
-  const crypto::Sha256Digest digest = hasher.finalize();
-  report.fingerprint = to_hex(BytesView(digest.data(), digest.size()));
+  report.fingerprint = combine_replay_points(report.points);
   return report;
 }
 

@@ -29,6 +29,10 @@
 //     (each cell scoring its full detector-threshold axis in one
 //     streamed pass) into a fingerprinted ReplayGridReport; points land
 //     at their grid index, so thread count never moves the fingerprint.
+//     run_cell exposes the unit of work — one ReplayGridCell per
+//     (campaign, seed) — so the multi-process transport
+//     (detection/replay_proc.hpp over scenario/wire.hpp frames) runs
+//     the byte-identical computation out of process.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +44,7 @@
 
 #include "detection/flow_detector.hpp"
 #include "detection/replay.hpp"
+#include "scenario/runner.hpp"
 #include "scenario/trace.hpp"
 
 namespace onion::detection {
@@ -172,15 +177,43 @@ struct ReplayGridPoint {
 /// hashes.
 Bytes serialize(const ReplayGridPoint& p);
 
+/// The grid fingerprint over `points` (chained SHA-256, hex, in the
+/// given order). Exposed so the process-level merge and its tests can
+/// recompute the invariant from any partition of completed cells.
+std::string combine_replay_points(const std::vector<ReplayGridPoint>& points);
+
+/// One (campaign, seed) cell's outcome — the unit the multi-process
+/// transport ships as a wire frame (scenario/wire.hpp). `points` is the
+/// cell's points_per_cell() slice of the grid, in grid order.
+/// wall_seconds is informational only (never fingerprinted).
+struct ReplayGridCell {
+  std::uint64_t cell_index = 0;
+  std::uint64_t campaign = 0;  // index into the campaign list
+  std::uint64_t replay_seed = 0;
+  std::vector<ReplayGridPoint> points;
+  double wall_seconds = 0.0;
+};
+
 /// The grid's outcome, points in grid order: campaign-major, then seed,
-/// then flow-beacon thresholds row-major, then the tor axis.
+/// then flow-beacon thresholds row-major, then the tor axis. A merged
+/// multi-process report degrades gracefully: quarantined cells land in
+/// `failed_cells` and contribute no points, and the fingerprint covers
+/// exactly the completed cells' points in cell order — so a complete
+/// merge reproduces run()'s digest byte-for-byte.
 struct ReplayGridReport {
   std::vector<ReplayGridPoint> points;
   /// Chained SHA-256 (hex) over the serialized points; equal campaigns
-  /// + equal config reproduce it at any thread count.
+  /// + equal config reproduce it at any thread count, worker count,
+  /// partition shape, or retry history.
   std::string fingerprint;
+  /// Cells that never produced a valid frame (process mode only),
+  /// cell-index order.
+  std::vector<scenario::FailedCell> failed_cells;
+  /// Informational only, like wall_seconds: never fingerprinted.
   std::size_t threads_used = 0;
-  double wall_seconds = 0.0;  // informational; never fingerprinted
+  double wall_seconds = 0.0;
+  std::uint64_t retries = 0;        // cell re-executions scheduled
+  std::uint64_t resumed_cells = 0;  // valid frames skipped on resume
 
   /// One CSV row per point (plus a header).
   void write_csv(std::FILE* out) const;
@@ -190,8 +223,25 @@ class ReplayGrid {
  public:
   explicit ReplayGrid(ReplayGridConfig config = {});
 
+  const ReplayGridConfig& config() const { return config_; }
+
   /// Points every run produces per (campaign, seed) cell.
   std::size_t points_per_cell() const;
+  /// Cells a run over `campaign_count` campaigns sweeps (campaign-major
+  /// × replay seed).
+  std::size_t cell_count(std::size_t campaign_count) const {
+    return campaign_count * config_.replay_seeds.size();
+  }
+
+  /// Runs one grid cell: streams `campaign`'s replay (the trace source
+  /// matching the cell's campaign index) once through a FlowScorer and
+  /// scores every configured threshold. This is the exact computation
+  /// run() shards in-process and replay workers run out-of-process, so
+  /// the per-cell points — and any fingerprint over them — agree by
+  /// construction.
+  ReplayGridCell run_cell(const scenario::TraceSource& campaign,
+                          std::uint64_t cell_index) const;
+
   /// Sweeps every campaign × seed cell; each cell streams one replay
   /// through a FlowScorer evaluating the full threshold axes.
   ReplayGridReport run(

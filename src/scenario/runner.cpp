@@ -42,7 +42,7 @@ void sleep_seconds(double seconds) {
   std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
 }
 
-void run_cell(const GridCell& cell, CellResult& out) {
+void execute_cell(const GridCell& cell, CellResult& out) {
   out.label = cell.label;
   out.seed = cell.spec.seed;
   const auto start = std::chrono::steady_clock::now();
@@ -58,34 +58,52 @@ void run_cell(const GridCell& cell, CellResult& out) {
   out.events_executed = engine.events_executed();
 }
 
-std::string frame_path(const std::string& results_dir,
-                       std::uint64_t cell_index) {
-  return results_dir + "/" + cell_frame_filename(cell_index);
-}
+/// Binds a CampaignGrid to the generic process machinery: frames are
+/// encoded CellResults, identity is (label, seed), accepted results
+/// collect into a grid-order vector the coordinator turns into a
+/// GridReport.
+class CampaignCellJob final : public CellJob {
+ public:
+  explicit CampaignCellJob(const CampaignGrid& grid)
+      : grid_(grid), results_(grid.size()) {}
 
-/// Reads, decodes, and identity-checks one cell frame. On failure,
-/// `error` says why (missing file, wire defect, or identity mismatch).
-bool try_load_cell(const std::string& path, const GridCell& expected,
-                   CellResult& out, std::string& error) {
-  std::error_code ec;
-  if (!fs::exists(path, ec)) {
-    error = "no result frame";
-    return false;
+  std::size_t size() const override { return grid_.size(); }
+  std::string frame_filename(std::uint64_t cell_index) const override {
+    return cell_frame_filename(cell_index);
   }
-  try {
-    out = wire::decode_cell_result(read_file_bytes(path));
-  } catch (const std::exception& e) {
-    error = e.what();
-    return false;
+  std::string cell_label(std::uint64_t cell_index) const override {
+    return grid_.cells()[cell_index].label;
   }
-  if (out.label != expected.label || out.seed != expected.spec.seed) {
-    error = "frame identity mismatch: holds (" + out.label + ", seed " +
-            std::to_string(out.seed) + "), expected (" + expected.label +
-            ", seed " + std::to_string(expected.spec.seed) + ")";
-    return false;
+  std::uint64_t cell_seed(std::uint64_t cell_index) const override {
+    return grid_.cells()[cell_index].spec.seed;
   }
-  return true;
-}
+  Bytes run_cell(std::uint64_t cell_index) const override {
+    CellResult result;
+    execute_cell(grid_.cells()[cell_index], result);
+    return wire::encode_cell_result(result);
+  }
+  bool accept_frame(std::uint64_t cell_index, BytesView framed,
+                    std::string& error) override {
+    CellResult loaded = wire::decode_cell_result(framed);
+    const GridCell& expected = grid_.cells()[cell_index];
+    if (loaded.label != expected.label ||
+        loaded.seed != expected.spec.seed) {
+      error = "frame identity mismatch: holds (" + loaded.label +
+              ", seed " + std::to_string(loaded.seed) + "), expected (" +
+              expected.label + ", seed " +
+              std::to_string(expected.spec.seed) + ")";
+      return false;
+    }
+    results_[cell_index] = std::move(loaded);
+    return true;
+  }
+
+  std::vector<CellResult> take_results() { return std::move(results_); }
+
+ private:
+  const CampaignGrid& grid_;
+  std::vector<CellResult> results_;
+};
 
 std::uint64_t parse_u64(std::string_view token, std::string_view context) {
   std::uint64_t value = 0;
@@ -150,11 +168,11 @@ GridReport CampaignGrid::run(std::size_t threads, ErrorMode errors) const {
   report.threads_used = parallel_for_index(
       cells_.size(), threads, [&](std::size_t i) {
         if (errors == ErrorMode::kPropagate) {
-          run_cell(cells_[i], report.cells[i]);
+          execute_cell(cells_[i], report.cells[i]);
           return;
         }
         try {
-          run_cell(cells_[i], report.cells[i]);
+          execute_cell(cells_[i], report.cells[i]);
         } catch (const std::exception& e) {
           report.cells[i] = CellResult{};  // drop any partial fill
           report.cells[i].label = cells_[i].label;
@@ -246,16 +264,16 @@ std::string cell_frame_filename(std::uint64_t cell_index) {
   return name;
 }
 
-void run_worker_cells(const CampaignGrid& grid,
-                      const std::vector<CellAssignment>& assignments,
-                      const std::string& results_dir,
-                      const FaultPlan& faults) {
+void run_job_worker_cells(const CellJob& job,
+                          const std::vector<CellAssignment>& assignments,
+                          const std::string& results_dir,
+                          const FaultPlan& faults) {
   ONION_EXPECTS(!results_dir.empty());
   fs::create_directories(results_dir);
   for (const CellAssignment& a : assignments) {
-    ONION_EXPECTS_MSG(a.cell_index < grid.size(),
-                      "cell " << a.cell_index << " of a " << grid.size()
-                              << "-cell grid");
+    ONION_EXPECTS_MSG(a.cell_index < job.size(),
+                      "cell " << a.cell_index << " of a " << job.size()
+                              << "-cell job");
     const FaultSpec* fault = faults.match(a.cell_index, a.attempt);
     if (fault != nullptr && fault->kind == FaultSpec::Kind::kCrash) {
       // Scripted crash: die before the frame exists. _Exit skips every
@@ -269,9 +287,7 @@ void run_worker_cells(const CampaignGrid& grid,
       for (int i = 0; i < 6000; ++i) sleep_seconds(0.01);
       std::_Exit(kWorkerErrorExit);
     }
-    CellResult result;
-    run_cell(grid.cells()[a.cell_index], result);
-    Bytes framed = wire::encode_cell_result(result);
+    Bytes framed = job.run_cell(a.cell_index);
     if (fault != nullptr && fault->kind == FaultSpec::Kind::kCorrupt) {
       // Scripted corruption: flip one payload bit and publish the frame
       // under the final name — exactly the torn/bit-rotted file the
@@ -281,8 +297,17 @@ void run_worker_cells(const CampaignGrid& grid,
               wire::kFrameDigestBytes) /
                  2] ^= 0x01;
     }
-    write_file_atomic(frame_path(results_dir, a.cell_index), framed);
+    write_file_atomic(results_dir + "/" + job.frame_filename(a.cell_index),
+                      framed);
   }
+}
+
+void run_worker_cells(const CampaignGrid& grid,
+                      const std::vector<CellAssignment>& assignments,
+                      const std::string& results_dir,
+                      const FaultPlan& faults) {
+  CampaignCellJob job(grid);
+  run_job_worker_cells(job, assignments, results_dir, faults);
 }
 
 // --------------------------------------------------------------------
@@ -315,41 +340,62 @@ std::string describe_exit(const WorkerProc& w, double timeout_seconds) {
   return "worker ended abnormally";
 }
 
-}  // namespace
-
-GridCoordinator::GridCoordinator(const CampaignGrid& grid,
-                                 GridCoordinatorConfig config)
-    : grid_(grid), config_(std::move(config)) {
-  ONION_EXPECTS(!config_.results_dir.empty());
-  ONION_EXPECTS(config_.workers >= 1);
-  ONION_EXPECTS(config_.max_attempts >= 1);
-  ONION_EXPECTS(config_.cell_timeout_seconds > 0.0);
-  ONION_EXPECTS(config_.poll_interval_seconds > 0.0);
+/// Reads and accepts one cell frame. On failure, `error` says why
+/// (missing file, wire defect, or the job's identity rejection).
+bool try_accept_frame(CellJob& job, const std::string& path,
+                      std::uint64_t cell_index, std::string& error) {
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    error = "no result frame";
+    return false;
+  }
+  try {
+    return job.accept_frame(cell_index, read_file_bytes(path), error);
+  } catch (const std::exception& e) {
+    error = e.what();
+    return false;
+  }
 }
 
-GridReport GridCoordinator::run() {
+}  // namespace
+
+void validate_coordinator_config(const GridCoordinatorConfig& config) {
+  ONION_EXPECTS(!config.results_dir.empty());
+  ONION_EXPECTS(config.workers >= 1);
+  ONION_EXPECTS(config.max_attempts >= 1);
+  ONION_EXPECTS(config.cell_timeout_seconds > 0.0);
+  ONION_EXPECTS(config.poll_interval_seconds > 0.0);
+}
+
+ProcessCellCoordinator::ProcessCellCoordinator(CellJob& job,
+                                               GridCoordinatorConfig config)
+    : job_(job), config_(std::move(config)) {
+  validate_coordinator_config(config_);
+}
+
+ProcessOutcome ProcessCellCoordinator::run() {
   const auto start = std::chrono::steady_clock::now();
-  const std::vector<GridCell>& cells = grid_.cells();
-  const std::size_t n = cells.size();
+  const std::size_t n = job_.size();
   fs::create_directories(config_.results_dir);
 
-  GridReport report;
-  report.cells.resize(n);
-  report.threads_used = config_.workers;
+  ProcessOutcome outcome;
+  outcome.workers = config_.workers;
 
   std::vector<std::uint64_t> attempts(n, 0);
   std::vector<std::size_t> pending;
 
-  // Checkpoint/resume: frames that decode cleanly and name the expected
-  // (label, seed) are final results; anything else (missing, truncated,
+  const auto frame_path = [&](std::uint64_t cell_index) {
+    return config_.results_dir + "/" + job_.frame_filename(cell_index);
+  };
+
+  // Checkpoint/resume: frames that decode cleanly and pass the job's
+  // identity check are final results; anything else (missing, truncated,
   // corrupt, stale identity) is removed and re-run.
   for (std::size_t i = 0; i < n; ++i) {
-    const std::string path = frame_path(config_.results_dir, i);
-    CellResult loaded;
+    const std::string path = frame_path(i);
     std::string error;
-    if (try_load_cell(path, cells[i], loaded, error)) {
-      report.cells[i] = std::move(loaded);
-      ++report.resumed_cells;
+    if (try_accept_frame(job_, path, i, error)) {
+      ++outcome.resumed_cells;
     } else {
       std::error_code ec;
       fs::remove(path, ec);  // invalid leftovers must not mask progress
@@ -370,14 +416,14 @@ GridReport GridCoordinator::run() {
     for (WorkerProc& w : workers) {
       const pid_t pid = ::fork();
       if (pid < 0)
-        throw std::runtime_error("GridCoordinator: fork failed");
+        throw std::runtime_error("ProcessCellCoordinator: fork failed");
       if (pid == 0) {
         // Child: run the assigned subset and leave without touching the
         // parent's state (no destructors, no flushes of inherited
         // buffers). The identical loop serves the gridworker binary.
         try {
-          run_worker_cells(grid_, w.cells, config_.results_dir,
-                           config_.faults);
+          run_job_worker_cells(job_, w.cells, config_.results_dir,
+                               config_.faults);
         } catch (...) {
           std::_Exit(kWorkerErrorExit);
         }
@@ -397,8 +443,7 @@ GridReport GridCoordinator::run() {
         if (!w.running) continue;
         std::error_code ec;
         while (w.next_unseen < w.cells.size() &&
-               fs::exists(frame_path(config_.results_dir,
-                                     w.cells[w.next_unseen].cell_index),
+               fs::exists(frame_path(w.cells[w.next_unseen].cell_index),
                           ec)) {
           ++w.next_unseen;
           w.last_progress = now;
@@ -427,13 +472,9 @@ GridReport GridCoordinator::run() {
     for (const WorkerProc& w : workers) {
       for (const CellAssignment& a : w.cells) {
         const std::size_t i = static_cast<std::size_t>(a.cell_index);
-        const std::string path = frame_path(config_.results_dir, i);
-        CellResult loaded;
+        const std::string path = frame_path(i);
         std::string error;
-        if (try_load_cell(path, cells[i], loaded, error)) {
-          report.cells[i] = std::move(loaded);
-          continue;
-        }
+        if (try_accept_frame(job_, path, i, error)) continue;
         std::error_code ec;
         fs::remove(path, ec);
         ++attempts[i];
@@ -442,14 +483,12 @@ GridReport GridCoordinator::run() {
             ")";
         if (attempts[i] >= config_.max_attempts) {
           // Quarantine: the grid degrades gracefully instead of dying.
-          report.failed_cells.push_back({i, cells[i].label,
-                                         cells[i].spec.seed, attempts[i],
-                                         cause});
-          report.cells[i].label = cells[i].label;
-          report.cells[i].seed = cells[i].spec.seed;
+          outcome.failed_cells.push_back({i, job_.cell_label(i),
+                                          job_.cell_seed(i), attempts[i],
+                                          cause});
         } else {
           next_pending.push_back(i);
-          ++report.retries;
+          ++outcome.retries;
         }
       }
     }
@@ -465,12 +504,40 @@ GridReport GridCoordinator::run() {
     }
   }
 
-  std::sort(report.failed_cells.begin(), report.failed_cells.end(),
+  std::sort(outcome.failed_cells.begin(), outcome.failed_cells.end(),
             [](const FailedCell& a, const FailedCell& b) {
               return a.cell_index < b.cell_index;
             });
+  outcome.wall_seconds = seconds_since(start);
+  return outcome;
+}
+
+GridCoordinator::GridCoordinator(const CampaignGrid& grid,
+                                 GridCoordinatorConfig config)
+    : grid_(grid), config_(std::move(config)) {
+  validate_coordinator_config(config_);
+}
+
+GridReport GridCoordinator::run() {
+  CampaignCellJob job(grid_);
+  ProcessCellCoordinator coordinator(job, config_);
+  ProcessOutcome outcome = coordinator.run();
+
+  GridReport report;
+  report.cells = job.take_results();
+  report.failed_cells = std::move(outcome.failed_cells);
+  report.threads_used = outcome.workers;
+  report.retries = outcome.retries;
+  report.resumed_cells = outcome.resumed_cells;
+  report.wall_seconds = outcome.wall_seconds;
+  // Quarantined slots keep their identity visible in the report even
+  // though no result ever landed.
+  for (const FailedCell& f : report.failed_cells) {
+    const std::size_t i = static_cast<std::size_t>(f.cell_index);
+    report.cells[i].label = grid_.cells()[i].label;
+    report.cells[i].seed = grid_.cells()[i].spec.seed;
+  }
   report.combined_fingerprint = combine_cell_fingerprints(report.cells);
-  report.wall_seconds = seconds_since(start);
   return report;
 }
 

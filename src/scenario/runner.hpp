@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "scenario/engine.hpp"
 #include "scenario/snapshot.hpp"
 #include "scenario/spec.hpp"
@@ -181,13 +182,50 @@ struct CellAssignment {
 /// directory ("cell_000042.frame").
 std::string cell_frame_filename(std::uint64_t cell_index);
 
-/// The worker loop: runs each assigned cell of `grid` in order and
-/// atomically writes its wire frame (temp + rename) into `results_dir`.
-/// Shared by forked coordinator children and the tools/gridworker
-/// binary, so both transports execute the identical code path. Scripted
-/// faults fire when (cell, attempt) matches `faults`: kCrash calls
-/// _exit, kHang blocks until killed, kCorrupt writes a frame whose
-/// digest cannot verify. Throws std::runtime_error on real I/O errors.
+/// The process-transport face of a grid: anything that can execute one
+/// cell into an encoded result frame and validate + retain a decoded
+/// frame fans out across forked worker processes. CampaignGrid binds
+/// through run_worker_cells / GridCoordinator and detection::ReplayGrid
+/// through detection/replay_proc.hpp, so the fork / timeout / retry /
+/// quarantine / resume machinery exists exactly once
+/// (ProcessCellCoordinator) instead of per cell kind.
+class CellJob {
+ public:
+  virtual ~CellJob() = default;
+
+  /// Number of cells in the grid.
+  virtual std::size_t size() const = 0;
+  /// The result-frame filename for one cell inside a results directory.
+  virtual std::string frame_filename(std::uint64_t cell_index) const = 0;
+  /// Cell identity for quarantine reports.
+  virtual std::string cell_label(std::uint64_t cell_index) const = 0;
+  virtual std::uint64_t cell_seed(std::uint64_t cell_index) const = 0;
+  /// Executes the cell and returns its complete encoded wire frame.
+  /// Worker side: runs in forked children, so it must not mutate state
+  /// the parent reads.
+  virtual Bytes run_cell(std::uint64_t cell_index) const = 0;
+  /// Decodes + identity-checks a candidate frame, retaining the result
+  /// for the job's own report on success. On failure returns false with
+  /// `error` naming the defect; decode failures may also surface as
+  /// exceptions (the coordinator treats a throw as rejection).
+  virtual bool accept_frame(std::uint64_t cell_index, BytesView framed,
+                            std::string& error) = 0;
+};
+
+/// The generic worker loop: runs each assigned cell of `job` in order
+/// and atomically writes its wire frame (temp + rename) into
+/// `results_dir`. Shared by forked coordinator children and the
+/// tools/gridworker binary, so both transports execute the identical
+/// code path. Scripted faults fire when (cell, attempt) matches
+/// `faults`: kCrash calls _exit, kHang blocks until killed, kCorrupt
+/// writes a frame whose digest cannot verify. Throws on real I/O
+/// errors.
+void run_job_worker_cells(const CellJob& job,
+                          const std::vector<CellAssignment>& assignments,
+                          const std::string& results_dir,
+                          const FaultPlan& faults = {});
+
+/// CampaignGrid convenience over run_job_worker_cells.
 void run_worker_cells(const CampaignGrid& grid,
                       const std::vector<CellAssignment>& assignments,
                       const std::string& results_dir,
@@ -210,6 +248,46 @@ struct GridCoordinatorConfig {
   double poll_interval_seconds = 0.01;  // results-dir progress polling
   /// Deterministic fault injection, inherited by forked workers.
   FaultPlan faults;
+};
+
+/// Validates the shared coordinator knobs (results_dir non-empty,
+/// workers / max_attempts >= 1, positive timeout and poll interval);
+/// throws ContractViolation on a bad config. Every coordinator front
+/// end calls this at construction so misconfiguration fails before any
+/// fork.
+void validate_coordinator_config(const GridCoordinatorConfig& config);
+
+/// Process-level bookkeeping of one coordinated run, cell-kind
+/// agnostic; the job's own report carries the decoded results.
+struct ProcessOutcome {
+  std::vector<FailedCell> failed_cells;  // cell-index order
+  std::uint64_t retries = 0;             // cell re-executions scheduled
+  std::uint64_t resumed_cells = 0;       // valid frames skipped on resume
+  std::uint64_t workers = 0;             // workers configured
+  double wall_seconds = 0.0;
+};
+
+/// The generic crash-tolerant coordinator: fans any CellJob across
+/// forked worker processes over the results-directory file transport.
+/// Each round partitions the outstanding cells round-robin across up to
+/// `workers` children running run_job_worker_cells; a worker stuck past
+/// cell_timeout_seconds without landing its next frame is killed and
+/// its unfinished cells rejoin the queue; failed / timed-out / corrupt
+/// cells retry with bounded exponential backoff up to max_attempts
+/// executions, then quarantine into the outcome's failed_cells; an
+/// existing results directory is a checkpoint — frames the job accepts
+/// are resumed, not re-run, and invalid leftovers are removed first.
+class ProcessCellCoordinator {
+ public:
+  ProcessCellCoordinator(CellJob& job, GridCoordinatorConfig config);
+
+  /// Runs (or resumes) every cell to completion or quarantine,
+  /// delivering accepted results into the job via accept_frame.
+  ProcessOutcome run();
+
+ private:
+  CellJob& job_;
+  GridCoordinatorConfig config_;
 };
 
 /// Fans a CampaignGrid across forked worker processes and merges the

@@ -33,6 +33,84 @@ auto decode_payload(const char* what, Fn&& fn) {
   }
 }
 
+detection::ReplayGridPoint read_replay_point(ByteReader& r) {
+  detection::ReplayGridPoint p;
+  p.campaign = static_cast<std::size_t>(r.u64());
+  p.replay_seed = r.u64();
+  p.detector = r.str();
+  p.params = r.str();
+  p.flows = r.u64();
+  p.flagged = static_cast<std::size_t>(r.u64());
+  p.true_positives = static_cast<std::size_t>(r.u64());
+  p.false_positives = static_cast<std::size_t>(r.u64());
+  p.tpr = r.f64();
+  p.fpr = r.f64();
+  const std::uint64_t families = r.u64();
+  p.families.reserve(static_cast<std::size_t>(families));
+  for (std::uint64_t i = 0; i < families; ++i) {
+    detection::RocFamilyCount f;
+    f.family = r.str();
+    f.flagged = static_cast<std::size_t>(r.u64());
+    f.population = static_cast<std::size_t>(r.u64());
+    p.families.push_back(std::move(f));
+  }
+  return p;
+}
+
+/// Points travel length-prefixed (like snapshots in a CellResult):
+/// the canonical point encoding detection::serialize produces is what
+/// fingerprints hash, and the prefix keeps the frame decodable without
+/// touching that layout.
+void put_replay_points(
+    Bytes& out, const std::vector<detection::ReplayGridPoint>& points) {
+  put_u64(out, points.size());
+  for (const detection::ReplayGridPoint& p : points) {
+    const Bytes encoded = detection::serialize(p);
+    put_u64(out, encoded.size());
+    append(out, encoded);
+  }
+}
+
+std::vector<detection::ReplayGridPoint> read_replay_points(ByteReader& r) {
+  std::vector<detection::ReplayGridPoint> points;
+  const std::uint64_t count = r.u64();
+  points.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t len = r.u64();
+    ByteReader point_reader(r.raw(static_cast<std::size_t>(len)));
+    points.push_back(read_replay_point(point_reader));
+    if (!point_reader.done()) bad("replay point: trailing bytes");
+  }
+  return points;
+}
+
+void put_failed_cells(Bytes& out, const std::vector<FailedCell>& failed) {
+  put_u64(out, failed.size());
+  for (const FailedCell& cell : failed) {
+    put_u64(out, cell.cell_index);
+    put_string(out, cell.label);
+    put_u64(out, cell.seed);
+    put_u64(out, cell.attempts);
+    put_string(out, cell.error);
+  }
+}
+
+std::vector<FailedCell> read_failed_cells(ByteReader& r) {
+  std::vector<FailedCell> failed;
+  const std::uint64_t count = r.u64();
+  failed.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    FailedCell cell;
+    cell.cell_index = r.u64();
+    cell.label = r.str();
+    cell.seed = r.u64();
+    cell.attempts = r.u64();
+    cell.error = r.str();
+    failed.push_back(std::move(cell));
+  }
+  return failed;
+}
+
 CellResult read_cell_result(ByteReader& r) {
   CellResult cell;
   cell.label = r.str();
@@ -94,14 +172,7 @@ Bytes serialize(const GridReport& report) {
     put_u64(out, encoded.size());
     append(out, encoded);
   }
-  put_u64(out, report.failed_cells.size());
-  for (const FailedCell& failed : report.failed_cells) {
-    put_u64(out, failed.cell_index);
-    put_string(out, failed.label);
-    put_u64(out, failed.seed);
-    put_u64(out, failed.attempts);
-    put_string(out, failed.error);
-  }
+  put_failed_cells(out, report.failed_cells);
   put_string(out, report.combined_fingerprint);
   put_u64(out, report.threads_used);    // informational from here down
   put_f64(out, report.wall_seconds);
@@ -122,17 +193,7 @@ GridReport deserialize_grid_report(BytesView payload) {
       report.cells.push_back(read_cell_result(cell_reader));
       if (!cell_reader.done()) bad("grid-report payload: trailing cell bytes");
     }
-    const std::uint64_t failed = r.u64();
-    report.failed_cells.reserve(static_cast<std::size_t>(failed));
-    for (std::uint64_t i = 0; i < failed; ++i) {
-      FailedCell cell;
-      cell.cell_index = r.u64();
-      cell.label = r.str();
-      cell.seed = r.u64();
-      cell.attempts = r.u64();
-      cell.error = r.str();
-      report.failed_cells.push_back(std::move(cell));
-    }
+    report.failed_cells = read_failed_cells(r);
     report.combined_fingerprint = r.str();
     report.threads_used = r.u64();
     report.wall_seconds = r.f64();
@@ -140,6 +201,67 @@ GridReport deserialize_grid_report(BytesView payload) {
     report.resumed_cells = r.u64();
     if (!r.done()) bad("grid-report payload: trailing bytes");
     return report;
+  });
+}
+
+Bytes serialize(const detection::ReplayGridCell& cell) {
+  Bytes out;
+  put_u64(out, cell.cell_index);
+  put_u64(out, cell.campaign);
+  put_u64(out, cell.replay_seed);
+  put_replay_points(out, cell.points);
+  put_f64(out, cell.wall_seconds);  // informational: see header contract
+  return out;
+}
+
+detection::ReplayGridCell deserialize_replay_cell(BytesView payload) {
+  return decode_payload("replay-cell payload", [&] {
+    ByteReader r(payload);
+    detection::ReplayGridCell cell;
+    cell.cell_index = r.u64();
+    cell.campaign = r.u64();
+    cell.replay_seed = r.u64();
+    cell.points = read_replay_points(r);
+    cell.wall_seconds = r.f64();
+    if (!r.done()) bad("replay-cell payload: trailing bytes");
+    return cell;
+  });
+}
+
+Bytes serialize(const detection::ReplayGridReport& report) {
+  Bytes out;
+  put_replay_points(out, report.points);
+  put_failed_cells(out, report.failed_cells);
+  put_string(out, report.fingerprint);
+  put_u64(out, report.threads_used);  // informational from here down
+  put_f64(out, report.wall_seconds);
+  put_u64(out, report.retries);
+  put_u64(out, report.resumed_cells);
+  return out;
+}
+
+detection::ReplayGridReport deserialize_replay_report(BytesView payload) {
+  return decode_payload("replay-report payload", [&] {
+    ByteReader r(payload);
+    detection::ReplayGridReport report;
+    report.points = read_replay_points(r);
+    report.failed_cells = read_failed_cells(r);
+    report.fingerprint = r.str();
+    report.threads_used = static_cast<std::size_t>(r.u64());
+    report.wall_seconds = r.f64();
+    report.retries = r.u64();
+    report.resumed_cells = r.u64();
+    if (!r.done()) bad("replay-report payload: trailing bytes");
+    return report;
+  });
+}
+
+detection::ReplayGridPoint deserialize_replay_point(BytesView encoded) {
+  return decode_payload("replay point", [&] {
+    ByteReader r(encoded);
+    detection::ReplayGridPoint p = read_replay_point(r);
+    if (!r.done()) bad("replay point: trailing bytes");
+    return p;
   });
 }
 
@@ -236,6 +358,22 @@ Bytes encode_grid_report(const GridReport& report) {
 
 GridReport decode_grid_report(BytesView framed) {
   return deserialize_grid_report(unframe(kGridReportMagic, framed));
+}
+
+Bytes encode_replay_cell(const detection::ReplayGridCell& cell) {
+  return frame(kReplayCellMagic, serialize(cell));
+}
+
+detection::ReplayGridCell decode_replay_cell(BytesView framed) {
+  return deserialize_replay_cell(unframe(kReplayCellMagic, framed));
+}
+
+Bytes encode_replay_report(const detection::ReplayGridReport& report) {
+  return frame(kReplayReportMagic, serialize(report));
+}
+
+detection::ReplayGridReport decode_replay_report(BytesView framed) {
+  return deserialize_replay_report(unframe(kReplayReportMagic, framed));
 }
 
 }  // namespace onion::scenario::wire

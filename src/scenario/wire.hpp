@@ -23,6 +23,11 @@
 //   GridReport::threads_used
 //   GridReport::retries
 //   GridReport::resumed_cells
+//   detection::ReplayGridCell::wall_seconds
+//   detection::ReplayGridReport::wall_seconds
+//   detection::ReplayGridReport::threads_used
+//   detection::ReplayGridReport::retries
+//   detection::ReplayGridReport::resumed_cells
 //
 // A cell fingerprint hashes only the snapshot stream, and the combined
 // fingerprint hashes only the sorted completed-cell fingerprints
@@ -38,6 +43,7 @@
 #include <string>
 
 #include "common/bytes.hpp"
+#include "detection/replay_grid.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/snapshot.hpp"
 
@@ -52,6 +58,13 @@ inline constexpr bool kInformationalFieldsEnterFingerprints = false;
 /// a grid-report frame can never decode as a cell result or vice versa.
 inline constexpr std::uint64_t kCellResultMagic = 0x4f4243454c4c0001ull;
 inline constexpr std::uint64_t kGridReportMagic = 0x4f42475249440001ull;
+/// Replay-grid frames ("OBRCEL\x00\x01" / "OBRGRD\x00\x01"): the
+/// multi-process replay transport (detection/replay_proc.hpp) ships one
+/// ReplayGridCell frame per (campaign, seed) cell and persists the
+/// merged ReplayGridReport — distinct magics keep a replay frame from
+/// ever decoding as a campaign frame.
+inline constexpr std::uint64_t kReplayCellMagic = 0x4f425243454c0001ull;
+inline constexpr std::uint64_t kReplayReportMagic = 0x4f42524752440001ull;
 
 /// The wire schema version; decoders reject anything else so a frame
 /// from a future layout fails loudly instead of misparsing.
@@ -77,11 +90,22 @@ CellResult deserialize_cell_result(BytesView payload);
 Bytes serialize(const GridReport& report);
 GridReport deserialize_grid_report(BytesView payload);
 
+Bytes serialize(const detection::ReplayGridCell& cell);
+detection::ReplayGridCell deserialize_replay_cell(BytesView payload);
+
+Bytes serialize(const detection::ReplayGridReport& report);
+detection::ReplayGridReport deserialize_replay_report(BytesView payload);
+
 /// Inverse of scenario::serialize(MetricsSnapshot): consumes the exact
 /// canonical encoding, including the conditional trailing
 /// wave_takedowns block (present iff bytes remain). Round-trips every
 /// snapshot bit-for-bit.
 MetricsSnapshot deserialize_snapshot(BytesView encoded);
+
+/// Inverse of detection::serialize(ReplayGridPoint): round-trips every
+/// point bit-for-bit (doubles bit-cast), so a fingerprint recomputed
+/// from decoded frames equals one computed from the original points.
+detection::ReplayGridPoint deserialize_replay_point(BytesView encoded);
 
 // --- framing ---------------------------------------------------------
 
@@ -98,5 +122,13 @@ CellResult decode_cell_result(BytesView framed);
 /// frame(kGridReportMagic, serialize(report)) and its inverse.
 Bytes encode_grid_report(const GridReport& report);
 GridReport decode_grid_report(BytesView framed);
+
+/// frame(kReplayCellMagic, serialize(cell)) and its inverse.
+Bytes encode_replay_cell(const detection::ReplayGridCell& cell);
+detection::ReplayGridCell decode_replay_cell(BytesView framed);
+
+/// frame(kReplayReportMagic, serialize(report)) and its inverse.
+Bytes encode_replay_report(const detection::ReplayGridReport& report);
+detection::ReplayGridReport decode_replay_report(BytesView framed);
 
 }  // namespace onion::scenario::wire

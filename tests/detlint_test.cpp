@@ -416,6 +416,27 @@ TEST(DetlintD5, MatchingManifestIsClean) {
   EXPECT_TRUE(violations(r, "D5").empty()) << r.diagnostics.size();
 }
 
+TEST(DetlintD5, QualifiedMemberFunctionDeclarationIsNotAField) {
+  // `void write_csv(...) const;` must parse as a member-function
+  // declaration, not a data member named `const`: keywords tokenize as
+  // identifiers, so without the trailing-qualifier strip the name scan
+  // reported the qualifier and demanded a bogus manifest entry.
+  const char* header = R"(
+#include <cstdint>
+#include <cstdio>
+struct MetricsSnapshot {
+  std::uint64_t time = 0;
+  void write_csv(std::FILE* out) const;
+  MetricsSnapshot& canonical() & noexcept;
+  bool merged() const noexcept;
+};
+)";
+  const LintResult r = lint_files({{"src/scenario/snapshot.hpp", header}},
+                                  d5_config("MetricsSnapshot.time\n"));
+  EXPECT_TRUE(violations(r, "D5").empty())
+      << violations(r, "D5").front().message;
+}
+
 TEST(DetlintD5, UnlistedFieldFires) {
   const LintResult r = lint_files(
       d5_files(), d5_config("MetricsSnapshot.time\n"

@@ -1,0 +1,297 @@
+// gridworker's argument layer (tools/gridworker/cli.hpp): the strict
+// numeric parsers that replaced std::stoull/std::stod, --cells
+// deduplication, role exclusivity, the --faults/ONION_GRID_FAULTS
+// precedence, and the --replay-grid flag combinations — all driven
+// in-process, no binary forked.
+#include "tools/gridworker/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace onion::gridcli {
+namespace {
+
+using scenario::CellAssignment;
+using scenario::FaultSpec;
+
+std::string error_of(const std::vector<std::string>& args,
+                     const char* env = nullptr) {
+  try {
+    parse_args(args, env);
+  } catch (const CliError& e) {
+    return e.what();
+  }
+  return {};
+}
+
+// --- parse_u64: the std::stoull replacement ---------------------------
+
+TEST(ParseU64, AcceptsPlainUnsignedIntegers) {
+  EXPECT_EQ(parse_u64("0", "--workers"), 0u);
+  EXPECT_EQ(parse_u64("42", "--workers"), 42u);
+  EXPECT_EQ(parse_u64("18446744073709551615", "--workers"),
+            18446744073709551615ull);
+}
+
+TEST(ParseU64, RejectsPartialTokens) {
+  // std::stoull("3x7") returned 3 — a worker silently ran the wrong
+  // cell. The strict parser demands full consumption.
+  EXPECT_THROW(parse_u64("3x7", "--cells"), CliError);
+  EXPECT_THROW(parse_u64("12 ", "--cells"), CliError);
+  EXPECT_THROW(parse_u64("0x10", "--cells"), CliError);
+}
+
+TEST(ParseU64, RejectsSignsEmptyAndGarbage) {
+  // std::stoull("-1") wrapped to 2^64-1; from_chars on unsigned refuses
+  // the sign outright.
+  EXPECT_THROW(parse_u64("-1", "--workers"), CliError);
+  EXPECT_THROW(parse_u64("+3", "--workers"), CliError);
+  EXPECT_THROW(parse_u64("", "--workers"), CliError);
+  EXPECT_THROW(parse_u64("abc", "--workers"), CliError);
+}
+
+TEST(ParseU64, RejectsOutOfRange) {
+  EXPECT_THROW(parse_u64("18446744073709551616", "--workers"), CliError);
+}
+
+TEST(ParseU64, ErrorNamesFlagAndToken) {
+  try {
+    parse_u64("3x7", "--cells");
+    FAIL() << "expected CliError";
+  } catch (const CliError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--cells"), std::string::npos) << what;
+    EXPECT_NE(what.find("'3x7'"), std::string::npos) << what;
+  }
+}
+
+// --- parse_positive_seconds: the std::stod replacement ----------------
+
+TEST(ParsePositiveSeconds, AcceptsPositiveDurations) {
+  EXPECT_DOUBLE_EQ(parse_positive_seconds("0.5", "--timeout"), 0.5);
+  EXPECT_DOUBLE_EQ(parse_positive_seconds("120", "--timeout"), 120.0);
+  EXPECT_DOUBLE_EQ(parse_positive_seconds("1e-3", "--timeout"), 1e-3);
+}
+
+TEST(ParsePositiveSeconds, RejectsZeroNegativeAndNonFinite) {
+  EXPECT_THROW(parse_positive_seconds("0", "--timeout"), CliError);
+  EXPECT_THROW(parse_positive_seconds("-1", "--timeout"), CliError);
+  EXPECT_THROW(parse_positive_seconds("inf", "--backoff-max"), CliError);
+  EXPECT_THROW(parse_positive_seconds("nan", "--backoff-base"), CliError);
+}
+
+TEST(ParsePositiveSeconds, RejectsPartialTokensAndEmpty) {
+  EXPECT_THROW(parse_positive_seconds("1.5x", "--timeout"), CliError);
+  EXPECT_THROW(parse_positive_seconds("", "--timeout"), CliError);
+}
+
+// --- parse_cells: strict parsing + deduplication ----------------------
+
+TEST(ParseCells, ParsesIndicesWithOptionalAttempts) {
+  std::vector<std::string> warnings;
+  const std::vector<CellAssignment> cells =
+      parse_cells("0,3:1,5", warnings);
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0].cell_index, 0u);
+  EXPECT_EQ(cells[0].attempt, 0u);
+  EXPECT_EQ(cells[1].cell_index, 3u);
+  EXPECT_EQ(cells[1].attempt, 1u);
+  EXPECT_EQ(cells[2].cell_index, 5u);
+  EXPECT_TRUE(warnings.empty());
+}
+
+TEST(ParseCells, RejectsMalformedEntries) {
+  std::vector<std::string> warnings;
+  EXPECT_THROW(parse_cells("3x7", warnings), CliError);
+  EXPECT_THROW(parse_cells("0,,5", warnings), CliError);
+  EXPECT_THROW(parse_cells("3:", warnings), CliError);
+  EXPECT_THROW(parse_cells("-1", warnings), CliError);
+}
+
+TEST(ParseCells, DeduplicatesKeepingHighestAttemptAndWarns) {
+  // Two assignments for one index would race on the same frame path.
+  std::vector<std::string> warnings;
+  const std::vector<CellAssignment> cells =
+      parse_cells("2:1,7,2:3,2", warnings);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].cell_index, 2u);
+  EXPECT_EQ(cells[0].attempt, 3u);  // max of 1, 3, 0
+  EXPECT_EQ(cells[1].cell_index, 7u);
+  ASSERT_EQ(warnings.size(), 2u);  // one warning per duplicate entry
+  EXPECT_NE(warnings[0].find("cell 2"), std::string::npos);
+}
+
+// --- parse_args: roles, numeric routing, combinations -----------------
+
+TEST(ParseArgs, ExactlyOneRoleRequired) {
+  EXPECT_NE(error_of({"--grid", "small8", "--results-dir", "d"}), "");
+  const std::string two = error_of(
+      {"--coordinate", "--worker", "--grid", "small8", "--results-dir", "d"});
+  EXPECT_NE(two.find("--coordinate"), std::string::npos) << two;
+  EXPECT_NE(two.find("--worker"), std::string::npos) << two;
+}
+
+TEST(ParseArgs, NumericFlagsRouteThroughStrictParsers) {
+  const std::vector<std::string> base = {"--coordinate", "--grid", "small8",
+                                         "--results-dir", "d"};
+  auto with = [&](const std::string& flag, const std::string& value) {
+    std::vector<std::string> args = base;
+    args.push_back(flag);
+    args.push_back(value);
+    return error_of(args);
+  };
+  EXPECT_NE(with("--workers", "-1").find("'-1'"), std::string::npos);
+  EXPECT_NE(with("--workers", "4q").find("'4q'"), std::string::npos);
+  EXPECT_NE(with("--max-attempts", "3x7").find("'3x7'"), std::string::npos);
+  EXPECT_NE(with("--timeout", "0").find("--timeout"), std::string::npos);
+  EXPECT_NE(with("--timeout", "-5").find("--timeout"), std::string::npos);
+  EXPECT_NE(with("--backoff-base", "0").find("--backoff-base"),
+            std::string::npos);
+  EXPECT_NE(with("--backoff-max", "-0.5").find("--backoff-max"),
+            std::string::npos);
+  EXPECT_EQ(with("--workers", "4"), "");
+}
+
+TEST(ParseArgs, WorkersAndMaxAttemptsRequireAtLeastOne) {
+  EXPECT_NE(error_of({"--coordinate", "--grid", "small8", "--results-dir",
+                      "d", "--workers", "0"}),
+            "");
+  EXPECT_NE(error_of({"--coordinate", "--grid", "small8", "--results-dir",
+                      "d", "--max-attempts", "0"}),
+            "");
+}
+
+TEST(ParseArgs, FaultsFlagWinsOverEnvironment) {
+  const Options options = parse_args(
+      {"--worker", "--grid", "small8", "--results-dir", "d", "--cells", "0",
+       "--faults", "crash@2:0"},
+      "hang@5:1");
+  const FaultSpec* f = options.config.faults.match(2, 0);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->kind, FaultSpec::Kind::kCrash);
+  EXPECT_EQ(options.config.faults.match(5, 1), nullptr);
+}
+
+TEST(ParseArgs, EnvironmentFaultsApplyWhenFlagAbsent) {
+  const Options options = parse_args(
+      {"--worker", "--grid", "small8", "--results-dir", "d", "--cells", "0"},
+      "hang@5:1");
+  EXPECT_FALSE(options.config.faults.empty());
+  EXPECT_NE(options.config.faults.match(5, 1), nullptr);
+}
+
+TEST(ParseArgs, BadFaultsNameTheirSource) {
+  const std::string flag_error =
+      error_of({"--worker", "--grid", "g", "--results-dir", "d", "--cells",
+                "0", "--faults", "bogus"});
+  EXPECT_NE(flag_error.find("--faults"), std::string::npos) << flag_error;
+  const std::string env_error = error_of(
+      {"--worker", "--grid", "g", "--results-dir", "d", "--cells", "0"},
+      "bogus");
+  EXPECT_NE(env_error.find("ONION_GRID_FAULTS"), std::string::npos)
+      << env_error;
+}
+
+TEST(ParseArgs, EnvironmentFaultsIgnoredByNonExecutingRoles) {
+  // A stale ONION_GRID_FAULTS must not break --list-grids/--show-report.
+  EXPECT_EQ(error_of({"--list-grids"}, "bogus"), "");
+  EXPECT_EQ(error_of({"--show-report", "--results-dir", "d"}, "bogus"), "");
+}
+
+TEST(ParseArgs, WorkerNeedsNonEmptyCells) {
+  EXPECT_NE(error_of({"--worker", "--grid", "small8", "--results-dir", "d"}),
+            "");
+  EXPECT_NE(error_of({"--coordinate", "--grid", "small8", "--results-dir",
+                      "d", "--cells", "0"}),
+            "");  // --cells only applies to --worker
+}
+
+// --- --replay-grid combinations ---------------------------------------
+
+TEST(ParseArgs, ReplayGridCoordinateParses) {
+  const Options options = parse_args(
+      {"--replay-grid", "--coordinate", "--trace", "a.otrace", "--trace",
+       "b.otrace", "--replay-seeds", "1,2,3,4", "--results-dir", "d",
+       "--workers", "4"},
+      nullptr);
+  EXPECT_EQ(options.role, Role::kCoordinate);
+  EXPECT_TRUE(options.replay_grid);
+  ASSERT_EQ(options.traces.size(), 2u);
+  EXPECT_EQ(options.traces[0], "a.otrace");
+  EXPECT_EQ(options.replay_seeds,
+            (std::vector<std::uint64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(options.config.workers, 4u);
+  EXPECT_EQ(options.config.results_dir, "d");
+}
+
+TEST(ParseArgs, ReplayGridExcludesNamedGrids) {
+  const std::string e =
+      error_of({"--replay-grid", "--coordinate", "--grid", "small8",
+                "--trace", "a.otrace", "--results-dir", "d"});
+  EXPECT_NE(e.find("--replay-grid"), std::string::npos) << e;
+}
+
+TEST(ParseArgs, ReplayGridNeedsATrace) {
+  EXPECT_NE(
+      error_of({"--replay-grid", "--coordinate", "--results-dir", "d"}), "");
+}
+
+TEST(ParseArgs, ReplayFlagsRequireReplayGrid) {
+  EXPECT_NE(error_of({"--coordinate", "--grid", "small8", "--results-dir",
+                      "d", "--trace", "a.otrace"}),
+            "");
+  EXPECT_NE(error_of({"--coordinate", "--grid", "small8", "--results-dir",
+                      "d", "--replay-seeds", "1,2"}),
+            "");
+}
+
+TEST(ParseArgs, MergeIsAReplayGridMode) {
+  EXPECT_NE(error_of({"--merge", "--results-dir", "d"}), "");
+  const Options options = parse_args(
+      {"--replay-grid", "--merge", "--trace", "a.otrace", "--results-dir",
+       "d"},
+      nullptr);
+  EXPECT_EQ(options.role, Role::kMerge);
+}
+
+TEST(ParseArgs, ReplaySeedsRejectMalformedLists) {
+  const std::vector<std::string> base = {"--replay-grid", "--coordinate",
+                                         "--trace", "a.otrace",
+                                         "--results-dir", "d"};
+  auto with_seeds = [&](const std::string& seeds) {
+    std::vector<std::string> args = base;
+    args.push_back("--replay-seeds");
+    args.push_back(seeds);
+    return error_of(args);
+  };
+  EXPECT_NE(with_seeds("1,-2"), "");
+  EXPECT_NE(with_seeds("1,,3"), "");
+  EXPECT_NE(with_seeds("1,2x"), "");
+  EXPECT_EQ(with_seeds("1,2,3"), "");
+}
+
+TEST(ParseArgs, RecordTraceNeedsAGrid) {
+  EXPECT_NE(error_of({"--record-trace", "t.otrace"}), "");
+  const Options options = parse_args(
+      {"--record-trace", "t.otrace", "--grid", "small8", "--cell", "3"},
+      nullptr);
+  EXPECT_EQ(options.role, Role::kRecordTrace);
+  EXPECT_EQ(options.record_trace_path, "t.otrace");
+  EXPECT_EQ(options.record_cell, 3u);
+}
+
+TEST(ParseArgs, HelpShortCircuits) {
+  EXPECT_EQ(parse_args({"--help"}, nullptr).role, Role::kHelp);
+  EXPECT_EQ(parse_args({"-h", "--bogus-never-parsed"}, nullptr).role,
+            Role::kHelp);
+}
+
+TEST(ParseArgs, UnknownArgumentAndMissingValueAreErrors) {
+  EXPECT_NE(error_of({"--bogus"}), "");
+  EXPECT_NE(error_of({"--coordinate", "--grid"}), "");
+}
+
+}  // namespace
+}  // namespace onion::gridcli

@@ -9,12 +9,16 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/fileio.hpp"
+#include "detection/replay_proc.hpp"
+#include "scenario/engine.hpp"
 #include "scenario/runner.hpp"
+#include "scenario/trace_io.hpp"
 #include "scenario/wire.hpp"
 
 namespace onion::scenario {
@@ -210,6 +214,212 @@ TEST(GridProcess, CoordinatorConfigIsValidated) {
   config = fast_config(fresh_dir("validate2"));
   config.max_attempts = 0;
   EXPECT_THROW(GridCoordinator(grid, config), ContractViolation);
+}
+
+// ====================================================================
+// Replay grids out-of-process: detection/replay_proc.hpp over recorded
+// trace files. Same fault machinery, same invariant — the merged
+// fingerprint is byte-identical to in-process ReplayGrid::run.
+// ====================================================================
+
+detection::ReplayGridConfig tiny_replay_config() {
+  detection::ReplayGridConfig config;
+  config.replay_seeds = {1, 2};
+  config.replay.benign_web = 40;
+  config.replay.benign_tor = 10;
+  config.flow_size_cv = {0.25, 0.5};
+  config.flow_gap_cv = {0.45, 1.0};
+  config.tor_min_flows = {1, 10};
+  config.threads = 2;
+  return config;
+}
+
+/// Records one tiny campaign as a streamed trace file under `dir`.
+std::string record_tiny_trace(const std::string& dir, std::uint64_t seed) {
+  fs::create_directories(dir);
+  const std::string path =
+      dir + "/campaign_" + std::to_string(seed) + ".otrace";
+  trace_io::TraceWriter writer(path);
+  CampaignEngine engine(tiny_spec(seed), writer, &writer);
+  engine.run();
+  writer.finish();
+  return path;
+}
+
+struct RecordedCampaigns {
+  std::vector<std::unique_ptr<trace_io::TraceReader>> readers;
+  std::vector<const TraceSource*> sources;
+};
+
+RecordedCampaigns open_tiny_traces(const std::string& dir,
+                                   std::size_t count) {
+  RecordedCampaigns campaigns;
+  for (std::size_t seed = 0; seed < count; ++seed) {
+    campaigns.readers.push_back(std::make_unique<trace_io::TraceReader>(
+        record_tiny_trace(dir, seed)));
+    campaigns.sources.push_back(campaigns.readers.back().get());
+  }
+  return campaigns;
+}
+
+TEST(ReplayProcess, CrashInjectedCoordinatorMatchesInProcessFingerprint) {
+  const std::string dir = fresh_dir("replay_match");
+  const RecordedCampaigns campaigns = open_tiny_traces(dir, 2);
+  const detection::ReplayGrid grid(tiny_replay_config());
+  const detection::ReplayGridReport in_process =
+      grid.run(campaigns.sources);
+
+  GridCoordinatorConfig config = fast_config(dir + "/results");
+  config.workers = 4;
+  config.faults = FaultPlan::parse("crash@1:0");
+  detection::ReplayGridCoordinator coordinator(grid, campaigns.sources,
+                                               config);
+  const detection::ReplayGridReport merged = coordinator.run();
+
+  EXPECT_TRUE(merged.failed_cells.empty());
+  EXPECT_GE(merged.retries, 1u);
+  EXPECT_EQ(merged.resumed_cells, 0u);
+  ASSERT_EQ(merged.points.size(), in_process.points.size());
+  // Byte-identical points at every index, not just an equal digest.
+  for (std::size_t i = 0; i < merged.points.size(); ++i)
+    EXPECT_EQ(detection::serialize(merged.points[i]),
+              detection::serialize(in_process.points[i]));
+  EXPECT_EQ(merged.fingerprint, in_process.fingerprint);
+}
+
+TEST(ReplayProcess, ResumeReRunsOnlyTheCorruptedFrame) {
+  const std::string dir = fresh_dir("replay_repair");
+  const RecordedCampaigns campaigns = open_tiny_traces(dir, 2);
+  const detection::ReplayGrid grid(tiny_replay_config());
+  const std::string results = dir + "/results";
+
+  const detection::ReplayGridReport first =
+      detection::ReplayGridCoordinator(grid, campaigns.sources,
+                                       fast_config(results))
+          .run();
+  const std::size_t cells = grid.cell_count(campaigns.sources.size());
+  std::vector<Bytes> before;
+  for (std::uint64_t i = 0; i < cells; ++i)
+    before.push_back(read_file_bytes(
+        results + "/" + detection::replay_cell_frame_filename(i)));
+  Bytes corrupt = before[2];
+  corrupt[wire::kFrameHeaderBytes + 10] ^= 0x40;
+  write_file_atomic(
+      results + "/" + detection::replay_cell_frame_filename(2), corrupt);
+
+  const detection::ReplayGridReport repaired =
+      detection::ReplayGridCoordinator(grid, campaigns.sources,
+                                       fast_config(results))
+          .run();
+  EXPECT_EQ(repaired.resumed_cells, cells - 1);
+  EXPECT_TRUE(repaired.failed_cells.empty());
+  EXPECT_EQ(repaired.fingerprint, first.fingerprint);
+  for (std::uint64_t i = 0; i < cells; ++i) {
+    const Bytes after = read_file_bytes(
+        results + "/" + detection::replay_cell_frame_filename(i));
+    if (i == 2) {
+      EXPECT_NE(after, corrupt);
+      // The re-run reproduces every deterministic field; only the
+      // informational wall clock may differ.
+      const detection::ReplayGridCell rerun = wire::decode_replay_cell(after);
+      const detection::ReplayGridCell original =
+          wire::decode_replay_cell(before[2]);
+      EXPECT_EQ(rerun.cell_index, original.cell_index);
+      EXPECT_EQ(rerun.campaign, original.campaign);
+      EXPECT_EQ(rerun.replay_seed, original.replay_seed);
+      ASSERT_EQ(rerun.points.size(), original.points.size());
+      for (std::size_t k = 0; k < rerun.points.size(); ++k)
+        EXPECT_EQ(detection::serialize(rerun.points[k]),
+                  detection::serialize(original.points[k]));
+    } else {
+      EXPECT_EQ(after, before[i]) << "frame " << i << " was rewritten";
+    }
+  }
+}
+
+TEST(ReplayProcess, HandShardedWorkersThenMergeOnlyReproduceTheRun) {
+  // The multi-host recipe: two disjoint --cells shards over the same
+  // shared trace file, then a merge-only pass that executes nothing.
+  const std::string dir = fresh_dir("replay_shards");
+  const RecordedCampaigns campaigns = open_tiny_traces(dir, 2);
+  const detection::ReplayGrid grid(tiny_replay_config());
+  const std::string results = dir + "/results";
+
+  detection::run_replay_worker_cells(grid, campaigns.sources,
+                                     {{0, 0}, {2, 0}}, results);
+  detection::run_replay_worker_cells(grid, campaigns.sources,
+                                     {{1, 0}, {3, 0}}, results);
+  const detection::ReplayGridReport merged = detection::merge_replay_frames(
+      grid, campaigns.sources.size(), results);
+
+  EXPECT_TRUE(merged.failed_cells.empty());
+  EXPECT_EQ(merged.fingerprint, grid.run(campaigns.sources).fingerprint);
+  EXPECT_EQ(detection::combine_replay_points(merged.points),
+            merged.fingerprint);
+}
+
+TEST(ReplayProcess, MergeReportsMissingFramesWithoutExecuting) {
+  const std::string dir = fresh_dir("replay_partial");
+  const RecordedCampaigns campaigns = open_tiny_traces(dir, 1);
+  const detection::ReplayGrid grid(tiny_replay_config());
+  const std::string results = dir + "/results";
+
+  detection::run_replay_worker_cells(grid, campaigns.sources, {{1, 0}},
+                                     results);
+  const detection::ReplayGridReport merged = detection::merge_replay_frames(
+      grid, campaigns.sources.size(), results);
+
+  ASSERT_EQ(merged.failed_cells.size(), 1u);
+  EXPECT_EQ(merged.failed_cells[0].cell_index, 0u);
+  EXPECT_EQ(merged.failed_cells[0].attempts, 0u);
+  EXPECT_EQ(merged.failed_cells[0].error, "no result frame");
+  // The partial fingerprint covers exactly the completed cell's slice
+  // of the in-process grid, in order.
+  const detection::ReplayGridReport in_process =
+      grid.run(campaigns.sources);
+  const std::size_t ppc = grid.points_per_cell();
+  const std::vector<detection::ReplayGridPoint> survivors(
+      in_process.points.begin() + static_cast<std::ptrdiff_t>(ppc),
+      in_process.points.begin() + static_cast<std::ptrdiff_t>(2 * ppc));
+  EXPECT_EQ(merged.fingerprint,
+            detection::combine_replay_points(survivors));
+}
+
+TEST(ReplayProcess, PermanentCrashQuarantinesTheReplayCell) {
+  const std::string dir = fresh_dir("replay_quarantine");
+  const RecordedCampaigns campaigns = open_tiny_traces(dir, 1);
+  const detection::ReplayGrid grid(tiny_replay_config());
+
+  GridCoordinatorConfig config = fast_config(dir + "/results");
+  config.faults = FaultPlan::parse("crash@1:0;crash@1:1;crash@1:2");
+  const detection::ReplayGridReport merged =
+      detection::ReplayGridCoordinator(grid, campaigns.sources, config)
+          .run();
+
+  ASSERT_EQ(merged.failed_cells.size(), 1u);
+  EXPECT_EQ(merged.failed_cells[0].cell_index, 1u);
+  EXPECT_EQ(merged.failed_cells[0].label, "campaign=0,replay_seed=2");
+  EXPECT_EQ(merged.failed_cells[0].seed, 2u);
+  EXPECT_EQ(merged.failed_cells[0].attempts, config.max_attempts);
+  // Graceful degradation: the merge covers exactly cell 0's slice.
+  const detection::ReplayGridReport in_process =
+      grid.run(campaigns.sources);
+  const std::size_t ppc = grid.points_per_cell();
+  const std::vector<detection::ReplayGridPoint> survivors(
+      in_process.points.begin(),
+      in_process.points.begin() + static_cast<std::ptrdiff_t>(ppc));
+  EXPECT_EQ(merged.points.size(), ppc);
+  EXPECT_EQ(merged.fingerprint,
+            detection::combine_replay_points(survivors));
+}
+
+TEST(ReplayProcess, TruncatedTraceFailsAtOpenNotInAWorker) {
+  const std::string dir = fresh_dir("replay_truncated");
+  const std::string path = record_tiny_trace(dir, 0);
+  const Bytes whole = read_file_bytes(path);
+  write_file_atomic(path,
+                    Bytes(whole.begin(), whole.end() - 16));  // torn tail
+  EXPECT_THROW(trace_io::TraceReader reader(path), wire::WireError);
 }
 
 }  // namespace

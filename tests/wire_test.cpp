@@ -182,6 +182,136 @@ TEST(Wire, WallSecondsIsSerializedButNeverFingerprinted) {
             combine_cell_fingerprints({slow}));
 }
 
+// --- replay-grid frames ----------------------------------------------
+
+detection::ReplayGridPoint sample_point(std::uint64_t salt) {
+  detection::ReplayGridPoint p;
+  p.campaign = 1 + salt % 2;
+  p.replay_seed = 40 + salt;
+  p.detector = salt % 2 == 0 ? "flow-beacon" : "tor-flagger";
+  p.params = "size_cv=0.25,gap_cv=0.45";
+  p.flows = 90000 + salt;
+  p.flagged = 120 + salt;
+  p.true_positives = 100;
+  p.false_positives = 20 + salt;
+  p.tpr = 0.875;
+  p.fpr = 0.0125 + static_cast<double>(salt);
+  p.families = {{"onion", 100, 114}, {"benign_tor", 3 + salt, 40}};
+  return p;
+}
+
+detection::ReplayGridCell sample_replay_cell(std::uint64_t cell_index) {
+  detection::ReplayGridCell cell;
+  cell.cell_index = cell_index;
+  cell.campaign = cell_index / 2;
+  cell.replay_seed = 1 + cell_index % 2;
+  cell.points = {sample_point(cell_index), sample_point(cell_index + 1)};
+  cell.wall_seconds = 0.75;
+  return cell;
+}
+
+detection::ReplayGridReport sample_replay_report() {
+  detection::ReplayGridReport report;
+  report.points = {sample_point(0), sample_point(1), sample_point(2)};
+  report.fingerprint = detection::combine_replay_points(report.points);
+  report.failed_cells = {{3, "campaign=1,replay_seed=2", 2, 3,
+                          "no result frame (worker died on signal 9)"}};
+  report.threads_used = 4;
+  report.wall_seconds = 1.5;
+  report.retries = 2;
+  report.resumed_cells = 1;
+  return report;
+}
+
+TEST(Wire, ReplayPointRoundTripsBitForBit) {
+  const detection::ReplayGridPoint original = sample_point(5);
+  const Bytes encoded = detection::serialize(original);
+  const detection::ReplayGridPoint decoded =
+      wire::deserialize_replay_point(encoded);
+  // Re-serialization equality is the strongest check: the fingerprint
+  // hashes exactly these bytes, so a decoded frame recomputes it.
+  EXPECT_EQ(detection::serialize(decoded), encoded);
+  ASSERT_EQ(decoded.families.size(), 2u);
+  EXPECT_EQ(decoded.families[0].family, "onion");
+  EXPECT_EQ(decoded.families[1].flagged, 8u);
+}
+
+TEST(Wire, ReplayCellRoundTripsEveryField) {
+  const detection::ReplayGridCell original = sample_replay_cell(3);
+  const detection::ReplayGridCell decoded =
+      wire::decode_replay_cell(wire::encode_replay_cell(original));
+  EXPECT_EQ(decoded.cell_index, original.cell_index);
+  EXPECT_EQ(decoded.campaign, original.campaign);
+  EXPECT_EQ(decoded.replay_seed, original.replay_seed);
+  ASSERT_EQ(decoded.points.size(), original.points.size());
+  for (std::size_t i = 0; i < original.points.size(); ++i)
+    EXPECT_EQ(detection::serialize(decoded.points[i]),
+              detection::serialize(original.points[i]));
+  EXPECT_EQ(decoded.wall_seconds, original.wall_seconds);
+}
+
+TEST(Wire, ReplayReportRoundTripsEveryField) {
+  const detection::ReplayGridReport original = sample_replay_report();
+  const detection::ReplayGridReport decoded =
+      wire::decode_replay_report(wire::encode_replay_report(original));
+  ASSERT_EQ(decoded.points.size(), original.points.size());
+  for (std::size_t i = 0; i < original.points.size(); ++i)
+    EXPECT_EQ(detection::serialize(decoded.points[i]),
+              detection::serialize(original.points[i]));
+  EXPECT_EQ(decoded.fingerprint, original.fingerprint);
+  EXPECT_EQ(detection::combine_replay_points(decoded.points),
+            decoded.fingerprint);
+  ASSERT_EQ(decoded.failed_cells.size(), 1u);
+  EXPECT_EQ(decoded.failed_cells[0].cell_index, 3u);
+  EXPECT_EQ(decoded.failed_cells[0].label, "campaign=1,replay_seed=2");
+  EXPECT_EQ(decoded.failed_cells[0].seed, 2u);
+  EXPECT_EQ(decoded.failed_cells[0].attempts, 3u);
+  EXPECT_EQ(decoded.threads_used, original.threads_used);
+  EXPECT_EQ(decoded.wall_seconds, original.wall_seconds);
+  EXPECT_EQ(decoded.retries, original.retries);
+  EXPECT_EQ(decoded.resumed_cells, original.resumed_cells);
+}
+
+TEST(Wire, ReplayFrameTruncationAtEveryByteBoundaryIsRejected) {
+  const Bytes framed = wire::encode_replay_cell(sample_replay_cell(0));
+  for (std::size_t len = 0; len < framed.size(); ++len) {
+    EXPECT_THROW(wire::decode_replay_cell(BytesView(framed.data(), len)),
+                 wire::WireError)
+        << "prefix of " << len << " bytes decoded";
+  }
+}
+
+TEST(Wire, ReplayFrameEverySingleByteCorruptionIsRejected) {
+  const Bytes framed = wire::encode_replay_cell(sample_replay_cell(1));
+  for (std::size_t i = 0; i < framed.size(); ++i) {
+    Bytes corrupt = framed;
+    corrupt[i] ^= 0x01;
+    EXPECT_THROW(wire::decode_replay_cell(corrupt), wire::WireError)
+        << "flip at byte " << i << " decoded";
+  }
+}
+
+TEST(Wire, ReplayMagicsAreDistinctFromEveryOtherFrameKind) {
+  const Bytes cell_frame = wire::encode_replay_cell(sample_replay_cell(2));
+  EXPECT_THROW(wire::decode_replay_report(cell_frame), wire::WireError);
+  EXPECT_THROW(wire::decode_cell_result(cell_frame), wire::WireError);
+  EXPECT_THROW(wire::decode_grid_report(cell_frame), wire::WireError);
+  const Bytes report_frame =
+      wire::encode_replay_report(sample_replay_report());
+  EXPECT_THROW(wire::decode_replay_cell(report_frame), wire::WireError);
+  EXPECT_THROW(wire::decode_grid_report(report_frame), wire::WireError);
+}
+
+TEST(Wire, ReplayInformationalFieldsNeverReachTheFingerprint) {
+  detection::ReplayGridCell fast = sample_replay_cell(4);
+  detection::ReplayGridCell slow = sample_replay_cell(4);
+  fast.wall_seconds = 0.01;
+  slow.wall_seconds = 1e6;
+  EXPECT_NE(wire::encode_replay_cell(fast), wire::encode_replay_cell(slow));
+  EXPECT_EQ(detection::combine_replay_points(fast.points),
+            detection::combine_replay_points(slow.points));
+}
+
 TEST(Wire, CombinedFingerprintSkipsFailedSlots) {
   const CellResult completed = sample_cell(7);
   CellResult failed;  // quarantined: label but no fingerprint

@@ -671,6 +671,18 @@ class Linter {
         stop = k;
         break;
       }
+    // Trailing qualifiers (`) const;`, `) noexcept;`, ref-qualified
+    // overloads) belong to a member-function declarator, not a name —
+    // without this, the name scan below would report the qualifier
+    // keyword (keywords tokenize as Ident) as a data member.
+    while (stop > 0 &&
+           (is(stmt[stop - 1], "const") || is(stmt[stop - 1], "noexcept") ||
+            is(stmt[stop - 1], "override") || is(stmt[stop - 1], "final") ||
+            is(stmt[stop - 1], "&") || is(stmt[stop - 1], "&&")))
+      --stop;
+    // A declarator ending in `)` is a function: in-class data members
+    // can never end with one (paren-initializers are illegal there).
+    if (stop > 0 && is(stmt[stop - 1], ")")) return;
     // A `(` before the name position marks a function declaration.
     std::size_t name_pos = std::string::npos;
     for (std::size_t k = stop; k-- > 0;)

@@ -1,0 +1,258 @@
+#include "tools/gridworker/cli.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <string>
+
+namespace onion::gridcli {
+
+namespace {
+
+std::string quote(std::string_view token) {
+  return "'" + std::string(token) + "'";
+}
+
+}  // namespace
+
+std::uint64_t parse_u64(std::string_view token, std::string_view flag) {
+  std::uint64_t value = 0;
+  const auto [ptr, err] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  // from_chars on an unsigned type already refuses signs and empty
+  // input; requiring full consumption rejects trailing garbage, so
+  // "3x7" and "-1" both fail here instead of silently becoming 3 and
+  // 2^64-1 (the std::stoull behaviors this parser replaces).
+  if (err == std::errc::result_out_of_range)
+    throw CliError(std::string(flag) + ": number out of range: " +
+                   quote(token));
+  if (err != std::errc{} || ptr != token.data() + token.size())
+    throw CliError(std::string(flag) + ": bad number " + quote(token) +
+                   " (want a plain unsigned integer)");
+  return value;
+}
+
+double parse_positive_seconds(std::string_view token,
+                              std::string_view flag) {
+  double value = 0.0;
+  const auto [ptr, err] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (err != std::errc{} || ptr != token.data() + token.size())
+    throw CliError(std::string(flag) + ": bad duration " + quote(token) +
+                   " (want seconds, e.g. 0.5)");
+  if (!std::isfinite(value) || value <= 0.0)
+    throw CliError(std::string(flag) + ": must be a finite value > 0, got " +
+                   quote(token));
+  return value;
+}
+
+std::vector<std::uint64_t> parse_u64_list(std::string_view text,
+                                          std::string_view flag) {
+  std::vector<std::uint64_t> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t end = std::min(text.find(',', pos), text.size());
+    const std::string_view token = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.empty())
+      throw CliError(std::string(flag) + ": empty entry in " + quote(text));
+    out.push_back(parse_u64(token, flag));
+  }
+  return out;
+}
+
+std::vector<scenario::CellAssignment> parse_cells(
+    std::string_view text, std::vector<std::string>& warnings) {
+  std::vector<scenario::CellAssignment> out;
+  if (text.empty()) return out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t end = std::min(text.find(',', pos), text.size());
+    const std::string_view token = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (token.empty())
+      throw CliError("--cells: empty entry in " + quote(text));
+    scenario::CellAssignment a;
+    const std::size_t colon = token.find(':');
+    a.cell_index = parse_u64(token.substr(0, colon), "--cells");
+    if (colon != std::string_view::npos)
+      a.attempt = parse_u64(token.substr(colon + 1), "--cells");
+    // Two assignments for one index would race on the same frame path;
+    // collapse to the most-advanced attempt and tell the user.
+    bool duplicate = false;
+    for (scenario::CellAssignment& seen : out) {
+      if (seen.cell_index != a.cell_index) continue;
+      seen.attempt = std::max(seen.attempt, a.attempt);
+      warnings.push_back("--cells lists cell " +
+                         std::to_string(a.cell_index) +
+                         " more than once; keeping one assignment "
+                         "(attempt " +
+                         std::to_string(seen.attempt) + ")");
+      duplicate = true;
+      break;
+    }
+    if (!duplicate) out.push_back(a);
+  }
+  return out;
+}
+
+Options parse_args(const std::vector<std::string>& args,
+                   const char* env_faults) {
+  Options options;
+  std::string cells_text;
+  std::string faults_text;
+  bool have_faults_flag = false;
+  bool have_cells = false;
+  std::vector<std::string> roles;  // role flags seen, for exclusivity
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size())
+        throw CliError(arg + " needs a value");
+      return args[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      options.role = Role::kHelp;
+      return options;
+    } else if (arg == "--coordinate") {
+      options.role = Role::kCoordinate;
+      roles.push_back(arg);
+    } else if (arg == "--worker") {
+      options.role = Role::kWorker;
+      roles.push_back(arg);
+    } else if (arg == "--merge") {
+      options.role = Role::kMerge;
+      roles.push_back(arg);
+    } else if (arg == "--show-report") {
+      options.role = Role::kShowReport;
+      roles.push_back(arg);
+    } else if (arg == "--record-trace") {
+      options.role = Role::kRecordTrace;
+      options.record_trace_path = value();
+      roles.push_back(arg);
+    } else if (arg == "--list-grids") {
+      options.role = Role::kListGrids;
+      roles.push_back(arg);
+    } else if (arg == "--replay-grid") {
+      options.replay_grid = true;
+    } else if (arg == "--grid") {
+      options.grid_name = value();
+    } else if (arg == "--results-dir") {
+      options.results_dir = value();
+    } else if (arg == "--trace") {
+      options.traces.push_back(value());
+    } else if (arg == "--replay-seeds") {
+      options.replay_seeds = parse_u64_list(value(), "--replay-seeds");
+    } else if (arg == "--cell") {
+      options.record_cell = parse_u64(value(), "--cell");
+    } else if (arg == "--cells") {
+      cells_text = value();
+      have_cells = true;
+    } else if (arg == "--workers") {
+      options.config.workers = parse_u64(value(), "--workers");
+      if (options.config.workers == 0)
+        throw CliError("--workers: must be >= 1");
+    } else if (arg == "--max-attempts") {
+      options.config.max_attempts = parse_u64(value(), "--max-attempts");
+      if (options.config.max_attempts == 0)
+        throw CliError("--max-attempts: must be >= 1");
+    } else if (arg == "--timeout") {
+      options.config.cell_timeout_seconds =
+          parse_positive_seconds(value(), "--timeout");
+    } else if (arg == "--backoff-base") {
+      options.config.backoff_base_seconds =
+          parse_positive_seconds(value(), "--backoff-base");
+    } else if (arg == "--backoff-max") {
+      options.config.backoff_max_seconds =
+          parse_positive_seconds(value(), "--backoff-max");
+    } else if (arg == "--faults") {
+      faults_text = value();
+      have_faults_flag = true;
+    } else {
+      throw CliError("unknown argument: " + arg);
+    }
+  }
+
+  if (roles.empty())
+    throw CliError(
+        "pick a role: --coordinate, --worker, --merge, --show-report, "
+        "--record-trace, or --list-grids");
+  if (roles.size() > 1) {
+    std::string listed = roles[0];
+    for (std::size_t k = 1; k < roles.size(); ++k) listed += ", " + roles[k];
+    throw CliError("exactly one role, got: " + listed);
+  }
+
+  // The env fallback is only consumed by roles that execute cells, so
+  // a stale ONION_GRID_FAULTS cannot break --list-grids/--show-report.
+  const bool executes_cells = options.role == Role::kCoordinate ||
+                              options.role == Role::kWorker;
+  if (!have_faults_flag && executes_cells && env_faults != nullptr)
+    faults_text = env_faults;
+  try {
+    options.config.faults = scenario::FaultPlan::parse(faults_text);
+  } catch (const std::invalid_argument& e) {
+    throw CliError(std::string(have_faults_flag ? "--faults"
+                                                : "ONION_GRID_FAULTS") +
+                   ": " + e.what());
+  }
+  options.config.results_dir = options.results_dir;
+
+  if (have_cells) options.cells = parse_cells(cells_text, options.warnings);
+
+  // Combination rules: every defect is a user-facing message, not an
+  // assertion deep in the run.
+  if (options.replay_grid && !options.grid_name.empty())
+    throw CliError(
+        "--replay-grid scores recorded --trace files; --grid names a "
+        "simulated campaign grid — pick one");
+  if (!options.replay_grid) {
+    if (options.role == Role::kMerge)
+      throw CliError("--merge is a --replay-grid mode");
+    if (!options.traces.empty())
+      throw CliError("--trace requires --replay-grid");
+    if (!options.replay_seeds.empty())
+      throw CliError("--replay-seeds requires --replay-grid");
+  }
+  if (have_cells && options.role != Role::kWorker)
+    throw CliError("--cells only applies to --worker");
+  if (options.role != Role::kRecordTrace && options.record_cell != 0)
+    throw CliError("--cell only applies to --record-trace");
+
+  switch (options.role) {
+    case Role::kCoordinate:
+    case Role::kWorker:
+      if (options.replay_grid) {
+        if (options.traces.empty())
+          throw CliError("--replay-grid needs at least one --trace FILE");
+      } else if (options.grid_name.empty()) {
+        throw CliError("--coordinate/--worker need --grid NAME");
+      }
+      if (options.results_dir.empty())
+        throw CliError("--coordinate/--worker need --results-dir DIR");
+      if (options.role == Role::kWorker && options.cells.empty())
+        throw CliError("--worker needs a non-empty --cells list");
+      break;
+    case Role::kMerge:
+      if (options.traces.empty())
+        throw CliError("--merge needs the campaign's --trace FILE list "
+                       "(count fixes the grid shape)");
+      if (options.results_dir.empty())
+        throw CliError("--merge needs --results-dir DIR");
+      break;
+    case Role::kShowReport:
+      if (options.results_dir.empty())
+        throw CliError("--show-report needs --results-dir DIR");
+      break;
+    case Role::kRecordTrace:
+      if (options.grid_name.empty())
+        throw CliError("--record-trace needs --grid NAME");
+      break;
+    case Role::kListGrids:
+    case Role::kHelp:
+      break;
+  }
+  return options;
+}
+
+}  // namespace onion::gridcli

@@ -1,0 +1,96 @@
+// gridworker's argument layer, extracted so tests/gridcli_test.cpp can
+// drive it without forking the binary. Everything user-typed funnels
+// through the strict parsers here:
+//
+//   * numbers must consume the whole token — `--cells 3x7` or
+//     `--workers 4q` is an error naming the offending token, never a
+//     silent prefix parse (std::stoull accepted "3x7" as 3);
+//   * signs are rejected on unsigned flags — std::stoull("-1") wraps to
+//     2^64-1, from_chars refuses it outright;
+//   * duration flags must be finite and strictly positive, so a
+//     negative or zero --timeout / --backoff-base / --backoff-max is a
+//     validation error, not an accidental busy-loop;
+//   * duplicate cell indices in --cells deduplicate (highest attempt
+//     wins) with a warning, instead of racing two assignments onto the
+//     same frame path.
+//
+// parse_args turns argv + the ONION_GRID_FAULTS environment into an
+// Options value or throws CliError (exit 2 in main) with a message
+// naming the bad flag and token.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/runner.hpp"
+
+namespace onion::gridcli {
+
+/// Any user-input defect: unknown flag, missing value, malformed
+/// number, invalid combination. main() prints the message and exits 2.
+class CliError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Strict unsigned parse: the whole token must be digits (no sign, no
+/// prefix/suffix garbage, no empty string). `flag` names the option in
+/// the error message.
+std::uint64_t parse_u64(std::string_view token, std::string_view flag);
+
+/// Strict duration parse: full-token double, finite and > 0.
+double parse_positive_seconds(std::string_view token, std::string_view flag);
+
+/// Comma-separated strict u64 list (for --replay-seeds); empty tokens
+/// and an empty list are errors.
+std::vector<std::uint64_t> parse_u64_list(std::string_view text,
+                                          std::string_view flag);
+
+/// `--cells 0,3:1,5` — strict cell indices with an optional `:attempt`
+/// suffix (attempt 0 when omitted). Duplicate cell indices collapse to
+/// one assignment keeping the highest attempt, appending a warning per
+/// duplicate; two assignments for one index would race on the same
+/// frame path.
+std::vector<scenario::CellAssignment> parse_cells(
+    std::string_view text, std::vector<std::string>& warnings);
+
+enum class Role {
+  kCoordinate,
+  kWorker,
+  kMerge,
+  kShowReport,
+  kRecordTrace,
+  kListGrids,
+  kHelp,
+};
+
+struct Options {
+  Role role = Role::kHelp;
+  /// Replay-grid mode: cells are (campaign, replay-seed) pairs scored
+  /// over recorded --trace files instead of simulated campaign cells.
+  bool replay_grid = false;
+  std::string grid_name;
+  std::string results_dir;
+  /// --record-trace PATH: record one named-grid cell's trace to PATH.
+  std::string record_trace_path;
+  std::uint64_t record_cell = 0;
+  /// Recorded trace files, one per campaign, campaign order.
+  std::vector<std::string> traces;
+  /// Optional --replay-seeds override of the ReplayGridConfig default.
+  std::vector<std::uint64_t> replay_seeds;
+  std::vector<scenario::CellAssignment> cells;
+  /// Non-fatal notes (e.g. deduplicated --cells entries) for stderr.
+  std::vector<std::string> warnings;
+  scenario::GridCoordinatorConfig config;
+};
+
+/// Parses the full command line (argv[1..]) plus the ONION_GRID_FAULTS
+/// environment value (`env_faults`, may be null; --faults wins).
+/// Throws CliError on any defect.
+Options parse_args(const std::vector<std::string>& args,
+                   const char* env_faults);
+
+}  // namespace onion::gridcli
